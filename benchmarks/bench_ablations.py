@@ -1,0 +1,106 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* vectorized HeRAD vs the literal pseudocode reference (same results,
+  orders-of-magnitude speed difference);
+* 2CATAC with vs without the memoization extension;
+* HeRAD's merge post-pass cost;
+* MaxPacking's binary search vs a naive linear scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.herad import herad
+from repro.core.herad_reference import herad_reference
+from repro.core.twocatac import twocatac
+from repro.core.types import CoreType, Resources
+
+from conftest import paper_profiles
+
+
+@pytest.mark.parametrize("impl", ["fast", "reference"])
+def test_herad_fast_vs_reference(benchmark, impl):
+    profiles = paper_profiles(3, 0.5, num_tasks=10, seed=5)
+    resources = Resources(4, 4)
+
+    if impl == "fast":
+        run = lambda: [herad(p, resources).period for p in profiles]  # noqa: E731
+    else:
+        run = lambda: [  # noqa: E731
+            herad_reference(p, resources).period(p) for p in profiles
+        ]
+
+    periods = benchmark(run)
+    benchmark.extra_info["impl"] = impl
+    benchmark.extra_info["periods"] = [round(x, 3) for x in periods]
+
+
+def test_herad_implementations_agree():
+    profiles = paper_profiles(5, 0.5, num_tasks=9, seed=6)
+    resources = Resources(3, 3)
+    for profile in profiles:
+        fast = herad(profile, resources, merge=False)
+        ref = herad_reference(profile, resources)
+        assert fast.period == ref.period(profile)
+        assert fast.solution.core_usage() == ref.core_usage()
+
+
+@pytest.mark.parametrize("memoize", [False, True], ids=["plain", "memoized"])
+def test_2catac_memoization(benchmark, memoize):
+    profiles = paper_profiles(3, 0.5, num_tasks=20, seed=7)
+    resources = Resources(10, 10)
+
+    def run():
+        return [
+            twocatac(p, resources, memoize=memoize).period for p in profiles
+        ]
+
+    periods = benchmark(run)
+    benchmark.extra_info["memoize"] = memoize
+    benchmark.extra_info["periods"] = [round(x, 3) for x in periods]
+
+
+@pytest.mark.parametrize("merge", [True, False], ids=["merge", "no-merge"])
+def test_herad_merge_cost(benchmark, merge):
+    profiles = paper_profiles(3, 0.8, num_tasks=15, seed=8)
+    resources = Resources(6, 6)
+
+    def run():
+        return [herad(p, resources, merge=merge).period for p in profiles]
+
+    benchmark(run)
+    benchmark.extra_info["merge"] = merge
+
+
+@pytest.mark.parametrize("impl", ["binary-search", "linear-scan"])
+def test_max_packing_strategies(benchmark, impl):
+    profile = paper_profiles(1, 0.5, num_tasks=160, seed=9)[0]
+    period = profile.total_weight(CoreType.BIG) / 20
+
+    def naive(start: int, cores: int) -> int:
+        best = start
+        for e in range(start, profile.n):
+            if profile.stage_weight(start, e, cores, CoreType.BIG) <= period:
+                best = e
+            elif e > start:
+                break
+        return best
+
+    if impl == "binary-search":
+        run = lambda: [  # noqa: E731
+            profile.max_packing(s, 2, CoreType.BIG, period)
+            for s in range(profile.n)
+        ]
+    else:
+        run = lambda: [naive(s, 2) for s in range(profile.n)]  # noqa: E731
+
+    results = benchmark(run)
+    benchmark.extra_info["impl"] = impl
+    # Both implementations agree.
+    expected = [
+        profile.max_packing(s, 2, CoreType.BIG, period)
+        for s in range(profile.n)
+    ]
+    assert results == expected

@@ -1,0 +1,53 @@
+"""Fig. 1 bench — slowdown-CDF computation over a campaign.
+
+Times the CDF aggregation and regenerates the Fig. 1 checkpoint numbers
+(fraction of chains at slowdown <= 1.0 / 1.1 / 1.5) for the balanced budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.slowdown import slowdown_cdf, slowdown_ratios
+from repro.core.registry import PAPER_ORDER
+from repro.core.types import Resources
+from repro.experiments import fig1
+from repro.experiments.common import run_campaign
+
+from conftest import SCALE
+
+
+def test_cdf_computation_speed(benchmark):
+    campaign = run_campaign(
+        Resources(10, 10), 0.5, num_chains=12 * SCALE, num_tasks=12
+    )
+    optimal = campaign.optimal_periods
+    record = campaign.records["fertac"]
+
+    def build():
+        return slowdown_cdf(slowdown_ratios(record.periods, optimal))
+
+    cdf = benchmark(build)
+    assert 0.0 <= cdf.fraction_optimal <= 1.0
+
+
+def test_fig1_checkpoints(benchmark):
+    def run():
+        return fig1.run(
+            num_chains=15 * SCALE,
+            budgets=[Resources(10, 10)],
+            stateless_ratios=[0.5],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig1.render(result))
+    scenario = result.scenarios[0]
+    # Shape assertions mirroring the paper's qualitative claims:
+    # HeRAD dominates, OTAC (L) never reaches the optimum.
+    assert scenario.cdfs["herad"].fraction_optimal == pytest.approx(1.0)
+    assert scenario.cdfs["otac_l"].fraction_optimal == 0.0
+    for name in PAPER_ORDER:
+        benchmark.extra_info[f"{name}_pct_optimal"] = round(
+            scenario.cdfs[name].fraction_optimal * 100, 1
+        )

@@ -1,0 +1,31 @@
+"""Fig. 2 bench — FERTAC-vs-HeRAD core-usage heatmaps.
+
+Regenerates the heatmaps for R = (10B, 10L), SR = 0.5 and reports the
+"at most 1 / 2 extra cores" shares the paper quotes (59.0% / 83.1% over all
+chains).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+
+from conftest import SCALE
+
+
+def test_fig2_heatmaps(benchmark):
+    def run():
+        return fig2.run(num_chains=20 * SCALE)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig2.render(result))
+
+    within1 = result.all_results.share_within_extra_cores(1)
+    within2 = result.all_results.share_within_extra_cores(2)
+    benchmark.extra_info["within_1_extra"] = round(within1, 1)
+    benchmark.extra_info["within_2_extra"] = round(within2, 1)
+    benchmark.extra_info["paper_within_1_extra"] = 59.0
+    benchmark.extra_info["paper_within_2_extra"] = 83.1
+    # Shape: most chains stay within two extra cores.
+    assert within2 >= within1
+    assert within2 > 50.0

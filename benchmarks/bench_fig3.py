@@ -1,0 +1,75 @@
+"""Fig. 3 bench — strategy execution times vs chain length.
+
+This is the paper's Fig. 3 measured directly by pytest-benchmark: one
+benchmark per (strategy, n) point at a fixed budget.  Expected shapes:
+FERTAC/OTAC nearly flat, HeRAD ~ n^2, 2CATAC exponential (hence capped).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import get_info
+from repro.core.types import Resources
+
+from conftest import paper_profiles
+
+BUDGET = Resources(20, 20)
+TASK_COUNTS = (10, 20, 40)
+# 2CATAC is exponential in n (the paper stops at 60 tasks in C++; pure
+# Python crosses the seconds-per-chain line near n = 30), so the shared
+# sweep caps it and a dedicated single-round bench shows the blow-up.
+CAPS = {"2catac": 20, "2catac_memo": 20}
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+@pytest.mark.parametrize(
+    "strategy", ["fertac", "2catac", "herad", "otac_b", "otac_l"]
+)
+def test_strategy_time_vs_tasks(benchmark, strategy, num_tasks):
+    if num_tasks > CAPS.get(strategy, 10**9):
+        pytest.skip("capped: exponential strategy")
+    profiles = paper_profiles(5, 0.5, num_tasks=num_tasks)
+    func = get_info(strategy).func
+
+    def run():
+        for profile in profiles:
+            func(profile, BUDGET)
+
+    benchmark(run)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["num_tasks"] = num_tasks
+    benchmark.extra_info["budget"] = str(BUDGET)
+
+
+@pytest.mark.parametrize("num_tasks", [10, 20, 30])
+def test_2catac_exponential_growth(benchmark, num_tasks):
+    """Fig. 3's 2CATAC curve: super-linear growth in the chain length.
+
+    Run once per point (no benchmark rounds) — at n = 30 a single schedule
+    already costs seconds in pure Python.
+    """
+    profiles = paper_profiles(2, 0.5, num_tasks=num_tasks, seed=2)
+    func = get_info("2catac").func
+
+    def run():
+        for profile in profiles:
+            func(profile, BUDGET)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["num_tasks"] = num_tasks
+
+
+@pytest.mark.parametrize("stateless_ratio", [0.2, 0.5, 0.8])
+def test_2catac_sr_sensitivity(benchmark, stateless_ratio):
+    """The paper's SR effect: 2CATAC gets *cheaper* at SR = 0.8 because
+    long replicable stages shorten the recursion."""
+    profiles = paper_profiles(5, stateless_ratio, num_tasks=20, seed=3)
+    func = get_info("2catac").func
+
+    def run():
+        for profile in profiles:
+            func(profile, BUDGET)
+
+    benchmark(run)
+    benchmark.extra_info["stateless_ratio"] = stateless_ratio

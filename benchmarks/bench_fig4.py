@@ -1,0 +1,34 @@
+"""Fig. 4 bench — strategy execution times vs core counts.
+
+One benchmark per (strategy, budget) point at fixed n = 20.  Expected
+shapes: the greedy strategies stay roughly flat while HeRAD's time grows
+with ``b * l * (b + l)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import get_info
+from repro.core.types import Resources
+
+from conftest import paper_profiles
+
+BUDGETS = (Resources(10, 10), Resources(20, 20), Resources(40, 40))
+
+
+@pytest.mark.parametrize("budget", BUDGETS, ids=lambda r: f"{r.big}x{r.little}")
+@pytest.mark.parametrize(
+    "strategy", ["fertac", "2catac", "herad", "otac_b", "otac_l"]
+)
+def test_strategy_time_vs_cores(benchmark, strategy, budget):
+    profiles = paper_profiles(5, 0.5, num_tasks=20, seed=1)
+    func = get_info(strategy).func
+
+    def run():
+        for profile in profiles:
+            func(profile, budget)
+
+    benchmark(run)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["budget"] = str(budget)

@@ -1,0 +1,59 @@
+"""Table I bench — schedule-quality campaign over the paper's scenarios.
+
+Benchmarks each strategy's scheduling throughput on the paper's chain
+distribution and regenerates the Table I statistics rows (at reduced
+campaign size; run ``python -m repro table1 --chains 1000`` for the full
+population).  The reproduced rows are attached to the benchmark's
+``extra_info`` and printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_ORDER, get_info
+from repro.core.types import Resources
+from repro.experiments import table1
+
+from conftest import SCALE
+
+
+@pytest.mark.parametrize("strategy", PAPER_ORDER)
+def test_strategy_scheduling_rate(benchmark, campaign_chains, strategy):
+    """Time one strategy over the shared campaign population."""
+    func = get_info(strategy).func
+    resources = Resources(10, 10)
+
+    def run_all():
+        return [func(profile, resources).period for profile in campaign_chains]
+
+    periods = benchmark(run_all)
+    assert len(periods) == len(campaign_chains)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["chains"] = len(campaign_chains)
+
+
+@pytest.mark.parametrize("budget", [(16, 4), (10, 10), (4, 16)])
+def test_table1_rows(benchmark, budget):
+    """Regenerate one Table I row group and attach it to the report."""
+    big, little = budget
+
+    def run():
+        return table1.run(
+            num_chains=15 * SCALE,
+            budgets=[Resources(big, little)],
+            stateless_ratios=[0.5],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = table1.render(result)
+    print()
+    print(rendered)
+    scenario = result.scenarios[0]
+    benchmark.extra_info["budget"] = f"({big}B,{little}L)"
+    for name in PAPER_ORDER:
+        stats = scenario.stats[name]
+        benchmark.extra_info[f"{name}_pct_opt"] = round(stats.percent_optimal, 1)
+        benchmark.extra_info[f"{name}_avg_slowdown"] = round(stats.avg_slowdown, 3)
+    # Sanity: HeRAD is the optimum of its own campaign.
+    assert scenario.stats["herad"].percent_optimal == 100.0

@@ -1,0 +1,64 @@
+"""Table II bench — DVB-S2 scheduling and throughput reproduction.
+
+Times the scheduling of the real receiver chain per strategy/config and
+regenerates the Table II rows (expected period, Sim/Real FPS and Mb/s) with
+the calibrated runtime simulation standing in for StreamPU on hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PAPER_ORDER, get_info
+from repro.core.types import Resources
+from repro.experiments import table2
+from repro.experiments.paper_data import PAPER_TABLE2
+from repro.platform.presets import MAC_STUDIO, X7_TI
+from repro.sdr.dvbs2 import dvbs2_chain
+
+CONFIGS = {
+    "mac-half": (MAC_STUDIO, Resources(8, 2)),
+    "mac-full": (MAC_STUDIO, Resources(16, 4)),
+    "x7-half": (X7_TI, Resources(3, 4)),
+    "x7-full": (X7_TI, Resources(6, 8)),
+}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("strategy", PAPER_ORDER)
+def test_dvbs2_scheduling_time(benchmark, strategy, config):
+    """Time one strategy on the real 23-task receiver chain."""
+    platform, resources = CONFIGS[config]
+    chain = dvbs2_chain(platform)
+    func = get_info(strategy).func
+
+    outcome = benchmark(func, chain, resources)
+    benchmark.extra_info["period_us"] = round(outcome.period, 1)
+    paper = next(
+        (
+            row
+            for row in PAPER_TABLE2
+            if row.resources == resources
+            and row.platform == platform.name
+            and row.strategy == get_info(strategy).name
+        ),
+        None,
+    )
+    if paper is not None:
+        benchmark.extra_info["paper_period_us"] = paper.period_us
+        # The expected periods must reproduce the paper's.
+        assert outcome.period == pytest.approx(paper.period_us, rel=0.001)
+
+
+def test_table2_rows(benchmark):
+    """Regenerate the full Table II (reduced frame count)."""
+
+    def run():
+        return table2.run(num_frames=600)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table2.render(result))
+    for row in result.rows:
+        assert row.real_mbps <= row.sim_mbps + 1e-9
+    benchmark.extra_info["rows"] = len(result.rows)

@@ -1,0 +1,55 @@
+"""Benches for Table III (dataset validation/profiling) and Fig. 6 (summary).
+
+Table III is a dataset, so its bench times the profiling *procedure* (the
+measure-each-task loop that produced the paper's numbers) and validates the
+embedded totals.  Fig. 6 regenerates the quantified strategy summary at
+reduced campaign size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Resources
+from repro.experiments import fig6, table3
+
+from conftest import SCALE
+
+
+def test_table3_dataset_and_profiling(benchmark):
+    result = benchmark(table3.run)
+    assert result.totals_match
+    benchmark.extra_info["totals"] = [round(t, 1) for t in result.totals]
+
+
+def test_table3_profiling_procedure(benchmark):
+    rows = benchmark.pedantic(
+        table3.profile_chain_executors,
+        kwargs={"time_scale": 1e-7, "repetitions": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 23
+    # The sleep executors track their nominal latency to within scheduler
+    # noise; at 1e-7 scale each task is sub-millisecond.
+    for _, nominal, measured in rows:
+        assert measured >= 0.0
+
+
+def test_fig6_summary(benchmark):
+    def run():
+        return fig6.run(
+            num_chains=8 * SCALE,
+            budgets=[Resources(6, 6)],
+            stateless_ratios=[0.5],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig6.render(result))
+    by_name = {row.strategy: row for row in result.rows}
+    assert by_name["herad"].avg_slowdown == pytest.approx(1.0)
+    assert by_name["fertac"].mean_time_us < by_name["herad"].mean_time_us
+    benchmark.extra_info["herad_gap_percent"] = round(
+        by_name["herad"].real_vs_best_percent, 1
+    )

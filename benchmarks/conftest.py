@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a ``bench_*.py`` module here.  Benchmarks run
+at a reduced scale by default (so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes on a laptop); the environment variable
+``REPRO_BENCH_SCALE`` multiplies the campaign sizes for closer-to-paper
+runs, and the CLI (``python -m repro``) regenerates any experiment at full
+scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.workloads.synthetic import GeneratorConfig, random_chain
+
+#: Campaign-size multiplier (1 = quick CI scale).
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def paper_profiles(num_chains: int, stateless_ratio: float, num_tasks: int = 20, seed: int = 0):
+    """Pre-profiled chains from the paper's distribution."""
+    rng = np.random.default_rng(seed)
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=stateless_ratio)
+    return [ChainProfile(random_chain(rng, config)) for _ in range(num_chains)]
+
+
+@pytest.fixture(scope="session")
+def campaign_chains():
+    """A shared small campaign population (SR = 0.5, n = 20)."""
+    return paper_profiles(10 * SCALE, 0.5)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run a *functional* DVB-S2-like receiver under a computed schedule.
+
+The other examples schedule latency models; this one closes the loop: the
+receiver tasks are the library's real signal-processing blocks (RRC matched
+filter, frame sync, phase tracking, QPSK soft demodulation, LDPC min-sum,
+BCH Berlekamp-Massey, descramblers, BER monitor), the transmitter+channel
+loopback feeds them noisy waveforms, and the pipeline executes on the
+threaded StreamPU-like runtime with the stage decomposition chosen by
+HeRAD.
+
+Every frame is checked bit-exactly: at the default operating point (9 dB,
+the "error-free SNR zone" like the paper's evaluation) all frames decode
+with zero errors.
+
+Run:  python examples/functional_transceiver.py
+"""
+
+from __future__ import annotations
+
+from repro import Resources, herad
+from repro.sdr import FunctionalTransceiver, TransceiverConfig
+from repro.sdr.transceiver import FramePayload
+from repro.streampu import PipelineRuntime
+
+NUM_FRAMES = 24
+
+
+def main() -> None:
+    trx = FunctionalTransceiver(TransceiverConfig(snr_db=9.0))
+    print(f"Link: BCH({trx.bch.n},{trx.bch.k},t={trx.bch.t}) x{trx.bch_blocks} "
+          f"-> LDPC({trx.ldpc.n},{trx.ldpc.k}) -> QPSK, "
+          f"{trx.frame_bits} info bits/frame, SNR {trx.config.snr_db} dB")
+
+    # Schedule the functional receiver chain (Table III weights) on half a
+    # Mac Studio; the stages then execute the real DSP callables.
+    chain = trx.receiver_chain()
+    outcome = herad(chain, Resources(8, 2))
+    print(f"HeRAD schedule: {outcome.solution.render()} "
+          f"(expected period {outcome.period:.1f} us on real hardware)")
+
+    runtime = PipelineRuntime.from_solution(
+        outcome.solution, chain, executors=trx.receiver_tasks()
+    )
+    result = runtime.run(
+        num_frames=NUM_FRAMES,
+        payload_factory=lambda i: FramePayload(index=i),
+    )
+
+    total_errors = 0
+    for payload in result.payloads:
+        assert isinstance(payload, FramePayload)
+        total_errors += payload.bit_errors
+    iterations = [p.ldpc_iterations for p in result.payloads]
+    corrections = sum(p.bch_corrections for p in result.payloads)
+
+    print(f"Streamed {NUM_FRAMES} frames "
+          f"({NUM_FRAMES * trx.frame_bits} info bits) through "
+          f"{runtime.spec.num_stages} stages / {runtime.spec.total_cores} workers")
+    print(f"Bit errors: {total_errors}   "
+          f"LDPC iterations avg: {sum(iterations) / len(iterations):.1f}   "
+          f"BCH corrections: {corrections}")
+    print(f"Wall-clock: {result.completion_times[-1] * 1e3:.0f} ms "
+          f"({NUM_FRAMES / result.completion_times[-1]:.1f} frames/s of real DSP)")
+    if total_errors == 0:
+        print("All frames decoded error-free under the HeRAD schedule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Static pipeline schedules vs dynamic runtime scheduling.
+
+The paper argues (Section II) that dynamic schedulers — GNU Radio's
+thread-per-block model, CEDR-style runtime dispatch — are inefficient at
+SDR task granularities, motivating its *static* pipeline decompositions.
+This example makes the comparison concrete on the DVB-S2 receiver:
+
+* the static side: HeRAD's optimal pipeline, executed on the discrete-event
+  runtime;
+* the dynamic side: an event-driven per-task dispatcher (earliest-finish
+  core choice, streaming FIFO priority) with a sweep over the per-dispatch
+  overhead.
+
+Watch the crossover: a dynamic scheduler with *free* dispatch beats any
+interval mapping (it is strictly more flexible), but tens of microseconds
+of dispatch cost per task — realistic for generic runtimes at this
+granularity — already hand the win to the static schedule.
+
+Run:  python examples/static_vs_dynamic.py
+"""
+
+from __future__ import annotations
+
+from repro import Resources, herad
+from repro.sdr import dvbs2_mac_studio_chain, fps_from_period_us
+from repro.streampu import simulate_dynamic_scheduler
+
+OVERHEADS_US = (0.0, 10.0, 20.0, 50.0, 100.0, 250.0, 500.0)
+
+
+def main() -> None:
+    chain = dvbs2_mac_studio_chain()
+    resources = Resources(8, 2)
+
+    static = herad(chain, resources)
+    static_fps = fps_from_period_us(static.period, interframe=4)
+    print(f"Static (HeRAD): {static.solution.render()}")
+    print(f"  period {static.period:,.1f} us -> {static_fps:,.0f} FPS")
+    print()
+
+    print(f"{'dispatch overhead':>18} {'dynamic period':>15} "
+          f"{'FPS':>8}  winner")
+    print("-" * 56)
+    for overhead in OVERHEADS_US:
+        result = simulate_dynamic_scheduler(
+            chain, resources, num_frames=300, dispatch_overhead=overhead
+        )
+        fps = fps_from_period_us(result.measured_period, interframe=4)
+        winner = "dynamic" if result.measured_period < static.period else "STATIC"
+        print(f"{overhead:>15.0f} us {result.measured_period:>12,.1f} us "
+              f"{fps:>8,.0f}  {winner}")
+    print()
+    print("With zero-cost dispatch the dynamic scheduler edges out the")
+    print("static pipeline (it can use any idle core for any task), but a")
+    print("few tens of microseconds per dispatch — locking, queue work,")
+    print("cache disturbance — flip the result. This is why the paper's")
+    print("strategies compute static decompositions ahead of time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Execute a schedule for real on the threaded streaming runtime.
+
+The discrete-event simulator predicts throughput; this example actually
+*runs* a pipeline: each stage becomes a group of replica worker threads
+connected by in-order bounded channels (StreamPU's adaptor semantics), and
+frames carry real payloads through user-defined processing functions.
+
+The pipeline here is a toy DSP chain on NumPy vectors:
+
+    source noise -> FIR filter (stateful) -> gain -> demodulate -> checksum
+
+Run:  python examples/streaming_runtime.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Resources, TaskChain, herad
+from repro.streampu import CallableTask, PipelineRuntime
+
+FRAME_SIZE = 4096
+
+
+def make_dsp_tasks() -> "tuple[TaskChain, list[CallableTask]]":
+    """A toy baseband chain: weights reflect each task's relative cost."""
+    rng = np.random.default_rng(7)
+    fir_taps = rng.standard_normal(32)
+    fir_state = {"tail": np.zeros(31)}
+
+    def fir(x: np.ndarray) -> np.ndarray:
+        # Stateful across frames (overlap-save tail) -> not replicable.
+        padded = np.concatenate([fir_state["tail"], x])
+        fir_state["tail"] = x[-31:].copy()
+        return np.convolve(padded, fir_taps, mode="valid")
+
+    def gain(x: np.ndarray) -> np.ndarray:
+        return x * (1.0 / (np.abs(x).max() + 1e-12))
+
+    def demodulate(x: np.ndarray) -> np.ndarray:
+        return (x > 0).astype(np.int8)
+
+    def checksum(bits: np.ndarray) -> int:
+        return int(bits.sum())
+
+    chain = TaskChain.from_weights(
+        weights_big=[30, 10, 40, 5],
+        weights_little=[70, 25, 95, 12],
+        replicable=[False, True, True, True],
+        name="toy DSP chain",
+    )
+    tasks = [
+        CallableTask(30, fir, name="fir"),
+        CallableTask(10, gain, name="gain"),
+        CallableTask(40, demodulate, name="demod"),
+        CallableTask(5, checksum, name="crc"),
+    ]
+    return chain, tasks
+
+
+def main() -> None:
+    chain, tasks = make_dsp_tasks()
+    resources = Resources(big=2, little=2)
+    outcome = herad(chain, resources)
+    print("Schedule:", outcome.solution.render(),
+          f"(expected period {outcome.period:.1f} weight units)")
+
+    runtime = PipelineRuntime.from_solution(
+        outcome.solution, chain, executors=tasks
+    )
+    print(runtime.spec.describe())
+    print()
+
+    rng = np.random.default_rng(0)
+    result = runtime.run(
+        num_frames=64,
+        payload_factory=lambda i: rng.standard_normal(FRAME_SIZE),
+    )
+    checksums = result.payloads
+    print(f"Streamed {len(checksums)} frames through "
+          f"{runtime.spec.num_stages} stages / "
+          f"{runtime.spec.total_cores} workers")
+    print(f"First checksums: {checksums[:8]}")
+    print(f"Wall-clock makespan: {result.completion_times[-1] * 1e3:.1f} ms")
+    print(f"Measured period:  {result.report.measured_period:.1f} weight units "
+          f"(analytic {result.report.analytic_period:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Thin shim for environments without the `wheel` package (offline PEP 517
+editable installs need bdist_wheel); `pip install -e . --no-use-pep517`
+falls back to this."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Slowdown ratios and cumulative distributions (Fig. 1).
+
+HeRAD always achieves the minimal period, so strategies are compared through
+their *slowdown ratio* ``P(S_other) / P(S_HeRAD)`` (Section VI-B).  The
+cumulative distribution of that ratio over a chain population is the paper's
+Fig. 1; :func:`slowdown_cdf` computes the exact step curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["slowdown_ratios", "SlowdownCdf", "slowdown_cdf", "OPTIMAL_TOLERANCE"]
+
+#: Relative tolerance under which a slowdown counts as "optimal".  Periods
+#: are ratios of exact float sums, but the greedy binary search may stop an
+#: epsilon away from the true optimum; the paper counts those as optimal.
+OPTIMAL_TOLERANCE = 1e-9
+
+
+def slowdown_ratios(
+    periods: "np.ndarray | list[float]",
+    optimal_periods: "np.ndarray | list[float]",
+) -> np.ndarray:
+    """Per-instance slowdown ratios ``P / P_opt``.
+
+    Args:
+        periods: a strategy's achieved periods.
+        optimal_periods: HeRAD's periods on the same instances.
+
+    Raises:
+        ValueError: on length mismatch or non-positive optimal periods.
+    """
+    p = np.asarray(periods, dtype=np.float64)
+    opt = np.asarray(optimal_periods, dtype=np.float64)
+    if p.shape != opt.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {opt.shape}")
+    if (opt <= 0).any():
+        raise ValueError("optimal periods must be positive")
+    return p / opt
+
+
+@dataclass(frozen=True)
+class SlowdownCdf:
+    """An empirical cumulative distribution of slowdown ratios.
+
+    Attributes:
+        values: sorted distinct slowdown values (the step abscissae).
+        cumulative: fraction of instances with slowdown <= the value.
+    """
+
+    values: np.ndarray
+    cumulative: np.ndarray
+
+    def at(self, slowdown: float) -> float:
+        """Fraction of instances with ratio at most ``slowdown``."""
+        idx = np.searchsorted(self.values, slowdown, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.cumulative[idx - 1])
+
+    @property
+    def fraction_optimal(self) -> float:
+        """Fraction of instances achieving the optimal period."""
+        return self.at(1.0 + OPTIMAL_TOLERANCE)
+
+    def quantile(self, q: float) -> float:
+        """Smallest slowdown value reached by at least fraction ``q``."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self.cumulative, q, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return float(self.values[idx])
+
+
+def slowdown_cdf(ratios: "np.ndarray | list[float]") -> SlowdownCdf:
+    """Build the empirical CDF of a set of slowdown ratios."""
+    r = np.asarray(ratios, dtype=np.float64)
+    if r.size == 0:
+        raise ValueError("cannot build a CDF from no ratios")
+    values, counts = np.unique(r, return_counts=True)
+    cumulative = np.cumsum(counts) / r.size
+    return SlowdownCdf(values=values, cumulative=cumulative)

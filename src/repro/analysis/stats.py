@@ -1,0 +1,102 @@
+"""Campaign aggregation — the statistics of Table I.
+
+For each (resources, stateless ratio, strategy) scenario the paper reports a
+4-tuple of period statistics — percentage of optimal periods, average,
+median and maximum slowdown — and the average number of big/little cores
+used.  :class:`ScenarioStats` holds one such entry;
+:func:`aggregate_scenario` computes it from raw campaign outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .slowdown import OPTIMAL_TOLERANCE, slowdown_ratios
+
+__all__ = ["ScenarioStats", "aggregate_scenario"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioStats:
+    """Table I cell: period statistics and core usage for one scenario.
+
+    Attributes:
+        strategy: canonical strategy name.
+        num_chains: population size.
+        percent_optimal: share of instances at the optimal period (in %).
+        avg_slowdown: mean slowdown ratio.
+        med_slowdown: median slowdown ratio.
+        max_slowdown: maximum slowdown ratio.
+        avg_big_used: mean number of big cores used.
+        avg_little_used: mean number of little cores used.
+    """
+
+    strategy: str
+    num_chains: int
+    percent_optimal: float
+    avg_slowdown: float
+    med_slowdown: float
+    max_slowdown: float
+    avg_big_used: float
+    avg_little_used: float
+
+    def period_tuple(self) -> tuple[float, float, float, float]:
+        """The paper's 4-tuple ``(% opt, avg, med, max)``."""
+        return (
+            self.percent_optimal,
+            self.avg_slowdown,
+            self.med_slowdown,
+            self.max_slowdown,
+        )
+
+    def usage_pair(self) -> tuple[float, float]:
+        """The paper's core-usage pair ``(b_used, l_used)``."""
+        return (self.avg_big_used, self.avg_little_used)
+
+    def render_period(self) -> str:
+        """Paper-style period cell, e.g. ``( 99.2%, 1.00, 1.00, 1.14 )``."""
+        return (
+            f"( {self.percent_optimal:5.1f}%, {self.avg_slowdown:4.2f}, "
+            f"{self.med_slowdown:4.2f}, {self.max_slowdown:4.2f} )"
+        )
+
+    def render_usage(self) -> str:
+        """Paper-style usage cell, e.g. ``( 12.44, 3.91 )``."""
+        return f"( {self.avg_big_used:5.2f}, {self.avg_little_used:5.2f} )"
+
+
+def aggregate_scenario(
+    strategy: str,
+    periods: "np.ndarray | list[float]",
+    optimal_periods: "np.ndarray | list[float]",
+    big_used: "np.ndarray | list[int]",
+    little_used: "np.ndarray | list[int]",
+    tolerance: float = OPTIMAL_TOLERANCE,
+) -> ScenarioStats:
+    """Aggregate raw campaign outcomes into one Table I entry.
+
+    Args:
+        strategy: canonical strategy name.
+        periods: achieved period per chain.
+        optimal_periods: HeRAD's period per chain.
+        big_used: big cores used per chain.
+        little_used: little cores used per chain.
+        tolerance: relative tolerance for counting a period as optimal.
+    """
+    ratios = slowdown_ratios(periods, optimal_periods)
+    big = np.asarray(big_used, dtype=np.float64)
+    little = np.asarray(little_used, dtype=np.float64)
+    if big.shape != ratios.shape or little.shape != ratios.shape:
+        raise ValueError("usage arrays must match the period arrays")
+    return ScenarioStats(
+        strategy=strategy,
+        num_chains=int(ratios.size),
+        percent_optimal=float((ratios <= 1.0 + tolerance).mean() * 100.0),
+        avg_slowdown=float(ratios.mean()),
+        med_slowdown=float(np.median(ratios)),
+        max_slowdown=float(ratios.max()),
+        avg_big_used=float(big.mean()),
+        avg_little_used=float(little.mean()),
+    )

@@ -1,0 +1,101 @@
+"""Plain-text table and curve rendering for experiment reports.
+
+The experiment drivers print their tables/figures to the terminal (no
+plotting dependency).  :func:`render_table` aligns columns;
+:func:`render_step_curves` draws CDF-style curves as ASCII art, enough to
+eyeball the shapes of Fig. 1 next to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_step_curves"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column headers.
+        rows: table body; cells are stringified.
+        title: optional title line.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_step_curves(
+    curves: dict[str, tuple[np.ndarray, np.ndarray]],
+    x_range: tuple[float, float],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "slowdown",
+    y_label: str = "cumulative fraction",
+) -> str:
+    """Draw step curves (e.g. CDFs) as ASCII art.
+
+    Args:
+        curves: name -> (x values, cumulative y in [0, 1]); each curve is a
+            right-continuous step function.
+        x_range: plotted abscissa interval.
+        width: plot width in characters.
+        height: plot height in characters.
+        x_label: abscissa label.
+        y_label: ordinate label.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    lo, hi = x_range
+    if not (hi > lo):
+        raise ValueError(f"invalid x range {x_range}")
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for (name, (xs, ys)), marker in zip(curves.items(), markers):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        legend.append(f"{marker} = {name}")
+        for col in range(width):
+            x = lo + (hi - lo) * col / (width - 1)
+            idx = np.searchsorted(xs, x, side="right") - 1
+            y = 0.0 if idx < 0 else float(ys[idx])
+            row = height - 1 - int(round(y * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines = [f"{y_label} (1.0 top, 0.0 bottom)"]
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<10.3g}{' ' * max(0, width - 22)}{hi:>10.3g}  ({x_label})")
+    lines.append("      " + "   ".join(legend))
+    return "\n".join(lines)

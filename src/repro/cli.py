@@ -1,0 +1,133 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage (after ``pip install -e .``)::
+
+    repro table1 --chains 200
+    repro fig2
+    repro table2 --frames 5000
+    repro all --chains 100 --out results/
+
+or equivalently ``python -m repro <experiment> [options]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .core.types import Resources
+from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Scheduling Strategies for "
+            "Partially-Replicable Task Chains on Two Types of Resources'."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*_EXPERIMENTS, "all"),
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--chains",
+        type=int,
+        default=200,
+        help=(
+            "chains per synthetic scenario (paper: 1000; default 200 keeps "
+            "a laptop run in minutes)"
+        ),
+    )
+    parser.add_argument(
+        "--timing-chains",
+        type=int,
+        default=20,
+        help="chains averaged per execution-time point (paper: 50)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=2000,
+        help="frames streamed per throughput measurement (table2/fig5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed for campaigns"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write each report as <experiment>.txt",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    if name == "table1":
+        return table1.render(table1.run(num_chains=args.chains, seed=args.seed))
+    if name == "table2":
+        return table2.render(table2.run(num_frames=args.frames))
+    if name == "table3":
+        return table3.render(table3.run())
+    if name == "fig1":
+        return fig1.render(fig1.run(num_chains=args.chains, seed=args.seed))
+    if name == "fig2":
+        return fig2.render(fig2.run(num_chains=args.chains, seed=args.seed))
+    if name == "fig3":
+        return fig3.render(fig3.run(num_chains=args.timing_chains, seed=args.seed))
+    if name == "fig4":
+        return fig4.render(fig4.run(num_chains=args.timing_chains, seed=args.seed))
+    if name == "fig5":
+        return fig5.render(fig5.run(num_frames=args.frames))
+    if name == "ablation":
+        return ablation.render(
+            ablation.run(num_chains=min(args.chains, 100), seed=args.seed)
+        )
+    if name == "fig6":
+        return fig6.render(
+            fig6.run(num_chains=min(args.chains, 200), seed=args.seed)
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.perf_counter()
+        report = _run_one(name, args)
+        elapsed = time.perf_counter() - start
+        print(report)
+        print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Scheduling core: the paper's primary contribution.
+
+This package implements scheduling of partially-replicable task chains on
+two types of resources (big/little cores):
+
+* problem model — :class:`Task`, :class:`TaskChain`, :class:`Stage`,
+  :class:`Solution`, :class:`Resources`, :class:`CoreType`;
+* greedy heuristics — :func:`fertac` (Algo. 4) and :func:`twocatac`
+  (Algos. 5-6), both wrapped in the binary-search ``Schedule`` driver
+  (Algo. 1);
+* the optimal dynamic program — :func:`herad` (Algos. 7-11 / Eq. (4));
+* the homogeneous baseline — :func:`otac`, :func:`otac_big`,
+  :func:`otac_little`;
+* verification oracles — :func:`herad_reference` (literal pseudocode) and
+  :func:`brute_force_optimal` (exhaustive enumeration).
+"""
+
+from .binary_search import (
+    ComputeSolutionFn,
+    ScheduleOutcome,
+    schedule_by_binary_search,
+)
+from .bounds import PeriodBounds, period_bounds, search_epsilon
+from .bruteforce import brute_force_optimal, brute_force_period
+from .chain_stats import ChainProfile, profile_of
+from .errors import (
+    InfeasibleScheduleError,
+    InvalidChainError,
+    InvalidPlatformError,
+    SchedulingError,
+)
+from .fertac import fertac, fertac_compute_solution
+from .herad import herad, herad_solution
+from .herad_reference import herad_reference
+from .merge import merge_replicable_stages
+from .norep import norep_optimal, norep_period
+from .otac import otac, otac_big, otac_little
+from .packing import StagePlan, compute_stage, stage_fits
+from .power import PowerModel, PowerReport, pareto_front, solution_power
+from .registry import (
+    PAPER_ORDER,
+    STRATEGIES,
+    StrategyInfo,
+    get_info,
+    get_strategy,
+    run_strategies,
+    strategy_names,
+)
+from .solution import CoreUsage, Solution
+from .stage import Stage
+from .task import Task, TaskChain
+from .twocatac import twocatac, twocatac_compute_solution
+from .types import INFINITY, CoreType, Resources
+
+__all__ = [
+    # model
+    "Task",
+    "TaskChain",
+    "ChainProfile",
+    "profile_of",
+    "Stage",
+    "Solution",
+    "CoreUsage",
+    "CoreType",
+    "Resources",
+    "INFINITY",
+    # machinery
+    "ComputeSolutionFn",
+    "ScheduleOutcome",
+    "schedule_by_binary_search",
+    "PeriodBounds",
+    "period_bounds",
+    "search_epsilon",
+    "StagePlan",
+    "compute_stage",
+    "stage_fits",
+    "merge_replicable_stages",
+    "PowerModel",
+    "PowerReport",
+    "solution_power",
+    "pareto_front",
+    # strategies
+    "fertac",
+    "fertac_compute_solution",
+    "twocatac",
+    "twocatac_compute_solution",
+    "herad",
+    "herad_solution",
+    "herad_reference",
+    "otac",
+    "otac_big",
+    "otac_little",
+    "norep_optimal",
+    "norep_period",
+    "brute_force_optimal",
+    "brute_force_period",
+    # registry
+    "STRATEGIES",
+    "PAPER_ORDER",
+    "StrategyInfo",
+    "get_strategy",
+    "get_info",
+    "run_strategies",
+    "strategy_names",
+    # errors
+    "SchedulingError",
+    "InvalidChainError",
+    "InvalidPlatformError",
+    "InfeasibleScheduleError",
+]

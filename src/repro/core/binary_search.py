@@ -1,0 +1,155 @@
+"""The binary-search ``Schedule`` driver (Algo. 1).
+
+Both greedy heuristics (FERTAC, 2CATAC) and the homogeneous OTAC baseline
+share the same outer loop: bracket the optimal period (see
+:mod:`repro.core.bounds`), then binary-search a target period ``P_mid``,
+asking a strategy-specific ``ComputeSolution`` whether a schedule meeting
+``P_mid`` exists.  Valid solutions tighten the upper bound to their *actual*
+period; failures raise the lower bound to ``P_mid``.  The search stops when
+the bracket is narrower than ``epsilon = 1 / (b + l)``.
+
+The driver is strategy-agnostic: pass any callable with the
+:class:`ComputeSolutionFn` signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .bounds import PeriodBounds, period_bounds, search_epsilon
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidPlatformError
+from .solution import Solution
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = [
+    "ComputeSolutionFn",
+    "ScheduleOutcome",
+    "schedule_by_binary_search",
+]
+
+
+class ComputeSolutionFn(Protocol):
+    """Strategy-specific solution builder for one target period.
+
+    Must return a (possibly partial or empty) :class:`Solution`; the driver
+    validates it against the full chain, the budget, and the target period.
+    """
+
+    def __call__(
+        self, profile: ChainProfile, resources: Resources, period: float
+    ) -> Solution: ...
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of a ``Schedule`` run.
+
+    Attributes:
+        solution: the best valid solution found (empty if none).
+        period: its achieved period ``P(S)`` (``inf`` if none).
+        iterations: number of binary-search probes performed.
+        bounds: the initial period bracket.
+        probes: the sequence of ``(P_mid, feasible)`` probe outcomes, useful
+            for debugging and for the convergence tests.
+    """
+
+    solution: Solution
+    period: float
+    iterations: int
+    bounds: PeriodBounds
+    probes: tuple[tuple[float, bool], ...] = field(default=(), repr=False)
+
+    @property
+    def feasible(self) -> bool:
+        """True when a valid schedule was found."""
+        return not self.solution.is_empty
+
+
+def schedule_by_binary_search(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    compute_solution: ComputeSolutionFn,
+    *,
+    epsilon: float | None = None,
+    max_iterations: int = 200,
+) -> ScheduleOutcome:
+    """Run the paper's ``Schedule`` (Algo. 1) with a pluggable builder.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget ``R = (b, l)``.
+        compute_solution: strategy-specific ``ComputeSolution``.
+        epsilon: binary-search tolerance; defaults to ``1 / (b + l)``.
+        max_iterations: hard safety cap on probes (the theoretical count is
+            ``O(log(w_max * (b + l)))``, far below the default cap).
+
+    Returns:
+        A :class:`ScheduleOutcome`; its solution is empty only if no probe
+        produced a valid schedule (which cannot happen for the paper's
+        strategies when the budget is non-empty, since a single-stage
+        whole-chain schedule is always found at the upper bound).
+
+    Raises:
+        InvalidPlatformError: when the budget has no cores.
+    """
+    profile = profile_of(chain)
+    if resources.total <= 0:
+        raise InvalidPlatformError("scheduling requires at least one core")
+
+    bounds = period_bounds(profile, resources)
+    eps = search_epsilon(resources) if epsilon is None else float(epsilon)
+    if eps <= 0:
+        raise ValueError(f"epsilon must be positive, got {eps}")
+
+    best = Solution.empty()
+    best_period = float("inf")
+    lower, upper = bounds.lower, bounds.upper
+    probes: list[tuple[float, bool]] = []
+
+    iterations = 0
+    while upper - lower >= eps and iterations < max_iterations:
+        iterations += 1
+        target = (upper + lower) / 2.0
+        candidate = compute_solution(profile, resources, target)
+        feasible = candidate.is_valid(profile, resources, target)
+        if feasible:
+            best = candidate
+            best_period = candidate.period(profile)
+            # The achieved period can only shrink from here (line 10).
+            upper = best_period
+        else:
+            lower = target
+        probes.append((target, feasible))
+
+    if best.is_empty:
+        # The bracket can start degenerate (upper - lower < eps) for
+        # single-task chains, and adversarial weight tables may defeat the
+        # theoretical feasibility of the upper bound for a *greedy* builder.
+        # Probe the upper bound, then the always-feasible whole-chain-on-one-
+        # core period, so callers always get a valid schedule.
+        fallbacks = [bounds.upper]
+        usable = [
+            v
+            for v in (CoreType.BIG, CoreType.LITTLE)
+            if resources.count(v) > 0
+        ]
+        fallbacks.append(min(profile.total_weight(v) for v in usable))
+        for target in fallbacks:
+            candidate = compute_solution(profile, resources, target)
+            feasible = candidate.is_valid(profile, resources, target)
+            probes.append((target, feasible))
+            if feasible:
+                best = candidate
+                best_period = candidate.period(profile)
+                break
+
+    return ScheduleOutcome(
+        solution=best,
+        period=best_period,
+        iterations=iterations,
+        bounds=bounds,
+        probes=tuple(probes),
+    )

@@ -1,0 +1,138 @@
+"""Exhaustive optimal scheduler for small instances — an independent oracle.
+
+The test suite validates HeRAD against this module.  It shares *no* code
+with the dynamic program: it enumerates every contiguous partition of the
+chain (``2^(n-1)`` of them), every per-stage core-type assignment, and for
+each structure derives the optimal core allocation analytically (a
+sequential stage uses exactly one core; a replicable stage of single-core
+weight ``W`` needs ``ceil(W / P)`` cores to meet a period ``P``).  The
+candidate periods form a finite set — every value ``W_stage(v) / r`` — so
+the true optimum is found exactly.
+
+Intended for ``n <= ~12`` and small budgets; guarded with an explicit limit.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidPlatformError, SchedulingError
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["brute_force_optimal", "brute_force_period"]
+
+_MAX_TASKS = 14
+
+
+def _partitions(n: int):
+    """Yield every partition of ``0..n-1`` into contiguous intervals."""
+    for mask in range(1 << (n - 1)):
+        cuts = [i + 1 for i in range(n - 1) if mask >> i & 1]
+        bounds = [0, *cuts, n]
+        yield [(bounds[k], bounds[k + 1] - 1) for k in range(len(bounds) - 1)]
+
+
+def _structure_outcome(
+    profile: ChainProfile,
+    intervals: list[tuple[int, int]],
+    types: tuple[CoreType, ...],
+    resources: Resources,
+) -> tuple[float, int, int, tuple[int, ...]] | None:
+    """Best (period, used_big, used_little, per-stage cores) for a fixed
+    partition and type assignment, or None when infeasible."""
+    weights = [
+        profile.interval_weight(s, e, v) for (s, e), v in zip(intervals, types)
+    ]
+    replicable = [profile.is_replicable(s, e) for (s, e) in intervals]
+    caps = [resources.count(v) for v in types]
+
+    # Candidate periods: every achievable stage weight.
+    candidates: set[float] = set()
+    for w, rep, cap in zip(weights, replicable, caps):
+        if rep:
+            candidates.update(w / r for r in range(1, max(cap, 1) + 1))
+        else:
+            candidates.add(w)
+
+    best: tuple[float, int, int, tuple[int, ...]] | None = None
+    for period in sorted(candidates):
+        cores: list[int] = []
+        used = {CoreType.BIG: 0, CoreType.LITTLE: 0}
+        feasible = True
+        for w, rep, v in zip(weights, replicable, types):
+            if rep:
+                need = max(1, math.ceil(w / period))
+            else:
+                if w > period:
+                    feasible = False
+                    break
+                need = 1
+            cores.append(need)
+            used[v] += need
+        if not feasible:
+            continue
+        if used[CoreType.BIG] > resources.big:
+            continue
+        if used[CoreType.LITTLE] > resources.little:
+            continue
+        key = (period, used[CoreType.BIG], used[CoreType.LITTLE])
+        if best is None or key < (best[0], best[1], best[2]):
+            best = (period, used[CoreType.BIG], used[CoreType.LITTLE], tuple(cores))
+        break  # candidates are sorted: the first feasible period is minimal
+    return best
+
+
+def brute_force_optimal(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> Solution:
+    """Return a globally optimal schedule by exhaustive enumeration.
+
+    Minimizes the period; among period-optimal schedules, returns one with
+    lexicographically minimal ``(big cores used, little cores used)``.
+
+    Raises:
+        SchedulingError: when the chain is larger than the safety limit.
+        InvalidPlatformError: when the budget is empty.
+    """
+    profile = profile_of(chain)
+    if profile.n > _MAX_TASKS:
+        raise SchedulingError(
+            f"brute force is limited to {_MAX_TASKS} tasks (got {profile.n})"
+        )
+    if resources.total <= 0:
+        raise InvalidPlatformError("brute force needs at least one core")
+
+    best_key: tuple[float, int, int] | None = None
+    best_solution: Solution | None = None
+
+    for intervals in _partitions(profile.n):
+        for types in product((CoreType.BIG, CoreType.LITTLE), repeat=len(intervals)):
+            outcome = _structure_outcome(profile, intervals, types, resources)
+            if outcome is None:
+                continue
+            period, used_b, used_l, cores = outcome
+            key = (period, used_b, used_l)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_solution = Solution(
+                    Stage(s, e, r, v)
+                    for (s, e), r, v in zip(intervals, cores, types)
+                )
+
+    if best_solution is None:
+        return Solution.empty()
+    return best_solution
+
+
+def brute_force_period(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> float:
+    """The optimal period for the instance, by exhaustive enumeration."""
+    profile = profile_of(chain)
+    solution = brute_force_optimal(profile, resources)
+    return solution.period(profile)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the scheduling core.
+
+All library-specific failures derive from :class:`SchedulingError` so callers
+can catch one type.  Input validation failures raise the more specific
+subclasses below (which also derive from :class:`ValueError` so that sloppy
+callers using ``except ValueError`` still work).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchedulingError",
+    "InvalidChainError",
+    "InvalidPlatformError",
+    "InfeasibleScheduleError",
+]
+
+
+class SchedulingError(Exception):
+    """Base class for all scheduling-related errors."""
+
+
+class InvalidChainError(SchedulingError, ValueError):
+    """The task chain description is malformed (empty, negative weights...)."""
+
+
+class InvalidPlatformError(SchedulingError, ValueError):
+    """The platform description is malformed (no cores, negative counts...)."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No valid schedule exists for the requested chain/platform/period.
+
+    This should not happen for the strategies of the paper when at least one
+    core is available (a whole-chain single stage on one core is always a
+    fallback), so seeing this exception generally indicates an internal
+    inconsistency or an explicitly constrained call (e.g. a fixed target
+    period that is too small).
+    """

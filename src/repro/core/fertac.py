@@ -1,0 +1,80 @@
+"""FERTAC — First Efficient Resources for TAsk Chains (Algo. 4).
+
+FERTAC builds stages greedily from the head of the chain, always trying
+little (efficient) cores first and falling back to big cores only when the
+little-core stage cannot respect the target period with the cores that
+remain.  Wrapped in the binary-search ``Schedule`` driver, it runs in
+``O(n log(w_max (b + l)) + n^2)`` — in this implementation the replicability
+table is an O(n) index array, so the ``n^2`` term disappears.
+
+The paper presents ``ComputeSolution`` recursively; the recursion is a tail
+call, implemented here as a loop.
+"""
+
+from __future__ import annotations
+
+from .binary_search import ScheduleOutcome, schedule_by_binary_search
+from .chain_stats import ChainProfile
+from .packing import compute_stage, stage_fits
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["fertac_compute_solution", "fertac"]
+
+
+def fertac_compute_solution(
+    profile: ChainProfile, resources: Resources, period: float
+) -> Solution:
+    """FERTAC's ``ComputeSolution`` (Algo. 4) for one target period.
+
+    Builds stages left to right; each stage tries little cores first (line 1)
+    and falls back to big cores (line 3).  Returns the empty solution when
+    neither core type can host some stage within the remaining budget.
+    """
+    last = profile.n - 1
+    big, little = resources.big, resources.little
+    stages: list[Stage] = []
+
+    start = 0
+    while True:
+        plan = compute_stage(profile, start, little, CoreType.LITTLE, period)
+        core_type = CoreType.LITTLE
+        if not stage_fits(profile, start, plan, little, core_type, period):
+            plan = compute_stage(profile, start, big, CoreType.BIG, period)
+            core_type = CoreType.BIG
+            if not stage_fits(profile, start, plan, big, core_type, period):
+                return Solution.empty()
+
+        stages.append(Stage(start, plan.end, plan.cores, core_type))
+        if plan.end == last:
+            return Solution(stages)
+
+        if core_type is CoreType.BIG:
+            big -= plan.cores
+        else:
+            little -= plan.cores
+        start = plan.end + 1
+
+
+def fertac(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    epsilon: float | None = None,
+) -> ScheduleOutcome:
+    """Schedule a chain with FERTAC (binary search + Algo. 4).
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget ``R = (b, l)``.
+        epsilon: binary-search tolerance, defaulting to ``1 / (b + l)``.
+
+    Returns:
+        The :class:`~repro.core.binary_search.ScheduleOutcome` holding the
+        best schedule found and search diagnostics.
+    """
+    return schedule_by_binary_search(
+        chain, resources, fertac_compute_solution, epsilon=epsilon
+    )

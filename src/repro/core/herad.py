@@ -1,0 +1,313 @@
+"""HeRAD — Heterogeneous Resource Allocation using Dynamic programming.
+
+Production implementation of the paper's optimal strategy (Section V,
+Algos. 7-11).  It computes, for every prefix of ``j`` tasks and every core
+budget ``(b, l)``, the minimum achievable period ``P*(j, b, l)`` of Eq. (4):
+
+    P*(j, b, l) = min over stage starts i and core counts u of
+                  max(P*(i-1, b-u, l), w([tau_i, tau_j], u, B))   (big stage)
+                  max(P*(i-1, b, l-u), w([tau_i, tau_j], u, L))   (little stage)
+
+with the secondary objective resolved per cell by the paper's
+``CompareCells`` (Algo. 10) rule.  A key implementation insight (proved in
+``tests/core/test_herad_equivalence.py`` and DESIGN.md §5): the
+``CompareCells`` fold is order-insensitive and equivalent to taking the
+lexicographic minimum of the key ``(period, big cores used, little cores
+used)``.  That makes the per-cell reduction expressible with vectorized
+NumPy min/argmin passes, turning the hot ``O(n^2 b l (b+l))`` loop nest into
+``O(n (b+l))`` NumPy kernel calls.
+
+The literal pseudocode transcription lives in
+:mod:`repro.core.herad_reference`; both produce identical periods and core
+usages (the extracted stage lists may differ among equivalent ties).
+
+Complexity matches the paper: ``O(n^2 b l (b+l))`` time, ``O(n b l)`` space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .binary_search import ScheduleOutcome
+from .bounds import period_bounds
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidPlatformError
+from .merge import merge_replicable_stages
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["herad", "herad_solution"]
+
+_INT_SENTINEL = np.iinfo(np.int32).max
+
+
+class _Tables:
+    """The HeRAD solution matrix as a structure of NumPy arrays.
+
+    Axis order is ``(plane, big budget, little budget)`` where plane ``j``
+    describes optimal schedules of the first ``j`` tasks.
+    """
+
+    __slots__ = ("period", "acc_b", "acc_l", "prev_b", "prev_l", "vtype", "start")
+
+    def __init__(self, n: int, big: int, little: int) -> None:
+        shape = (n + 1, big + 1, little + 1)
+        self.period = np.full(shape, np.inf, dtype=np.float64)
+        self.period[0] = 0.0  # P*(0, ., .) = 0
+        self.acc_b = np.zeros(shape, dtype=np.int32)
+        self.acc_l = np.zeros(shape, dtype=np.int32)
+        self.prev_b = np.zeros(shape, dtype=np.int32)
+        self.prev_l = np.zeros(shape, dtype=np.int32)
+        self.vtype = np.full(shape, int(CoreType.LITTLE), dtype=np.int8)
+        self.start = np.zeros(shape, dtype=np.int32)
+
+
+def _reduce_candidates(
+    cand_period: np.ndarray, cand_acc_b: np.ndarray, cand_acc_l: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce candidate tensors over axis 0 by the lexicographic key
+    ``(period, acc_b, acc_l)``.
+
+    Returns the winning ``(period, acc_b, acc_l, index)`` planes.
+    """
+    p_min = cand_period.min(axis=0)
+    mask = cand_period == p_min
+    b_masked = np.where(mask, cand_acc_b, _INT_SENTINEL)
+    b_min = b_masked.min(axis=0)
+    mask &= cand_acc_b == b_min
+    l_masked = np.where(mask, cand_acc_l, _INT_SENTINEL)
+    l_min = l_masked.min(axis=0)
+    mask &= cand_acc_l == l_min
+    winner = mask.argmax(axis=0)
+    return p_min, b_min, l_min, winner
+
+
+def _update_plane(
+    cur: dict[str, np.ndarray],
+    region: tuple[slice, slice],
+    new_period: np.ndarray,
+    new_acc_b: np.ndarray,
+    new_acc_l: np.ndarray,
+    new_fields: dict[str, np.ndarray],
+) -> None:
+    """Key-compare update of the working plane on ``region``.
+
+    Replaces a cell when the new key ``(period, acc_b, acc_l)`` is strictly
+    lexicographically smaller (equal keys keep the incumbent — the competing
+    solutions are equivalent for both objectives).
+    """
+    cur_p = cur["period"][region]
+    cur_b = cur["acc_b"][region]
+    cur_l = cur["acc_l"][region]
+    better = (new_period < cur_p) | (
+        (new_period == cur_p)
+        & ((new_acc_b < cur_b) | ((new_acc_b == cur_b) & (new_acc_l < cur_l)))
+    )
+    if not better.any():
+        return
+    np.copyto(cur_p, new_period, where=better)
+    np.copyto(cur_b, new_acc_b, where=better)
+    np.copyto(cur_l, new_acc_l, where=better)
+    for name, value in new_fields.items():
+        np.copyto(cur[name][region], value, where=better)
+
+
+def _neighbor_sweep(cur: dict[str, np.ndarray], big: int, little: int) -> None:
+    """Propagate solutions needing one core fewer (Algo. 9, lines 2-3).
+
+    A single ascending sweep over the ``(b, l)`` plane suffices: each cell
+    compares against already-final lower neighbors, so the result is the
+    lexicographic key minimum over each cell's lower-left quadrant.
+    """
+    p = cur["period"]
+    ab = cur["acc_b"]
+    al = cur["acc_l"]
+    fields = [cur[name] for name in ("prev_b", "prev_l", "vtype", "start")]
+    for bb in range(big + 1):
+        for ll in range(little + 1):
+            key = (p[bb, ll], ab[bb, ll], al[bb, ll])
+            src: tuple[int, int] | None = None
+            if ll > 0:
+                nk = (p[bb, ll - 1], ab[bb, ll - 1], al[bb, ll - 1])
+                if nk < key:
+                    key, src = nk, (bb, ll - 1)
+            if bb > 0:
+                nk = (p[bb - 1, ll], ab[bb - 1, ll], al[bb - 1, ll])
+                if nk < key:
+                    key, src = nk, (bb - 1, ll)
+            if src is not None:
+                p[bb, ll], ab[bb, ll], al[bb, ll] = key
+                for f in fields:
+                    f[bb, ll] = f[src]
+
+
+def _fill_tables(profile: ChainProfile, big: int, little: int) -> _Tables:
+    """Run the DP over all planes and return the filled solution matrix."""
+    n = profile.n
+    tables = _Tables(n, big, little)
+    caps = {CoreType.BIG: big, CoreType.LITTLE: little}
+
+    bb_grid = np.arange(big + 1, dtype=np.int32)[:, None]
+    ll_grid = np.arange(little + 1, dtype=np.int32)[None, :]
+
+    for j in range(1, n + 1):
+        end = j - 1
+        cur = {
+            "period": np.full((big + 1, little + 1), np.inf),
+            "acc_b": np.zeros((big + 1, little + 1), dtype=np.int32),
+            "acc_l": np.zeros((big + 1, little + 1), dtype=np.int32),
+            "prev_b": np.zeros((big + 1, little + 1), dtype=np.int32),
+            "prev_l": np.zeros((big + 1, little + 1), dtype=np.int32),
+            "vtype": np.full(
+                (big + 1, little + 1), int(CoreType.LITTLE), dtype=np.int8
+            ),
+            "start": np.zeros((big + 1, little + 1), dtype=np.int32),
+        }
+
+        rep_idx = np.flatnonzero(profile.replicable_to(end)).astype(np.int64)
+        all_idx = np.arange(j, dtype=np.int64)
+
+        for core_type in (CoreType.BIG, CoreType.LITTLE):
+            cap = caps[core_type]
+            if cap == 0:
+                continue
+            weights = profile.interval_weights_vector(end, core_type)
+
+            for u in range(1, cap + 1):
+                if u == 1:
+                    starts = all_idx
+                    stage_w = weights
+                    added = np.ones(j, dtype=np.int32)
+                else:
+                    # Sequential stages gain nothing from extra cores
+                    # (Section V optimization): only replicable starts.
+                    if rep_idx.size == 0:
+                        break
+                    starts = rep_idx
+                    stage_w = weights[rep_idx] / u
+                    added = np.full(rep_idx.size, u, dtype=np.int32)
+
+                if core_type is CoreType.BIG:
+                    pred = (starts, slice(0, big + 1 - u), slice(None))
+                    region = (slice(u, big + 1), slice(None))
+                    new_fields = {
+                        "prev_b": (bb_grid[u:] - u),
+                        "prev_l": ll_grid + np.zeros_like(bb_grid[u:]),
+                        "vtype": np.int8(int(CoreType.BIG)),
+                    }
+                    acc_b_extra = added[:, None, None]
+                    acc_l_extra = 0
+                else:
+                    pred = (starts, slice(None), slice(0, little + 1 - u))
+                    region = (slice(None), slice(u, little + 1))
+                    new_fields = {
+                        "prev_b": bb_grid + np.zeros_like(ll_grid[:, u:]),
+                        "prev_l": (ll_grid[:, u:] - u),
+                        "vtype": np.int8(int(CoreType.LITTLE)),
+                    }
+                    acc_b_extra = 0
+                    acc_l_extra = added[:, None, None]
+
+                cand_p = np.maximum(
+                    tables.period[pred], stage_w[:, None, None]
+                )
+                cand_b = tables.acc_b[pred] + acc_b_extra
+                cand_l = tables.acc_l[pred] + acc_l_extra
+
+                p_min, b_min, l_min, winner = _reduce_candidates(
+                    cand_p, cand_b, cand_l
+                )
+                new_fields["start"] = starts[winner].astype(np.int32)
+                _update_plane(
+                    cur, region, p_min, b_min, l_min, new_fields
+                )
+
+        _neighbor_sweep(cur, big, little)
+        for name, plane in cur.items():
+            getattr(tables, name)[j] = plane
+
+    return tables
+
+
+def _extract(tables: _Tables, profile: ChainProfile, big: int, little: int) -> Solution:
+    """Paper's ``ExtractSolution`` (Algo. 11) on the array tables."""
+    end = profile.n - 1
+    r_b, r_l = big, little
+    stages: list[Stage] = []
+
+    while end >= 0:
+        j = end + 1
+        if not math.isfinite(tables.period[j, r_b, r_l]):
+            return Solution.empty()
+        start = int(tables.start[j, r_b, r_l])
+        used_b = int(tables.acc_b[j, r_b, r_l])
+        used_l = int(tables.acc_l[j, r_b, r_l])
+        p_b = int(tables.prev_b[j, r_b, r_l])
+        p_l = int(tables.prev_l[j, r_b, r_l])
+        if start > 0:
+            used_b -= int(tables.acc_b[start, p_b, p_l])
+            used_l -= int(tables.acc_l[start, p_b, p_l])
+        vtype = CoreType(int(tables.vtype[j, r_b, r_l]))
+        cores = used_b if vtype is CoreType.BIG else used_l
+        stages.append(Stage(start, end, cores, vtype))
+        end = start - 1
+        r_b, r_l = p_b, p_l
+
+    stages.reverse()
+    return Solution(stages)
+
+
+def herad_solution(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    merge: bool = True,
+) -> Solution:
+    """Compute HeRAD's optimal schedule and return the solution only.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget ``R = (b, l)``.
+        merge: apply the paper's extra step merging consecutive replicable
+            stages mapped to the same core type (period-neutral, shorter
+            pipelines).
+
+    Raises:
+        InvalidPlatformError: for an empty budget.
+    """
+    profile = profile_of(chain)
+    if resources.total <= 0:
+        raise InvalidPlatformError("HeRAD needs at least one core")
+    tables = _fill_tables(profile, resources.big, resources.little)
+    solution = _extract(tables, profile, resources.big, resources.little)
+    if merge and not solution.is_empty:
+        solution = merge_replicable_stages(solution, profile)
+    return solution
+
+
+def herad(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    merge: bool = True,
+) -> ScheduleOutcome:
+    """Schedule a chain optimally with HeRAD (Algo. 7).
+
+    Returns a :class:`~repro.core.binary_search.ScheduleOutcome` for
+    interface parity with the greedy strategies; HeRAD performs no binary
+    search, so ``iterations`` is 0 and ``bounds`` reports the analytic
+    period bracket.
+    """
+    profile = profile_of(chain)
+    solution = herad_solution(profile, resources, merge=merge)
+    return ScheduleOutcome(
+        solution=solution,
+        period=solution.period(profile),
+        iterations=0,
+        bounds=period_bounds(profile, resources),
+        probes=(),
+    )

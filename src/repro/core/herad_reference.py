@@ -1,0 +1,251 @@
+"""HeRAD reference implementation — a literal transcription of Algos. 7-11.
+
+This module exists for *fidelity and verification*: it follows the paper's
+pseudocode line by line (pure Python, no vectorization) and is used by the
+test suite to validate the production implementation in
+:mod:`repro.core.herad`, which computes identical periods and core usages
+orders of magnitude faster.
+
+HeRAD (Heterogeneous Resource Allocation using Dynamic programming) fills a
+solution matrix ``S[j][b][l]`` holding, for each prefix of ``j`` tasks and
+each core budget ``(b, l)``, the minimum achievable period ``P*(j, b, l)``
+(Eq. (4)) together with bookkeeping to extract the schedule:
+
+* ``Pbest`` — the optimal period of the prefix;
+* ``acc`` — accumulated ``(big, little)`` cores used by that partial solution;
+* ``prev`` — the budget coordinates of the predecessor cell (see note below);
+* ``v`` — core type of the final stage;
+* ``start`` — first task index of the final stage.
+
+Tie-breaking (Algo. 10) prefers, at equal period, the solution that better
+exchanges big cores for little ones, then the one using fewer cores.
+
+Deviation note: Algo. 9 stores ``B_prev = (b - u, a_l)`` and
+``L_prev = (a_b, l - u)``, mixing a *budget* coordinate with an *accumulated
+usage* coordinate.  ``ExtractSolution`` (Algo. 11) dereferences ``prev`` as
+the predecessor's budget cell, so consistency requires ``(b - u, l)`` /
+``(b, l - u)``; we store those (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .chain_stats import ChainProfile, profile_of
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["herad_reference"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class _Cell:
+    """One cell of the HeRAD solution matrix (Algo. 7, lines 1-7)."""
+
+    pbest: float = _INF
+    prev_b: int = 0
+    prev_l: int = 0
+    acc_b: int = 0
+    acc_l: int = 0
+    vtype: CoreType = CoreType.LITTLE
+    start: int = 0  # 0-based index of the final stage's first task
+
+
+def _compare_cells(current: _Cell, new: _Cell) -> _Cell:
+    """Paper's ``CompareCells`` (Algo. 10)."""
+    c_b, c_l = current.acc_b, current.acc_l
+    n_b, n_l = new.acc_b, new.acc_l
+    if (
+        current.pbest > new.pbest
+        or (current.pbest == new.pbest and c_l < n_l and c_b > n_b)
+        or (current.pbest == new.pbest and c_l >= n_l and c_b >= n_b)
+    ):
+        return new
+    return current
+
+
+def _single_stage_solution(
+    plane: list[list[_Cell]],
+    profile: ChainProfile,
+    end: int,
+    big: int,
+    little: int,
+) -> None:
+    """Paper's ``SingleStageSolution`` (Algo. 8) for tasks ``0..end``.
+
+    Fills ``plane[r_b][r_l]`` with the best solution that puts all the
+    considered tasks in one stage.
+    """
+    rep = profile.is_replicable(0, end)
+    w_little = profile.interval_weight(0, end, CoreType.LITTLE)
+    w_big_1 = profile.interval_weight(0, end, CoreType.BIG)
+
+    # Lines 1-4: little-core single stages fill the r_b = 0 row.
+    for r_l in range(1, little + 1):
+        weight = w_little / r_l if rep else w_little
+        plane[0][r_l] = _Cell(
+            pbest=weight,
+            acc_b=0,
+            acc_l=r_l if rep else 1,
+            vtype=CoreType.LITTLE,
+            start=0,
+        )
+
+    # Lines 5-17: big-core single stages, compared against the little row.
+    for r_b in range(1, big + 1):
+        w_b = w_big_1 / r_b if rep else w_big_1
+        u_b = r_b if rep else 1
+        for r_l in range(0, little + 1):
+            if w_b < plane[0][r_l].pbest:
+                plane[r_b][r_l] = _Cell(
+                    pbest=w_b,
+                    acc_b=u_b,
+                    acc_l=0,
+                    vtype=CoreType.BIG,
+                    start=0,
+                )
+            else:
+                plane[r_b][r_l] = plane[0][r_l]
+
+
+def _recompute_cell(
+    matrix: list[list[list[_Cell]]],
+    profile: ChainProfile,
+    end: int,
+    big: int,
+    little: int,
+) -> None:
+    """Paper's ``RecomputeCell`` (Algo. 9) for ``P*(end + 1, big, little)``.
+
+    ``end`` is the 0-based index of the last task considered; ``big`` and
+    ``little`` are the cores available in this cell.
+    """
+    j = end + 1  # plane index: number of tasks covered
+    plane = matrix[j]
+    cell = plane[big][little]
+
+    # Lines 2-3: propagate solutions that need one core fewer.
+    if little > 0:
+        cell = _compare_cells(cell, plane[big][little - 1])
+    if big > 0:
+        cell = _compare_cells(cell, plane[big - 1][little])
+
+    # Lines 4-19: all stage starts, in reverse, for both core types.
+    for start in range(end, -1, -1):
+        rep = profile.is_replicable(start, end)
+        pred_plane = matrix[start]
+
+        w_big = profile.interval_weight(start, end, CoreType.BIG)
+        # Optimization from Section V: a sequential stage gains nothing from
+        # extra cores, so only u = 1 is considered.
+        max_u_big = big if rep else min(1, big)
+        for u in range(1, max_u_big + 1):
+            pred = pred_plane[big - u][little]
+            stage_w = w_big / u if rep else w_big
+            cand = _Cell(
+                pbest=max(pred.pbest, stage_w),
+                prev_b=big - u,
+                prev_l=little,
+                acc_b=pred.acc_b + (u if rep else 1),
+                acc_l=pred.acc_l,
+                vtype=CoreType.BIG,
+                start=start,
+            )
+            cell = _compare_cells(cell, cand)
+
+        w_little = profile.interval_weight(start, end, CoreType.LITTLE)
+        max_u_little = little if rep else min(1, little)
+        for u in range(1, max_u_little + 1):
+            pred = pred_plane[big][little - u]
+            stage_w = w_little / u if rep else w_little
+            cand = _Cell(
+                pbest=max(pred.pbest, stage_w),
+                prev_b=big,
+                prev_l=little - u,
+                acc_b=pred.acc_b,
+                acc_l=pred.acc_l + (u if rep else 1),
+                vtype=CoreType.LITTLE,
+                start=start,
+            )
+            cell = _compare_cells(cell, cand)
+
+    plane[big][little] = cell
+
+
+def _extract_solution(
+    matrix: list[list[list[_Cell]]],
+    profile: ChainProfile,
+    big: int,
+    little: int,
+) -> Solution:
+    """Paper's ``ExtractSolution`` (Algo. 11): walk the matrix backwards."""
+    end = profile.n - 1
+    r_b, r_l = big, little
+    stages: list[Stage] = []
+
+    while end >= 0:
+        cell = matrix[end + 1][r_b][r_l]
+        if not math.isfinite(cell.pbest):
+            return Solution.empty()
+        start = cell.start
+        used_b, used_l = cell.acc_b, cell.acc_l
+        if start > 0:
+            pred = matrix[start][cell.prev_b][cell.prev_l]
+            used_b -= pred.acc_b
+            used_l -= pred.acc_l
+        cores = used_b if cell.vtype is CoreType.BIG else used_l
+        stages.append(Stage(start, end, cores, cell.vtype))
+        end = start - 1
+        r_b, r_l = cell.prev_b, cell.prev_l
+
+    stages.reverse()
+    return Solution(stages)
+
+
+def herad_reference(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> Solution:
+    """Run the literal HeRAD (Algo. 7) and return the optimal schedule.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget ``R = (b, l)``.
+
+    Returns:
+        The optimal solution (empty only for an empty budget).
+    """
+    profile = profile_of(chain)
+    big, little = resources.big, resources.little
+    if big + little <= 0:
+        return Solution.empty()
+
+    n = profile.n
+    # matrix[j][b][l]: best solution covering the first j tasks.  Plane 0 is
+    # the P*(0, ., .) = 0 base case.
+    base = _Cell(pbest=0.0)
+    matrix: list[list[list[_Cell]]] = [
+        [[base for _ in range(little + 1)] for _ in range(big + 1)]
+    ]
+    for _ in range(n):
+        matrix.append(
+            [[_Cell() for _ in range(little + 1)] for _ in range(big + 1)]
+        )
+
+    # Line 8: solutions for the first task alone.  Every one-task schedule is
+    # a single stage, so SingleStageSolution alone completes plane 1.
+    _single_stage_solution(matrix[1], profile, 0, big, little)
+
+    # Lines 9-18: grow the prefix one task at a time.
+    for end in range(1, n):
+        _single_stage_solution(matrix[end + 1], profile, end, big, little)
+        for u_b in range(big + 1):
+            for u_l in range(little + 1):
+                if u_b or u_l:
+                    _recompute_cell(matrix, profile, end, u_b, u_l)
+
+    return _extract_solution(matrix, profile, big, little)

@@ -1,0 +1,59 @@
+"""Stage-merging post-pass.
+
+HeRAD's extraction can produce consecutive replicable stages mapped to the
+same core type.  The paper adds an extra step merging them: by the mediant
+inequality, ``(W1 + W2) / (r1 + r2) <= max(W1 / r1, W2 / r2)``, so the merge
+never increases the period while shortening the pipeline (fewer
+synchronization points at runtime).  On homogeneous resources merging
+consecutive replicated stages is *always* beneficial [Benoit & Robert 2010];
+on two types of resources it only applies when the core types match, which
+is why StreamPU needed the v1.6.0 extension connecting replicated stages of
+different types.
+"""
+
+from __future__ import annotations
+
+from .chain_stats import ChainProfile, profile_of
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+
+__all__ = ["merge_replicable_stages"]
+
+
+def merge_replicable_stages(
+    solution: Solution, chain: "TaskChain | ChainProfile"
+) -> Solution:
+    """Merge consecutive replicable stages that share a core type.
+
+    Args:
+        solution: the schedule to compact.
+        chain: the scheduled chain (or its profile), needed to evaluate
+            replicability.
+
+    Returns:
+        A new solution whose period is less than or equal to the input's.
+    """
+    profile = profile_of(chain)
+    if solution.is_empty:
+        return solution
+
+    merged: list[Stage] = []
+    for stage in solution:
+        if (
+            merged
+            and merged[-1].core_type is stage.core_type
+            and profile.is_replicable(merged[-1].start, stage.end)
+        ):
+            last = merged.pop()
+            merged.append(
+                Stage(
+                    last.start,
+                    stage.end,
+                    last.cores + stage.cores,
+                    stage.core_type,
+                )
+            )
+        else:
+            merged.append(stage)
+    return Solution(merged)

@@ -1,0 +1,130 @@
+"""Pipeline-only baseline: optimal interval mapping *without replication*.
+
+The related-work heuristics of Benoit & Robert map pipeline skeletons onto
+heterogeneous platforms with one core per stage (no replicated parallelism).
+This module provides the exact optimum of that restricted problem on two
+core types, by dynamic programming over (prefix, big used, little used):
+
+    P_norep(j, b, l) = min over stage starts i and core types v of
+                       max(P_norep(i-1, b - [v=B], l - [v=L]), w([i, j], 1, v))
+
+Comparing :func:`norep_optimal` against HeRAD isolates exactly how much of
+the heterogeneous strategies' advantage comes from *replication* versus
+pipelining + core-type choice — the ablation behind the paper's motivation
+that stateless SDR tasks should be replicated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .binary_search import ScheduleOutcome
+from .bounds import PeriodBounds
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidPlatformError
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["norep_optimal", "norep_period"]
+
+
+def norep_optimal(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> ScheduleOutcome:
+    """Optimal one-core-per-stage schedule on two core types.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget; at most ``b + l`` stages are used.
+
+    Returns:
+        A :class:`~repro.core.binary_search.ScheduleOutcome` (``iterations``
+        is 0; the bounds report the achieved period).
+
+    Raises:
+        InvalidPlatformError: for an empty budget.
+    """
+    profile = profile_of(chain)
+    if resources.total <= 0:
+        raise InvalidPlatformError("need at least one core")
+    n = profile.n
+    big, little = resources.big, resources.little
+
+    # period[j, ub, ul]: best max-stage-weight covering tasks 0..j-1 using
+    # exactly <= ub big and <= ul little cores (one per stage).
+    period = np.full((n + 1, big + 1, little + 1), math.inf)
+    period[0, :, :] = 0.0
+    start = np.zeros((n + 1, big + 1, little + 1), dtype=np.int32)
+    vtype = np.zeros((n + 1, big + 1, little + 1), dtype=np.int8)
+
+    weights = {
+        CoreType.BIG: profile.prefix[int(CoreType.BIG)],
+        CoreType.LITTLE: profile.prefix[int(CoreType.LITTLE)],
+    }
+
+    for j in range(1, n + 1):
+        for i in range(j):  # final stage covers tasks i..j-1
+            for core_type in (CoreType.BIG, CoreType.LITTLE):
+                p = weights[core_type]
+                stage_w = float(p[j] - p[i])
+                if core_type is CoreType.BIG:
+                    if big == 0:
+                        continue
+                    pred = period[i, : big, :]
+                    cand = np.maximum(pred, stage_w)
+                    region = (slice(1, big + 1), slice(0, little + 1))
+                else:
+                    if little == 0:
+                        continue
+                    pred = period[i, :, : little]
+                    cand = np.maximum(pred, stage_w)
+                    region = (slice(0, big + 1), slice(1, little + 1))
+                target = period[j][region]
+                better = cand < target
+                if better.any():
+                    np.copyto(target, cand, where=better)
+                    np.copyto(start[j][region], np.int32(i), where=better)
+                    np.copyto(
+                        vtype[j][region], np.int8(int(core_type)), where=better
+                    )
+
+    if not math.isfinite(period[n, big, little]):
+        return ScheduleOutcome(
+            solution=Solution.empty(),
+            period=math.inf,
+            iterations=0,
+            bounds=PeriodBounds(0.0, math.inf),
+        )
+
+    # Extract: walk backwards, keeping the budget consistent with vtype.
+    stages: list[Stage] = []
+    j, ub, ul = n, big, little
+    while j > 0:
+        i = int(start[j, ub, ul])
+        core_type = CoreType(int(vtype[j, ub, ul]))
+        stages.append(Stage(i, j - 1, 1, core_type))
+        if core_type is CoreType.BIG:
+            ub -= 1
+        else:
+            ul -= 1
+        j = i
+    stages.reverse()
+    solution = Solution(stages)
+    achieved = solution.period(profile)
+    return ScheduleOutcome(
+        solution=solution,
+        period=achieved,
+        iterations=0,
+        bounds=PeriodBounds(achieved, achieved),
+    )
+
+
+def norep_period(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> float:
+    """The optimal pipeline-only period (no replication)."""
+    return norep_optimal(chain, resources).period

@@ -1,0 +1,110 @@
+"""OTAC baseline — optimal scheduling on *homogeneous* resources.
+
+OTAC (Orhan et al., 2023) solves the partially-replicable task-chain problem
+optimally when all cores are identical, by wrapping a greedy maximal packing
+(the same ``ComputeStage`` refined procedure reused by FERTAC/2CATAC) in the
+binary-search ``Schedule`` driver.  The paper evaluates two instantiations on
+heterogeneous platforms as baselines:
+
+* **OTAC (B)** — schedule using only the big cores;
+* **OTAC (L)** — schedule using only the little cores.
+
+Both ignore the other half of the machine, which is exactly the gap the
+heterogeneous strategies (FERTAC, 2CATAC, HeRAD) close.
+"""
+
+from __future__ import annotations
+
+from .binary_search import ScheduleOutcome, schedule_by_binary_search
+from .chain_stats import ChainProfile
+from .errors import InvalidPlatformError
+from .packing import compute_stage, stage_fits
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["otac_compute_solution", "otac", "otac_big", "otac_little"]
+
+
+def otac_compute_solution(
+    profile: ChainProfile,
+    resources: Resources,
+    period: float,
+    core_type: CoreType,
+) -> Solution:
+    """Greedy single-type ``ComputeSolution``: OTAC's packing pass.
+
+    Builds stages left to right on ``core_type`` cores only; any other cores
+    in ``resources`` are ignored.
+    """
+    last = profile.n - 1
+    remaining = resources.count(core_type)
+    stages: list[Stage] = []
+
+    start = 0
+    while True:
+        plan = compute_stage(profile, start, remaining, core_type, period)
+        if not stage_fits(profile, start, plan, remaining, core_type, period):
+            return Solution.empty()
+        stages.append(Stage(start, plan.end, plan.cores, core_type))
+        if plan.end == last:
+            return Solution(stages)
+        remaining -= plan.cores
+        start = plan.end + 1
+
+
+def otac(
+    chain: "TaskChain | ChainProfile",
+    cores: int,
+    core_type: CoreType,
+    *,
+    epsilon: float | None = None,
+) -> ScheduleOutcome:
+    """Schedule a chain with OTAC on ``cores`` homogeneous cores.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        cores: number of identical cores available.
+        core_type: which weight column of the chain those cores use.
+        epsilon: binary-search tolerance, defaulting to ``1 / cores``.
+
+    Returns:
+        The :class:`~repro.core.binary_search.ScheduleOutcome`.
+
+    Raises:
+        InvalidPlatformError: when ``cores <= 0``.
+    """
+    if cores <= 0:
+        raise InvalidPlatformError(f"OTAC needs at least one core, got {cores}")
+    if core_type is CoreType.BIG:
+        resources = Resources(big=cores, little=0)
+    else:
+        resources = Resources(big=0, little=cores)
+
+    def builder(
+        profile: ChainProfile, res: Resources, period: float
+    ) -> Solution:
+        return otac_compute_solution(profile, res, period, core_type)
+
+    return schedule_by_binary_search(chain, resources, builder, epsilon=epsilon)
+
+
+def otac_big(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    epsilon: float | None = None,
+) -> ScheduleOutcome:
+    """The paper's **OTAC (B)** baseline: use only the big cores of ``resources``."""
+    return otac(chain, resources.big, CoreType.BIG, epsilon=epsilon)
+
+
+def otac_little(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    epsilon: float | None = None,
+) -> ScheduleOutcome:
+    """The paper's **OTAC (L)** baseline: use only the little cores of ``resources``."""
+    return otac(chain, resources.little, CoreType.LITTLE, epsilon=epsilon)

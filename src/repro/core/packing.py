@@ -1,0 +1,121 @@
+"""Greedy stage construction: the paper's ``ComputeStage`` (Algo. 2).
+
+``ComputeStage`` decides where a stage starting at task ``start`` should end
+and how many cores (of one given type) it needs so that its weight respects a
+target period ``P``.  The procedure:
+
+1. packs as many tasks as possible on a *single* core (``MaxPacking``);
+2. if the packed interval is replicable and not final, extends it to the
+   last consecutive replicable task and computes the cores required;
+3. if that requires more cores than available, shrinks the stage back to
+   what the available cores can sustain;
+4. otherwise checks whether surrendering one core (shrinking the stage so
+   the leftover tasks plus the following sequential task fit on a single
+   core of the next stage) is a strictly better use of resources.
+
+The support predicates (``MaxPacking``, ``RequiredCores``, ``IsRep``,
+``FinalRepTask`` — Algo. 3) live on :class:`~repro.core.chain_stats.ChainProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chain_stats import ChainProfile
+from .types import CoreType
+
+__all__ = ["StagePlan", "compute_stage", "stage_fits"]
+
+
+@dataclass(frozen=True, slots=True)
+class StagePlan:
+    """The outcome of ``ComputeStage``: a stage end index and a core count.
+
+    Attributes:
+        end: inclusive 0-based index of the stage's last task.
+        cores: number of cores ``u`` the stage uses.
+    """
+
+    end: int
+    cores: int
+
+
+def compute_stage(
+    profile: ChainProfile,
+    start: int,
+    available: int,
+    core_type: CoreType,
+    period: float,
+) -> StagePlan:
+    """Paper's ``ComputeStage`` (Algo. 2) for a stage starting at ``start``.
+
+    Args:
+        profile: precomputed chain statistics.
+        start: 0-based index of the stage's first task.
+        available: cores of ``core_type`` still available (``c``).
+        core_type: the core type ``v`` used for the whole stage.
+        period: target period ``P``.
+
+    Returns:
+        A :class:`StagePlan`.  The plan is *not* guaranteed to be valid (the
+        stage weight may exceed ``P``, or ``cores`` may exceed ``available``)
+        — callers must check with :func:`stage_fits`, mirroring the paper
+        where ``ComputeSolution`` validates each stage after building it.
+    """
+    last = profile.n - 1
+
+    # Line 1-2: pack with one core, then count the cores this interval needs
+    # (more than one only when the packing was forced past the period by a
+    # single heavy replicable task).
+    end = profile.max_packing(start, 1, core_type, period)
+    cores = profile.required_cores(start, end, core_type, period)
+
+    # Lines 3-14: replicable, non-final stages may extend across the whole
+    # run of consecutive replicable tasks and absorb more cores.
+    if end != last and profile.is_replicable(start, end):
+        end = profile.final_replicable_task(start, end)
+        cores = profile.required_cores(start, end, core_type, period)
+        if cores > available:
+            # Lines 5-7: not enough cores for the full replicable run.
+            end = profile.max_packing(start, available, core_type, period)
+            cores = available
+        elif end != last and cores >= 2:
+            # Lines 8-12: the next task is sequential.  Check whether giving
+            # up one core here lets the leftover tasks ride along with that
+            # sequential task on a single core of the next stage.  MaxPacking
+            # may return a *forced* single-task interval that violates the
+            # period (e.g. one heavy replicable task needing >= 2 cores);
+            # the shrink is only taken when the shorter stage actually fits.
+            shorter = profile.max_packing(start, cores - 1, core_type, period)
+            if (
+                profile.stage_weight(start, shorter, cores - 1, core_type)
+                <= period
+                and profile.required_cores(
+                    shorter + 1, end + 1, core_type, period
+                )
+                == 1
+            ):
+                end = shorter
+                cores = cores - 1
+
+    return StagePlan(end=end, cores=cores)
+
+
+def stage_fits(
+    profile: ChainProfile,
+    start: int,
+    plan: StagePlan,
+    available: int,
+    core_type: CoreType,
+    period: float,
+) -> bool:
+    """Single-stage validity check used after :func:`compute_stage`.
+
+    A stage is acceptable when it uses at least one and at most ``available``
+    cores and its weight (Eq. (1)) does not exceed the target period.
+    """
+    if plan.cores < 1 or plan.cores > available:
+        return False
+    return (
+        profile.stage_weight(start, plan.end, plan.cores, core_type) <= period
+    )

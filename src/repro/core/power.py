@@ -1,0 +1,162 @@
+"""Power models for evaluating schedules (paper future work, Section VII).
+
+The paper's secondary objective is a *proxy* for power: prefer little cores.
+Its conclusion lists "use direct power measurements instead of assumptions
+about the architectures" as future work.  This module provides that next
+step for users who have such measurements:
+
+* :class:`PowerModel` — static per-busy-core power draw per core type, with
+  an optional idle draw for provisioned-but-waiting replicas;
+* :func:`solution_power` — the model's estimate for a schedule;
+* :func:`pareto_front` — the period/power Pareto frontier over a set of
+  candidate schedules (e.g. one per budget), making the throughput-vs-power
+  tradeoff explicit.
+
+These evaluations are deliberately decoupled from the scheduling strategies
+(which implement the paper's proxy objective); they let users *select among*
+schedules with real power numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .chain_stats import ChainProfile, profile_of
+from .solution import Solution
+from .task import TaskChain
+from .types import CoreType
+
+__all__ = ["PowerModel", "solution_power", "pareto_front", "PowerReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """Static power draw per core (arbitrary units, e.g. watts).
+
+    Attributes:
+        big_active: draw of a big core while processing.
+        little_active: draw of a little core while processing.
+        big_idle: draw of a big core provisioned to a stage but idle (the
+            fraction of time a non-bottleneck stage's replicas wait).
+        little_idle: draw of an idle provisioned little core.
+    """
+
+    big_active: float = 3.0
+    little_active: float = 1.0
+    big_idle: float = 0.3
+    little_idle: float = 0.1
+
+    def __post_init__(self) -> None:
+        for label, v in (
+            ("big_active", self.big_active),
+            ("little_active", self.little_active),
+            ("big_idle", self.big_idle),
+            ("little_idle", self.little_idle),
+        ):
+            if v < 0:
+                raise ValueError(f"{label} must be non-negative, got {v}")
+
+    def active(self, core_type: CoreType) -> float:
+        """Active draw for one core of ``core_type``."""
+        return (
+            self.big_active if core_type is CoreType.BIG else self.little_active
+        )
+
+    def idle(self, core_type: CoreType) -> float:
+        """Idle draw for one provisioned core of ``core_type``."""
+        return self.big_idle if core_type is CoreType.BIG else self.little_idle
+
+
+@dataclass(frozen=True, slots=True)
+class PowerReport:
+    """Power estimate of one schedule.
+
+    Attributes:
+        period: the schedule's period.
+        power: estimated average power draw.
+        busy_fraction: average utilization of the provisioned cores.
+    """
+
+    period: float
+    power: float
+    busy_fraction: float
+
+
+def solution_power(
+    solution: Solution,
+    chain: "TaskChain | ChainProfile",
+    model: PowerModel | None = None,
+) -> PowerReport:
+    """Estimate the average power draw of a schedule at steady state.
+
+    Each stage's replicas are busy for ``stage weight / period`` of the time
+    (the bottleneck stage is busy 100 %); idle time draws the idle power.
+
+    Args:
+        solution: a non-empty schedule.
+        chain: the scheduled chain (or profile).
+        model: power model; defaults to a 3:1 big:little active draw.
+
+    Raises:
+        ValueError: for an empty solution.
+    """
+    if solution.is_empty:
+        raise ValueError("cannot estimate the power of an empty solution")
+    profile = profile_of(chain)
+    m = model if model is not None else PowerModel()
+    period = solution.period(profile)
+
+    power = 0.0
+    busy_weighted = 0.0
+    total_cores = 0
+    for stage in solution:
+        utilization = stage.weight(profile) / period
+        active = m.active(stage.core_type)
+        idle = m.idle(stage.core_type)
+        power += stage.cores * (
+            utilization * active + (1.0 - utilization) * idle
+        )
+        busy_weighted += stage.cores * utilization
+        total_cores += stage.cores
+    return PowerReport(
+        period=period,
+        power=power,
+        busy_fraction=busy_weighted / total_cores,
+    )
+
+
+def pareto_front(
+    candidates: Iterable[tuple[str, Solution]],
+    chain: "TaskChain | ChainProfile",
+    model: PowerModel | None = None,
+) -> list[tuple[str, PowerReport]]:
+    """Period/power Pareto frontier over candidate schedules.
+
+    Args:
+        candidates: ``(label, solution)`` pairs (e.g. schedules computed for
+            different budgets).
+        chain: the scheduled chain.
+        model: power model.
+
+    Returns:
+        The non-dominated candidates, sorted by increasing period.  A
+        candidate dominates another when it is no worse in both period and
+        power and strictly better in one.
+    """
+    profile = profile_of(chain)
+    reports = [
+        (label, solution_power(solution, profile, model))
+        for label, solution in candidates
+    ]
+    front: list[tuple[str, PowerReport]] = []
+    for label, report in reports:
+        dominated = any(
+            (o.period <= report.period and o.power <= report.power)
+            and (o.period < report.period or o.power < report.power)
+            for _, o in reports
+        )
+        if not dominated:
+            front.append((label, report))
+    front.sort(key=lambda item: (item[1].period, item[1].power))
+    return front

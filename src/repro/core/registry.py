@@ -1,0 +1,208 @@
+"""Uniform access to every scheduling strategy by name.
+
+The evaluation campaigns (Table I, Figs. 1-5) iterate over the same five
+strategies; this registry gives them one call signature:
+
+    >>> outcome = get_strategy("fertac")(chain, Resources(10, 10))
+
+Names are case-insensitive; the paper's display names (``OTAC (B)``) and the
+plain identifiers (``otac_b``) are both accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .binary_search import ScheduleOutcome
+from .chain_stats import ChainProfile
+from .fertac import fertac
+from .herad import herad
+from .otac import otac_big, otac_little
+from .task import TaskChain
+from .twocatac import twocatac
+from .types import Resources
+
+__all__ = [
+    "StrategyFn",
+    "StrategyInfo",
+    "STRATEGIES",
+    "PAPER_ORDER",
+    "get_strategy",
+    "strategy_names",
+    "run_strategies",
+]
+
+StrategyFn = Callable[["TaskChain | ChainProfile", Resources], ScheduleOutcome]
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyInfo:
+    """Registry entry for one scheduling strategy."""
+
+    name: str
+    display_name: str
+    func: StrategyFn
+    optimal: bool
+    heterogeneous: bool
+    description: str
+
+
+def _twocatac_memo(chain, resources):  # pragma: no cover - thin wrapper
+    return twocatac(chain, resources, memoize=True)
+
+
+def _norep(chain, resources):  # pragma: no cover - thin wrapper
+    from .norep import norep_optimal
+
+    return norep_optimal(chain, resources)
+
+
+STRATEGIES: dict[str, StrategyInfo] = {
+    info.name: info
+    for info in (
+        StrategyInfo(
+            name="herad",
+            display_name="HeRAD",
+            func=herad,
+            optimal=True,
+            heterogeneous=True,
+            description=(
+                "Optimal dynamic programming over task prefixes and core "
+                "budgets (Eq. (4), Algos. 7-11)."
+            ),
+        ),
+        StrategyInfo(
+            name="2catac",
+            display_name="2CATAC",
+            func=twocatac,
+            optimal=False,
+            heterogeneous=True,
+            description=(
+                "Two-choice greedy: builds each stage with both core types "
+                "and explores both branches (Algos. 5-6)."
+            ),
+        ),
+        StrategyInfo(
+            name="2catac_memo",
+            display_name="2CATAC (memo)",
+            func=_twocatac_memo,
+            optimal=False,
+            heterogeneous=True,
+            description=(
+                "2CATAC with subproblem memoization — identical schedules, "
+                "polynomial state space (library extension)."
+            ),
+        ),
+        StrategyInfo(
+            name="norep",
+            display_name="NoRep DP",
+            func=_norep,
+            optimal=False,
+            heterogeneous=True,
+            description=(
+                "Optimal interval mapping *without replication* (library "
+                "extension): isolates how much replication buys."
+            ),
+        ),
+        StrategyInfo(
+            name="fertac",
+            display_name="FERTAC",
+            func=fertac,
+            optimal=False,
+            heterogeneous=True,
+            description=(
+                "Little-cores-first greedy with fallback to big cores "
+                "(Algo. 4)."
+            ),
+        ),
+        StrategyInfo(
+            name="otac_b",
+            display_name="OTAC (B)",
+            func=otac_big,
+            optimal=False,
+            heterogeneous=False,
+            description="Homogeneous-optimal OTAC restricted to big cores.",
+        ),
+        StrategyInfo(
+            name="otac_l",
+            display_name="OTAC (L)",
+            func=otac_little,
+            optimal=False,
+            heterogeneous=False,
+            description="Homogeneous-optimal OTAC restricted to little cores.",
+        ),
+    )
+}
+
+#: The strategies, in the order the paper's tables list them.
+PAPER_ORDER: tuple[str, ...] = ("herad", "2catac", "fertac", "otac_b", "otac_l")
+
+_ALIASES = {
+    "twocatac": "2catac",
+    "2-catac": "2catac",
+    "otac(b)": "otac_b",
+    "otac (b)": "otac_b",
+    "otac-b": "otac_b",
+    "otac(l)": "otac_l",
+    "otac (l)": "otac_l",
+    "otac-l": "otac_l",
+}
+
+
+def get_strategy(name: str) -> StrategyFn:
+    """Look up a strategy function by (case-insensitive) name.
+
+    Raises:
+        KeyError: for unknown names, with the available names in the message.
+    """
+    return get_info(name).func
+
+
+def get_info(name: str) -> StrategyInfo:
+    """Look up a strategy's registry entry by (case-insensitive) name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return STRATEGIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+
+
+def strategy_names(paper_only: bool = True) -> tuple[str, ...]:
+    """Names of the registered strategies.
+
+    Args:
+        paper_only: restrict to the five strategies evaluated in the paper
+            (excludes library extensions such as the memoized 2CATAC).
+    """
+    if paper_only:
+        return PAPER_ORDER
+    return tuple(STRATEGIES)
+
+
+def run_strategies(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    names: Iterable[str] | None = None,
+) -> dict[str, ScheduleOutcome]:
+    """Run several strategies on one instance.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget.
+        names: strategy names; defaults to the paper's five.
+
+    Returns:
+        Mapping of canonical strategy name to its outcome.
+    """
+    selected = tuple(names) if names is not None else PAPER_ORDER
+    return {
+        get_info(name).name: get_info(name).func(chain, resources)
+        for name in selected
+    }
+
+
+__all__.append("get_info")

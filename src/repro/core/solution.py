@@ -1,0 +1,216 @@
+"""Solution model: a pipelined-and-replicated schedule ``S = (s, r, v)``.
+
+A :class:`Solution` is an ordered list of :class:`~repro.core.stage.Stage`
+objects covering the chain contiguously.  It provides the paper's evaluation
+primitives: the period ``P(S)`` (Eq. (2)), resource-constraint validation
+(Eq. (3)), and the core-usage accounting used by the secondary objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidChainError
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["Solution", "CoreUsage"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreUsage:
+    """Aggregate number of cores used per type by a solution."""
+
+    big: int
+    little: int
+
+    @property
+    def total(self) -> int:
+        """Total cores used."""
+        return self.big + self.little
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.big
+        yield self.little
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.big}B, {self.little}L)"
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An interval-mapped schedule of a task chain.
+
+    Attributes:
+        stages: the pipeline stages in chain order.
+
+    Stages must be contiguous (each stage starts right after the previous one
+    ends); whether they cover a *whole* chain is checked against a chain via
+    :meth:`covers`.
+    """
+
+    stages: tuple[Stage, ...]
+
+    def __init__(self, stages: Iterable[Stage]) -> None:
+        stages = tuple(stages)
+        for prev, cur in zip(stages, stages[1:]):
+            if cur.start != prev.end + 1:
+                raise InvalidChainError(
+                    f"stages are not contiguous: {prev} then {cur}"
+                )
+        object.__setattr__(self, "stages", stages)
+
+    # -- basic structure ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __getitem__(self, index: int) -> Stage:
+        return self.stages[index]
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty (invalid) solution."""
+        return not self.stages
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages ``k``."""
+        return len(self.stages)
+
+    def covers(self, chain: "TaskChain | ChainProfile") -> bool:
+        """True when the stages exactly cover the whole chain."""
+        profile = profile_of(chain)
+        return (
+            bool(self.stages)
+            and self.stages[0].start == 0
+            and self.stages[-1].end == profile.n - 1
+        )
+
+    # -- paper metrics ---------------------------------------------------------
+
+    def period(self, chain: "TaskChain | ChainProfile") -> float:
+        """Period ``P(S)``: the maximum stage weight (Eq. (2)).
+
+        Returns ``inf`` for the empty solution.
+        """
+        profile = profile_of(chain)
+        if not self.stages:
+            return float("inf")
+        return max(stage.weight(profile) for stage in self.stages)
+
+    def throughput(self, chain: "TaskChain | ChainProfile") -> float:
+        """Steady-state throughput: ``1 / P(S)`` (frames per weight unit)."""
+        p = self.period(chain)
+        return 0.0 if p == float("inf") else 1.0 / p
+
+    def latency(self, chain: "TaskChain | ChainProfile") -> float:
+        """End-to-end pipeline latency of one frame: the sum of stage
+        latencies (each replica processes a whole frame, so replication
+        shortens the period but not the per-frame latency).
+
+        The paper's future work highlights shorter pipelines (fewer stages,
+        e.g. after the replicable-merge step) as practically faster; this
+        metric quantifies the latency side of that trade.
+        """
+        profile = profile_of(chain)
+        if not self.stages:
+            return float("inf")
+        return sum(stage.latency(profile) for stage in self.stages)
+
+    def bottleneck(self, chain: "TaskChain | ChainProfile") -> Stage:
+        """The stage attaining the period (first one in chain order)."""
+        profile = profile_of(chain)
+        if not self.stages:
+            raise InvalidChainError("the empty solution has no bottleneck")
+        return max(self.stages, key=lambda s: s.weight(profile))
+
+    def core_usage(self) -> CoreUsage:
+        """Cores used per type (Eq. (3) left-hand sides)."""
+        big = sum(s.cores for s in self.stages if s.core_type is CoreType.BIG)
+        little = sum(
+            s.cores for s in self.stages if s.core_type is CoreType.LITTLE
+        )
+        return CoreUsage(big, little)
+
+    def is_valid(
+        self,
+        chain: "TaskChain | ChainProfile",
+        resources: Resources,
+        period: float | None = None,
+    ) -> bool:
+        """Paper's ``IsValid``: non-empty, within budget, and (optionally)
+        within the target period.
+
+        Args:
+            chain: the scheduled chain (or its profile).
+            resources: the platform budget ``R = (b, l)``.
+            period: optional target period ``P``; when given the solution
+                must satisfy ``P(S) <= P``.
+        """
+        if not self.stages:
+            return False
+        usage = self.core_usage()
+        if not resources.fits(usage.big, usage.little):
+            return False
+        if not self.covers(chain):
+            return False
+        if period is not None and self.period(chain) > period:
+            return False
+        return True
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self) -> str:
+        """Paper-style decomposition, e.g. ``(5,1B),(1,1B),(9,1B)``."""
+        return ",".join(stage.render() for stage in self.stages)
+
+    def describe(self, chain: "TaskChain | ChainProfile") -> str:
+        """Multi-line report with per-stage weights and the period."""
+        profile = profile_of(chain)
+        lines = [f"Solution with {self.num_stages} stage(s):"]
+        for i, s in enumerate(self.stages):
+            rep = "rep" if s.is_replicable(profile) else "seq"
+            lines.append(
+                f"  stage {i + 1}: tasks [{s.start:>3}..{s.end:>3}] "
+                f"({rep}) on {s.cores} {s.core_type.name:<6} "
+                f"weight={s.weight(profile):.6g} "
+                f"latency={s.latency(profile):.6g}"
+            )
+        lines.append(f"  period P(S) = {self.period(profile):.6g}")
+        usage = self.core_usage()
+        lines.append(f"  cores used  = {usage.big}B + {usage.little}L")
+        return "\n".join(lines)
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Solution":
+        """The empty (invalid) solution, the paper's ``(∅, ∅, ∅)``."""
+        return cls(())
+
+    @classmethod
+    def single_stage(
+        cls,
+        chain: "TaskChain | ChainProfile",
+        cores: int,
+        core_type: CoreType,
+    ) -> "Solution":
+        """A whole-chain single-stage solution (always structurally valid)."""
+        profile = profile_of(chain)
+        return cls((Stage(0, profile.n - 1, cores, core_type),))
+
+    @classmethod
+    def from_triplets(
+        cls, triplets: Sequence[tuple[int, int, int, "CoreType | str | int"]]
+    ) -> "Solution":
+        """Build from ``(start, end, cores, core_type)`` tuples."""
+        return cls(
+            Stage(s, e, r, CoreType.parse(v)) for (s, e, r, v) in triplets
+        )

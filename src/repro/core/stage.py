@@ -1,0 +1,98 @@
+"""Pipeline stage model.
+
+A *stage* is a contiguous interval of tasks ``[tau_start, tau_end]`` mapped
+onto ``cores`` cores of a single ``core_type`` (interval mapping).  A stage is
+*replicable* when every task inside is stateless; only replicable stages
+benefit from more than one core (Eq. (1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidChainError
+from .types import INFINITY, CoreType
+
+__all__ = ["Stage"]
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One pipeline stage of a solution.
+
+    Attributes:
+        start: 0-based index of the first task (inclusive).
+        end: 0-based index of the last task (inclusive).
+        cores: number of cores ``r`` dedicated to the stage.
+        core_type: type ``v`` of those cores.
+    """
+
+    start: int
+    end: int
+    cores: int
+    core_type: CoreType
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise InvalidChainError(
+                f"invalid stage interval [{self.start}, {self.end}]"
+            )
+        if self.cores < 1:
+            raise InvalidChainError(
+                f"a stage needs at least one core, got {self.cores}"
+            )
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks in the stage."""
+        return self.end - self.start + 1
+
+    def weight(self, chain: "ChainProfile | object") -> float:
+        """Stage weight ``w(s, r, v)`` per Eq. (1) for the given chain."""
+        profile = profile_of(chain)
+        return profile.stage_weight(self.start, self.end, self.cores, self.core_type)
+
+    def latency(self, chain: "ChainProfile | object") -> float:
+        """Single-frame latency of the stage: the 1-core interval weight.
+
+        The paper warns that for ``r > 1`` the stage *weight* (period
+        contribution) differs from its *latency*: each replica still takes the
+        full interval time per frame; replication only increases throughput.
+        """
+        profile = profile_of(chain)
+        return profile.interval_weight(self.start, self.end, self.core_type)
+
+    def is_replicable(self, chain: "ChainProfile | object") -> bool:
+        """True when the stage contains no sequential task."""
+        return profile_of(chain).is_replicable(self.start, self.end)
+
+    def effective_cores(self, chain: "ChainProfile | object") -> int:
+        """Cores that actually contribute: ``cores`` if replicable else 1."""
+        return self.cores if self.is_replicable(chain) else 1
+
+    def with_cores(self, cores: int) -> "Stage":
+        """Copy of this stage with a different core count."""
+        return Stage(self.start, self.end, cores, self.core_type)
+
+    def render(self) -> str:
+        """Paper-style compact form ``(n_tasks, r_v)``, e.g. ``(5, 1B)``."""
+        return f"({self.num_tasks},{self.cores}{self.core_type.symbol})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stage[{self.start}..{self.end}] on {self.cores} "
+            f"{self.core_type.name} core(s)"
+        )
+
+
+def stage_weight_or_inf(
+    profile: ChainProfile, start: int, end: int, cores: int, core_type: CoreType
+) -> float:
+    """Stage weight allowing ``cores < 1`` (returns infinity, Eq. (1))."""
+    if cores < 1:
+        return INFINITY
+    return profile.stage_weight(start, end, cores, core_type)
+
+
+__all__.append("stage_weight_or_inf")

@@ -1,0 +1,214 @@
+"""Task and task-chain models.
+
+The workflow scheduled by the paper is a linear chain of ``n`` tasks
+``T = {tau_1, ..., tau_n}`` where ``tau_i`` can only execute after
+``tau_{i-1}``.  Tasks are partitioned into *replicable* (stateless) tasks and
+*sequential* (stateful) tasks; sequential tasks cannot be replicated because
+duplicating their internal state produces wrong results.
+
+Each task ``tau_i`` carries one computation weight (latency) per core type:
+``w_i^B`` on big cores and ``w_i^L`` on little cores.
+
+Indexing convention
+-------------------
+The paper uses 1-based task indices.  The public Python API is 0-based
+throughout: a chain of ``n`` tasks has task indices ``0..n-1`` and a stage is
+a half-open pair is *not* used — stages are inclusive ``[start, end]`` index
+pairs, matching the paper's ``[tau_c, tau_e]`` notation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .errors import InvalidChainError
+from .types import CoreType
+
+__all__ = ["Task", "TaskChain"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A single task of the chain.
+
+    Attributes:
+        name: human-readable identifier (purely informational).
+        weight_big: computation weight (latency) on a big core, ``w^B > 0``.
+        weight_little: computation weight on a little core, ``w^L > 0``.
+        replicable: True for stateless tasks (members of ``T_rep``), False
+            for stateful/sequential tasks (members of ``T_seq``).
+    """
+
+    name: str
+    weight_big: float
+    weight_little: float
+    replicable: bool
+
+    def __post_init__(self) -> None:
+        for label, w in (("big", self.weight_big), ("little", self.weight_little)):
+            if not math.isfinite(w) or w <= 0:
+                raise InvalidChainError(
+                    f"task {self.name!r}: weight on {label} cores must be a "
+                    f"finite positive number, got {w!r}"
+                )
+
+    def weight(self, core_type: CoreType) -> float:
+        """Weight of this task on the given core type."""
+        return self.weight_big if core_type is CoreType.BIG else self.weight_little
+
+    @property
+    def sequential(self) -> bool:
+        """True for stateful tasks (the complement of :attr:`replicable`)."""
+        return not self.replicable
+
+
+@dataclass(frozen=True)
+class TaskChain:
+    """An ordered, immutable chain of tasks.
+
+    Construct directly from a sequence of :class:`Task` objects, or use the
+    :meth:`from_weights` convenience constructor.
+
+    Attributes:
+        tasks: the tasks in chain order.
+        name: optional label for reports.
+    """
+
+    tasks: tuple[Task, ...]
+    name: str = field(default="chain", compare=False)
+
+    def __init__(self, tasks: Iterable[Task], name: str = "chain") -> None:
+        tasks = tuple(tasks)
+        if not tasks:
+            raise InvalidChainError("a task chain must contain at least one task")
+        object.__setattr__(self, "tasks", tasks)
+        object.__setattr__(self, "name", name)
+
+    @classmethod
+    def from_weights(
+        cls,
+        weights_big: Sequence[float],
+        weights_little: Sequence[float],
+        replicable: Sequence[bool],
+        name: str = "chain",
+    ) -> "TaskChain":
+        """Build a chain from parallel sequences of per-type weights.
+
+        Args:
+            weights_big: ``w_i^B`` for each task.
+            weights_little: ``w_i^L`` for each task.
+            replicable: replicability flag for each task.
+            name: optional chain label.
+
+        Raises:
+            InvalidChainError: if the sequences have mismatched lengths or
+                contain non-positive weights.
+        """
+        if not (len(weights_big) == len(weights_little) == len(replicable)):
+            raise InvalidChainError(
+                "weights_big, weights_little and replicable must have the "
+                f"same length; got {len(weights_big)}, {len(weights_little)},"
+                f" {len(replicable)}"
+            )
+        tasks = tuple(
+            Task(
+                name=f"tau_{i + 1}",
+                weight_big=float(wb),
+                weight_little=float(wl),
+                replicable=bool(r),
+            )
+            for i, (wb, wl, r) in enumerate(
+                zip(weights_big, weights_little, replicable)
+            )
+        )
+        return cls(tasks, name=name)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        weights: Sequence[float],
+        replicable: Sequence[bool],
+        slowdown: float = 1.0,
+        name: str = "chain",
+    ) -> "TaskChain":
+        """Build a chain whose little-core weights are a uniform slowdown.
+
+        Args:
+            weights: big-core weights.
+            replicable: replicability flags.
+            slowdown: ``w^L = slowdown * w^B`` for every task.
+            name: optional chain label.
+        """
+        if slowdown <= 0:
+            raise InvalidChainError(f"slowdown must be positive, got {slowdown}")
+        little = [w * slowdown for w in weights]
+        return cls.from_weights(weights, little, replicable, name=name)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self.tasks[index]
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of tasks in the chain (``n`` in the paper)."""
+        return len(self.tasks)
+
+    def weights(self, core_type: CoreType) -> list[float]:
+        """Per-task weights on the given core type, in chain order."""
+        return [t.weight(core_type) for t in self.tasks]
+
+    def total_weight(self, core_type: CoreType) -> float:
+        """Sum of all task weights on the given core type."""
+        return sum(t.weight(core_type) for t in self.tasks)
+
+    @property
+    def replicable_indices(self) -> list[int]:
+        """Indices of the stateless tasks (``T_rep``)."""
+        return [i for i, t in enumerate(self.tasks) if t.replicable]
+
+    @property
+    def sequential_indices(self) -> list[int]:
+        """Indices of the stateful tasks (``T_seq``)."""
+        return [i for i, t in enumerate(self.tasks) if t.sequential]
+
+    @property
+    def stateless_ratio(self) -> float:
+        """Fraction of replicable tasks (the paper's *SR* parameter)."""
+        return len(self.replicable_indices) / len(self.tasks)
+
+    def is_fully_replicable(self) -> bool:
+        """True when the chain has no sequential task."""
+        return all(t.replicable for t in self.tasks)
+
+    def subchain(self, start: int, end: int, name: str | None = None) -> "TaskChain":
+        """Return the inclusive sub-chain ``[start, end]`` as a new chain."""
+        if not (0 <= start <= end < len(self.tasks)):
+            raise InvalidChainError(
+                f"invalid subchain bounds [{start}, {end}] for n={len(self.tasks)}"
+            )
+        return TaskChain(
+            self.tasks[start : end + 1],
+            name=name or f"{self.name}[{start}:{end}]",
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the chain."""
+        lines = [f"TaskChain {self.name!r} with {self.n} tasks:"]
+        for i, t in enumerate(self.tasks):
+            kind = "rep" if t.replicable else "seq"
+            lines.append(
+                f"  [{i:>3}] {t.name:<28} {kind}  "
+                f"w_B={t.weight_big:<10.4g} w_L={t.weight_little:<10.4g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""2CATAC — Two-Choice Allocation for TAsk Chains (Algos. 5-6).
+
+Where FERTAC commits to little cores as early as possible, 2CATAC builds the
+current stage with *both* core types and recursively explores both branches,
+finally keeping the better alternative with ``ChooseBestSolution`` (Algo. 6):
+
+* if only one branch is valid, keep it;
+* if both are valid (they meet the target period by construction, so periods
+  need no comparison), prefer the one that better exchanges big cores for
+  little ones, and otherwise the one using fewer cores in total.
+
+The exploration is exponential in the number of stages (worst case ``O(2^n)``
+per probe when each stage holds one task).  A memoized variant — an extension
+over the paper, returning identical solutions because a subproblem is fully
+determined by ``(start, big, little)`` at fixed target period — is available
+through ``memoize=True`` and ablated in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binary_search import ScheduleOutcome, schedule_by_binary_search
+from .chain_stats import ChainProfile
+from .packing import compute_stage, stage_fits
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import CoreType, Resources
+
+__all__ = ["twocatac_compute_solution", "twocatac", "choose_best"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Partial:
+    """A partial solution: stages from some start to the end of the chain,
+    with accumulated core usage (the paper amortizes the usage sums the same
+    way, Algo. 5 line 13)."""
+
+    stages: tuple[Stage, ...]
+    used_big: int
+    used_little: int
+
+
+def choose_best(
+    big_branch: "_Partial | None", little_branch: "_Partial | None"
+) -> "_Partial | None":
+    """Paper's ``ChooseBestSolution`` (Algo. 6) on two candidate branches.
+
+    Both candidates, when present, already respect the target period and the
+    core budget; the comparison is purely about the secondary objective.
+    """
+    if big_branch is None:
+        return little_branch
+    if little_branch is None:
+        return big_branch
+
+    bb, bl = big_branch.used_big, big_branch.used_little
+    lb, ll = little_branch.used_big, little_branch.used_little
+    if bl > ll and bb < lb:
+        return big_branch  # S_B makes better usage of little cores
+    if bl < ll and bb > lb:
+        return little_branch  # S_L makes better usage of little cores
+    if bb + bl < lb + ll:
+        return big_branch  # S_B uses fewer cores
+    return little_branch  # S_L uses fewer cores (or tie)
+
+
+def twocatac_compute_solution(
+    profile: ChainProfile,
+    resources: Resources,
+    period: float,
+    *,
+    memoize: bool = False,
+) -> Solution:
+    """2CATAC's ``ComputeSolution`` (Algo. 5) for one target period.
+
+    Args:
+        profile: precomputed chain statistics.
+        resources: the platform budget.
+        period: target period ``P``.
+        memoize: cache subproblems on ``(start, big, little)``.  This is an
+            extension over the paper: it bounds the exploration by
+            ``n * b * l`` states while returning the same solutions, since a
+            subproblem's outcome depends only on those three values.
+    """
+    last = profile.n - 1
+    cache: dict[tuple[int, int, int], "_Partial | None"] | None = (
+        {} if memoize else None
+    )
+
+    def solve(start: int, big: int, little: int) -> "_Partial | None":
+        if cache is not None:
+            key = (start, big, little)
+            if key in cache:
+                return cache[key]
+
+        branches: dict[CoreType, "_Partial | None"] = {}
+        for core_type in (CoreType.BIG, CoreType.LITTLE):
+            available = big if core_type is CoreType.BIG else little
+            plan = compute_stage(profile, start, available, core_type, period)
+            if not stage_fits(
+                profile, start, plan, available, core_type, period
+            ):
+                branches[core_type] = None
+                continue
+            stage = Stage(start, plan.end, plan.cores, core_type)
+            used_b = plan.cores if core_type is CoreType.BIG else 0
+            used_l = plan.cores if core_type is CoreType.LITTLE else 0
+            if plan.end == last:
+                branches[core_type] = _Partial((stage,), used_b, used_l)
+                continue
+            rest = solve(plan.end + 1, big - used_b, little - used_l)
+            if rest is None:
+                branches[core_type] = None
+            else:
+                branches[core_type] = _Partial(
+                    (stage, *rest.stages),
+                    used_b + rest.used_big,
+                    used_l + rest.used_little,
+                )
+
+        best = choose_best(branches[CoreType.BIG], branches[CoreType.LITTLE])
+        if cache is not None:
+            cache[key] = best
+        return best
+
+    result = solve(0, resources.big, resources.little)
+    if result is None:
+        return Solution.empty()
+    return Solution(result.stages)
+
+
+def twocatac(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    epsilon: float | None = None,
+    memoize: bool = False,
+) -> ScheduleOutcome:
+    """Schedule a chain with 2CATAC (binary search + Algos. 5-6).
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: the platform budget ``R = (b, l)``.
+        epsilon: binary-search tolerance, defaulting to ``1 / (b + l)``.
+        memoize: enable the subproblem cache (see
+            :func:`twocatac_compute_solution`).
+
+    Returns:
+        The :class:`~repro.core.binary_search.ScheduleOutcome`.
+    """
+
+    def builder(
+        profile: ChainProfile, res: Resources, period: float
+    ) -> Solution:
+        return twocatac_compute_solution(profile, res, period, memoize=memoize)
+
+    return schedule_by_binary_search(chain, resources, builder, epsilon=epsilon)

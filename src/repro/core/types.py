@@ -1,0 +1,117 @@
+"""Fundamental types shared by the scheduling core.
+
+The paper models a heterogeneous multicore processor with two types of
+*unrelated* resources: big (performance) cores and little (efficient) cores.
+This module defines the :class:`CoreType` enumeration used throughout the
+library, together with the :class:`Resources` description of a platform's
+core budget ``R = (b, l)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["CoreType", "Resources", "INFINITY"]
+
+#: Sentinel weight/period for infeasible configurations (Eq. (1), r = 0 case).
+INFINITY: float = math.inf
+
+
+class CoreType(enum.IntEnum):
+    """The two kinds of resources of the platform.
+
+    ``BIG`` cores are high-performance cores (assumed to have the highest
+    power consumption); ``LITTLE`` cores are high-efficiency cores.  The
+    integer values are stable and used as array indices by the vectorized
+    code paths.
+    """
+
+    BIG = 0
+    LITTLE = 1
+
+    @property
+    def other(self) -> "CoreType":
+        """Return the opposite core type."""
+        return CoreType.LITTLE if self is CoreType.BIG else CoreType.BIG
+
+    @property
+    def symbol(self) -> str:
+        """One-letter symbol used in rendered schedules (``B`` / ``L``)."""
+        return "B" if self is CoreType.BIG else "L"
+
+    @classmethod
+    def parse(cls, value: "CoreType | str | int") -> "CoreType":
+        """Coerce ``value`` into a :class:`CoreType`.
+
+        Accepts existing enum members, the integers 0/1, and the strings
+        ``"big"``/``"little"`` or ``"B"``/``"L"`` (case-insensitive).
+
+        Raises:
+            ValueError: if the value cannot be interpreted.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(value)
+        if isinstance(value, str):
+            v = value.strip().lower()
+            if v in ("b", "big", "p", "performance"):
+                return cls.BIG
+            if v in ("l", "little", "e", "efficiency", "efficient"):
+                return cls.LITTLE
+        raise ValueError(f"cannot interpret {value!r} as a CoreType")
+
+
+@dataclass(frozen=True, slots=True)
+class Resources:
+    """A core budget ``R = (b, l)``: *b* big cores and *l* little cores.
+
+    Instances are immutable; arithmetic helpers return new budgets.  A budget
+    may be empty (both counts zero) — it then represents an exhausted pool of
+    cores inside a partially-built schedule; the scheduling entry points
+    reject empty *platform* budgets explicitly.
+
+    Attributes:
+        big: number of big cores available (``b`` in the paper).
+        little: number of little cores available (``l`` in the paper).
+    """
+
+    big: int
+    little: int
+
+    def __post_init__(self) -> None:
+        if self.big < 0 or self.little < 0:
+            raise ValueError(f"negative core counts are invalid: {self}")
+
+    @property
+    def total(self) -> int:
+        """Total number of cores ``b + l``."""
+        return self.big + self.little
+
+    def count(self, core_type: CoreType) -> int:
+        """Number of cores of the given type."""
+        return self.big if core_type is CoreType.BIG else self.little
+
+    def minus(self, core_type: CoreType, amount: int) -> "Resources":
+        """Return a budget with ``amount`` cores of ``core_type`` removed."""
+        if core_type is CoreType.BIG:
+            return Resources(self.big - amount, self.little)
+        return Resources(self.big, self.little - amount)
+
+    def is_exhausted(self) -> bool:
+        """True when no cores remain."""
+        return self.big == 0 and self.little == 0
+
+    def fits(self, used_big: int, used_little: int) -> bool:
+        """Check Eq. (3): the usage fits inside this budget."""
+        return used_big <= self.big and used_little <= self.little
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.big
+        yield self.little
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.big}B, {self.little}L)"

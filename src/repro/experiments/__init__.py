@@ -1,0 +1,42 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every driver exposes ``run(...) -> <Result>`` and ``render(result) -> str``;
+the CLI (``python -m repro``) wires them to the command line.  See
+DESIGN.md §4 for the experiment-to-module index.
+"""
+
+from . import ablation, fig1, fig2, fig3, fig4, fig5, fig6, io, table1, table2, table3
+from .io import load_json, result_to_dict, save_json
+from .common import (
+    PAPER_NUM_CHAINS,
+    PAPER_STATELESS_RATIOS,
+    CampaignResult,
+    StrategyRecord,
+    TimingPoint,
+    run_campaign,
+    time_strategy,
+)
+
+__all__ = [
+    "ablation",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "run_campaign",
+    "time_strategy",
+    "CampaignResult",
+    "StrategyRecord",
+    "TimingPoint",
+    "PAPER_NUM_CHAINS",
+    "PAPER_STATELESS_RATIOS",
+    "io",
+    "save_json",
+    "load_json",
+    "result_to_dict",
+]

@@ -1,0 +1,196 @@
+"""Ablation studies over the library's extensions (beyond the paper).
+
+One driver consolidating the design-choice ablations DESIGN.md calls out:
+
+1. **Replication value** — the no-replication interval-mapping optimum vs
+   HeRAD across stateless ratios: how much of the throughput comes from
+   replicating stateless stages rather than pipelining alone.
+2. **2CATAC memoization** — identical schedules, exponential-to-polynomial
+   execution-time change.
+3. **Static vs dynamic** — the per-dispatch overhead at which a dynamic
+   per-task scheduler stops beating the static HeRAD pipeline on the
+   DVB-S2 receiver (the paper's Section II argument, quantified).
+4. **Thread placement** — compact vs scatter placement under a
+   cluster-crossing penalty on the DVB-S2 schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from ..core.chain_stats import ChainProfile
+from ..core.herad import herad
+from ..core.norep import norep_period
+from ..core.twocatac import twocatac
+from ..core.types import Resources
+from ..platform.presets import MAC_STUDIO
+from ..sdr.dvbs2 import dvbs2_mac_studio_chain
+from ..streampu.dynamic import simulate_dynamic_scheduler
+from ..streampu.pipeline import PipelineSpec
+from ..streampu.placement import (
+    PlacementOverhead,
+    compact_placement,
+    platform_cores,
+    scatter_placement,
+)
+from ..streampu.simulator import simulate_pipeline
+from ..workloads.synthetic import GeneratorConfig, chain_batch
+
+__all__ = ["AblationResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """All ablation outcomes.
+
+    Attributes:
+        replication_value: SR -> mean(norep period / HeRAD period).
+        memoization: (plain seconds, memoized seconds, schedules equal).
+        dynamic_periods: dispatch overhead (us) -> dynamic period (us).
+        static_period: HeRAD's DVB-S2 period for the dynamic comparison.
+        placement_periods: policy name -> simulated period (us).
+    """
+
+    replication_value: dict[float, float]
+    memoization: tuple[float, float, bool]
+    dynamic_periods: dict[float, float]
+    static_period: float
+    placement_periods: dict[str, float]
+
+
+def run(
+    num_chains: int = 30,
+    stateless_ratios: Sequence[float] = (0.2, 0.5, 0.8),
+    resources: Resources = Resources(6, 6),
+    dynamic_overheads: Sequence[float] = (0.0, 20.0, 100.0, 500.0),
+    seed: int = 0,
+) -> AblationResult:
+    """Run every ablation (sizes tuned for a minutes-scale run)."""
+    # 1. Replication value.
+    replication = {}
+    for sr in stateless_ratios:
+        config = GeneratorConfig(num_tasks=16, stateless_ratio=sr)
+        ratios = []
+        for chain in chain_batch(num_chains, config, seed=seed):
+            profile = ChainProfile(chain)
+            ratios.append(
+                norep_period(profile, resources)
+                / herad(profile, resources).period
+            )
+        replication[sr] = float(np.mean(ratios))
+
+    # 2. Memoization.
+    config = GeneratorConfig(num_tasks=18, stateless_ratio=0.5)
+    profiles = [
+        ChainProfile(c) for c in chain_batch(max(5, num_chains // 6), config, seed=seed)
+    ]
+    start = time.perf_counter()
+    plain = [twocatac(p, resources) for p in profiles]
+    plain_s = time.perf_counter() - start
+    start = time.perf_counter()
+    memo = [twocatac(p, resources, memoize=True) for p in profiles]
+    memo_s = time.perf_counter() - start
+    equal = all(
+        a.period == b.period
+        and a.solution.core_usage() == b.solution.core_usage()
+        for a, b in zip(plain, memo)
+    )
+
+    # 3. Static vs dynamic on the DVB-S2 receiver.
+    dvbs2 = dvbs2_mac_studio_chain()
+    dvbs2_resources = Resources(8, 2)
+    static = herad(dvbs2, dvbs2_resources)
+    dynamic = {
+        overhead: simulate_dynamic_scheduler(
+            dvbs2, dvbs2_resources, num_frames=200, dispatch_overhead=overhead
+        ).measured_period
+        for overhead in dynamic_overheads
+    }
+
+    # 4. Placement.
+    spec = PipelineSpec.from_solution(static.solution, dvbs2)
+    cores = platform_cores(MAC_STUDIO, cluster_size=4)
+    placements = {
+        "compact": compact_placement(spec, cores),
+        "scatter": scatter_placement(
+            spec, platform_cores(MAC_STUDIO, cluster_size=4)
+        ),
+    }
+    placement_periods = {
+        name: simulate_pipeline(
+            spec,
+            num_frames=400,
+            overhead=PlacementOverhead(spec, placement),
+        ).report.measured_period
+        for name, placement in placements.items()
+    }
+
+    return AblationResult(
+        replication_value=replication,
+        memoization=(plain_s, memo_s, equal),
+        dynamic_periods=dynamic,
+        static_period=static.period,
+        placement_periods=placement_periods,
+    )
+
+
+def render(result: AblationResult) -> str:
+    """Render all ablations as text tables."""
+    blocks = []
+    blocks.append(
+        render_table(
+            ["SR", "norep / HeRAD period ratio"],
+            [
+                [f"{sr:.1f}", f"{ratio:.2f}x"]
+                for sr, ratio in sorted(result.replication_value.items())
+            ],
+            title=(
+                "Ablation 1 — value of replication "
+                "(pipeline-only optimum vs HeRAD)"
+            ),
+        )
+    )
+    plain_s, memo_s, equal = result.memoization
+    blocks.append("")
+    blocks.append(
+        "Ablation 2 — 2CATAC memoization: "
+        f"plain {plain_s:.2f}s vs memoized {memo_s:.2f}s "
+        f"({plain_s / max(memo_s, 1e-9):.1f}x), "
+        f"schedules identical: {equal}"
+    )
+    blocks.append("")
+    rows = [
+        [
+            f"{overhead:.0f}",
+            f"{period:,.1f}",
+            "dynamic" if period < result.static_period else "static",
+        ]
+        for overhead, period in sorted(result.dynamic_periods.items())
+    ]
+    blocks.append(
+        render_table(
+            ["dispatch overhead (us)", "dynamic period (us)", "winner"],
+            rows,
+            title=(
+                "Ablation 3 — dynamic per-task dispatch vs HeRAD static "
+                f"pipeline (static period {result.static_period:,.1f} us)"
+            ),
+        )
+    )
+    blocks.append("")
+    blocks.append(
+        render_table(
+            ["placement", "simulated period (us)"],
+            [
+                [name, f"{period:,.1f}"]
+                for name, period in result.placement_periods.items()
+            ],
+            title="Ablation 4 — thread placement under cluster-crossing penalties",
+        )
+    )
+    return "\n".join(blocks)

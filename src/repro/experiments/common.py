@@ -1,0 +1,199 @@
+"""Shared machinery for the experimental campaign.
+
+The synthetic experiments (Table I, Figs. 1-2) all run the same *campaign*:
+draw N chains from the paper's distribution at a given stateless ratio,
+schedule each with every strategy on a given budget, and record periods and
+core usages.  :func:`run_campaign` does that once; the per-table drivers
+aggregate its raw output.
+
+The execution-time experiments (Figs. 3-4) share :func:`time_strategy`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chain_stats import ChainProfile
+from ..core.registry import PAPER_ORDER, get_info
+from ..core.types import Resources
+from ..workloads.synthetic import GeneratorConfig, chain_batch
+
+__all__ = [
+    "PAPER_STATELESS_RATIOS",
+    "PAPER_NUM_CHAINS",
+    "StrategyRecord",
+    "CampaignResult",
+    "run_campaign",
+    "TimingPoint",
+    "time_strategy",
+]
+
+#: The paper's three stateless-ratio scenarios.
+PAPER_STATELESS_RATIOS: tuple[float, ...] = (0.2, 0.5, 0.8)
+
+#: Chains per scenario in the paper's campaign.
+PAPER_NUM_CHAINS: int = 1000
+
+
+@dataclass(frozen=True)
+class StrategyRecord:
+    """Raw per-chain outcomes of one strategy over a campaign.
+
+    Attributes:
+        strategy: canonical strategy name.
+        periods: achieved period per chain.
+        big_used: big cores used per chain.
+        little_used: little cores used per chain.
+    """
+
+    strategy: str
+    periods: np.ndarray
+    big_used: np.ndarray
+    little_used: np.ndarray
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Raw outcomes of one (resources, SR) campaign for several strategies.
+
+    Attributes:
+        resources: the platform budget.
+        stateless_ratio: the scenario's SR.
+        num_chains: population size.
+        records: strategy name -> raw outcomes.
+        seed: the campaign's base seed.
+    """
+
+    resources: Resources
+    stateless_ratio: float
+    num_chains: int
+    records: dict[str, StrategyRecord]
+    seed: int = 0
+
+    @property
+    def optimal_periods(self) -> np.ndarray:
+        """HeRAD's periods (the per-chain optima)."""
+        return self.records["herad"].periods
+
+
+def run_campaign(
+    resources: Resources,
+    stateless_ratio: float,
+    num_chains: int = PAPER_NUM_CHAINS,
+    num_tasks: int = 20,
+    strategies: Sequence[str] | None = None,
+    seed: int = 0,
+) -> CampaignResult:
+    """Run one synthetic campaign (Section VI-A-1 protocol).
+
+    Args:
+        resources: platform budget ``R = (b, l)``.
+        stateless_ratio: fraction of replicable tasks per chain.
+        num_chains: chains to draw (paper: 1000).
+        num_tasks: chain length (paper: 20).
+        strategies: strategy names; defaults to the paper's five, and always
+            includes ``herad`` (needed as the optimal reference).
+        seed: base seed of the chain stream.
+
+    Returns:
+        The raw campaign outcomes.
+    """
+    names = list(strategies) if strategies is not None else list(PAPER_ORDER)
+    if "herad" not in names:
+        names.insert(0, "herad")
+    infos = [get_info(name) for name in names]
+
+    periods = {info.name: np.empty(num_chains) for info in infos}
+    big = {info.name: np.empty(num_chains, dtype=np.int64) for info in infos}
+    little = {info.name: np.empty(num_chains, dtype=np.int64) for info in infos}
+
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=stateless_ratio)
+    for index, chain in enumerate(chain_batch(num_chains, config, seed=seed)):
+        profile = ChainProfile(chain)
+        for info in infos:
+            outcome = info.func(profile, resources)
+            usage = outcome.solution.core_usage()
+            periods[info.name][index] = outcome.period
+            big[info.name][index] = usage.big
+            little[info.name][index] = usage.little
+
+    records = {
+        info.name: StrategyRecord(
+            strategy=info.name,
+            periods=periods[info.name],
+            big_used=big[info.name],
+            little_used=little[info.name],
+        )
+        for info in infos
+    }
+    return CampaignResult(
+        resources=resources,
+        stateless_ratio=stateless_ratio,
+        num_chains=num_chains,
+        records=records,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """Average execution time of one strategy on one scenario size.
+
+    Attributes:
+        strategy: canonical strategy name.
+        num_tasks: chain length.
+        resources: platform budget.
+        stateless_ratio: the scenario's SR.
+        mean_seconds: mean wall time per schedule computation.
+        num_chains: sample size.
+    """
+
+    strategy: str
+    num_tasks: int
+    resources: Resources
+    stateless_ratio: float
+    mean_seconds: float
+    num_chains: int
+
+    @property
+    def mean_microseconds(self) -> float:
+        """Mean time in microseconds (the paper's Fig. 3/4 unit)."""
+        return self.mean_seconds * 1e6
+
+
+def time_strategy(
+    strategy: str,
+    resources: Resources,
+    stateless_ratio: float,
+    num_tasks: int,
+    num_chains: int = 50,
+    seed: int = 0,
+) -> TimingPoint:
+    """Measure a strategy's mean scheduling time (Fig. 3/4 protocol).
+
+    Profiles are precomputed outside the timed region — the paper's C++
+    implementation likewise excludes input parsing; only ``Schedule`` /
+    ``HeRAD`` proper is measured.
+    """
+    info = get_info(strategy)
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=stateless_ratio)
+    profiles = [
+        ChainProfile(chain)
+        for chain in chain_batch(num_chains, config, seed=seed)
+    ]
+    start = time.perf_counter()
+    for profile in profiles:
+        info.func(profile, resources)
+    elapsed = time.perf_counter() - start
+    return TimingPoint(
+        strategy=info.name,
+        num_tasks=num_tasks,
+        resources=resources,
+        stateless_ratio=stateless_ratio,
+        mean_seconds=elapsed / num_chains,
+        num_chains=num_chains,
+    )

@@ -1,0 +1,118 @@
+"""Fig. 3 — strategy execution times for growing task-chain lengths.
+
+The paper times each strategy on 50 random chains per point, for chain
+lengths ``20 i (i = 1..8)``, at two fixed budgets (R = (20, 20) and
+R = (100, 100)) and the three stateless ratios.  The expected shapes:
+
+* FERTAC and OTAC are fast and grow roughly linearly in ``n``;
+* 2CATAC grows exponentially (it is only measured up to 60 tasks) and gets
+  *cheaper* again at SR = 0.8 because long replicable stages shorten the
+  recursion;
+* HeRAD grows with ``n^2`` (and with the core counts, see Fig. 4).
+
+Absolute times are tens-to-thousands of microseconds in the paper's C++;
+pure Python is ~2 orders of magnitude slower, so the default sweep is
+scaled down — budgets (20, 20)/(40, 40) instead of (20, 20)/(100, 100) and
+chain lengths up to 40 — while preserving every trend the paper reports.
+Paper-scale points can be requested explicitly through the arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.tables import render_table
+from ..core.registry import get_info
+from ..core.types import Resources
+from .common import PAPER_STATELESS_RATIOS, TimingPoint, time_strategy
+
+__all__ = ["Fig3Result", "run", "render", "DEFAULT_TASK_COUNTS", "PAPER_TASK_COUNTS"]
+
+#: Scaled-down default sweep (Python-friendly).
+DEFAULT_TASK_COUNTS: tuple[int, ...] = (10, 20, 30, 40)
+
+#: The paper's sweep.
+PAPER_TASK_COUNTS: tuple[int, ...] = tuple(20 * i for i in range(1, 9))
+
+#: Strategy-specific chain-length caps (2CATAC is exponential; n = 30 already
+#: costs seconds per chain in pure Python at SR = 0.5).
+STRATEGY_CAPS: dict[str, int] = {"2catac": 30, "2catac_memo": 30}
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Execution-time measurements over chain lengths."""
+
+    points: tuple[TimingPoint, ...]
+    budgets: tuple[Resources, ...]
+
+
+def run(
+    task_counts: Sequence[int] = DEFAULT_TASK_COUNTS,
+    budgets: Sequence[Resources] = (Resources(20, 20), Resources(40, 40)),
+    stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
+    strategies: Sequence[str] = ("fertac", "2catac", "herad", "otac_b", "otac_l"),
+    num_chains: int = 50,
+    seed: int = 0,
+    caps: dict[str, int] | None = None,
+) -> Fig3Result:
+    """Measure strategy execution times over the sweep.
+
+    Args:
+        task_counts: chain lengths to measure.
+        budgets: fixed core budgets (the paper uses (20,20) and (100,100)).
+        stateless_ratios: SR scenarios.
+        strategies: strategies to time.
+        num_chains: chains averaged per point (paper: 50).
+        seed: chain stream seed.
+        caps: per-strategy maximum chain length (default caps 2CATAC at 30).
+    """
+    limit = dict(STRATEGY_CAPS)
+    if caps:
+        limit.update(caps)
+    points = []
+    for resources in budgets:
+        for sr in stateless_ratios:
+            for n in task_counts:
+                for strategy in strategies:
+                    if n > limit.get(strategy, 10**9):
+                        continue
+                    points.append(
+                        time_strategy(
+                            strategy,
+                            resources,
+                            sr,
+                            n,
+                            num_chains=num_chains,
+                            seed=seed,
+                        )
+                    )
+    return Fig3Result(points=tuple(points), budgets=tuple(budgets))
+
+
+def render(result: Fig3Result) -> str:
+    """Render the timing sweep as per-budget tables (microseconds)."""
+    blocks = []
+    for resources in result.budgets:
+        rows = []
+        for point in result.points:
+            if point.resources != resources:
+                continue
+            rows.append(
+                [
+                    get_info(point.strategy).display_name,
+                    f"{point.stateless_ratio:.1f}",
+                    point.num_tasks,
+                    f"{point.mean_microseconds:,.0f}",
+                ]
+            )
+        blocks.append(
+            render_table(
+                ["Strategy", "SR", "n tasks", "mean time (us)"],
+                rows,
+                title=f"Fig. 3 — execution times at R={resources}",
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks)

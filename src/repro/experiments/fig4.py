@@ -1,0 +1,94 @@
+"""Fig. 4 — strategy execution times for growing core counts.
+
+The paper fixes the chain length and sweeps the budget over
+``(20 i, 20 i), i = 1..8``: the greedy strategies stay mostly flat (the
+binary search only gains a few iterations) while HeRAD's cost grows roughly
+with ``b * l * (b + l)`` — e.g. 1.72 s to 6.38 s going from (100, 100) to
+(160, 160) in the paper's C++ (a 3.7x time increase for 1.6x resources).
+
+Defaults are scaled down for pure Python (see the Fig. 3 note); paper-scale
+sweeps are available through the arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.tables import render_table
+from ..core.registry import get_info
+from ..core.types import Resources
+from .common import PAPER_STATELESS_RATIOS, TimingPoint, time_strategy
+
+__all__ = ["Fig4Result", "run", "render", "DEFAULT_BUDGETS", "PAPER_BUDGETS"]
+
+#: Scaled-down default sweep.
+DEFAULT_BUDGETS: tuple[Resources, ...] = tuple(
+    Resources(10 * i, 10 * i) for i in range(1, 5)
+)
+
+#: The paper's sweep.
+PAPER_BUDGETS: tuple[Resources, ...] = tuple(
+    Resources(20 * i, 20 * i) for i in range(1, 9)
+)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Execution-time measurements over core budgets."""
+
+    points: tuple[TimingPoint, ...]
+    num_tasks: int
+
+
+def run(
+    budgets: Sequence[Resources] = DEFAULT_BUDGETS,
+    num_tasks: int = 20,
+    stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
+    strategies: Sequence[str] = ("fertac", "2catac", "herad", "otac_b", "otac_l"),
+    num_chains: int = 50,
+    seed: int = 0,
+) -> Fig4Result:
+    """Measure execution times over the budget sweep.
+
+    Args:
+        budgets: core budgets to sweep.
+        num_tasks: fixed chain length (paper: up to 160; default 20).
+        stateless_ratios: SR scenarios.
+        strategies: strategies to time.
+        num_chains: chains averaged per point (paper: 50).
+        seed: chain stream seed.
+    """
+    points = []
+    for resources in budgets:
+        for sr in stateless_ratios:
+            for strategy in strategies:
+                points.append(
+                    time_strategy(
+                        strategy,
+                        resources,
+                        sr,
+                        num_tasks,
+                        num_chains=num_chains,
+                        seed=seed,
+                    )
+                )
+    return Fig4Result(points=tuple(points), num_tasks=num_tasks)
+
+
+def render(result: Fig4Result) -> str:
+    """Render the timing sweep as a table (microseconds)."""
+    rows = [
+        [
+            get_info(point.strategy).display_name,
+            f"{point.stateless_ratio:.1f}",
+            str(point.resources),
+            f"{point.mean_microseconds:,.0f}",
+        ]
+        for point in result.points
+    ]
+    return render_table(
+        ["Strategy", "SR", "R=(b,l)", "mean time (us)"],
+        rows,
+        title=f"Fig. 4 — execution times at n={result.num_tasks} tasks",
+    )

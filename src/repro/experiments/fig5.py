@@ -1,0 +1,66 @@
+"""Fig. 5 — achieved DVB-S2 throughput per platform and strategy.
+
+Fig. 5 plots the information throughput (Mb/s) of every strategy on each
+platform for both core budgets — the same data as Table II, shown as bars.
+This driver reuses the Table II computation and renders ASCII bars next to
+the paper's measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.registry import get_info
+from .paper_data import PAPER_TABLE2
+from .table2 import Table2Result
+from .table2 import run as run_table2
+
+__all__ = ["Fig5Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Fig. 5 data (delegates to the Table II computation)."""
+
+    table2: Table2Result
+
+
+def run(**kwargs) -> Fig5Result:
+    """Compute the throughput data (accepts :func:`table2.run` arguments)."""
+    return Fig5Result(table2=run_table2(**kwargs))
+
+
+def _paper_real_mbps(row) -> float | None:
+    for paper in PAPER_TABLE2:
+        if (
+            paper.resources == row.resources
+            and paper.platform == row.platform
+            and paper.strategy == row.strategy
+        ):
+            return paper.real_mbps
+    return None
+
+
+def render(result: Fig5Result, width: int = 50) -> str:
+    """Render throughput bars grouped by platform/configuration."""
+    rows = result.table2.rows
+    max_mbps = max(row.real_mbps for row in rows)
+    blocks = []
+    seen = []
+    for row in rows:
+        key = (row.platform, row.resources)
+        if key not in seen:
+            seen.append(key)
+            blocks.append("")
+            blocks.append(
+                f"Fig. 5 — {row.platform}, R={row.resources} "
+                "(information throughput, Mb/s)"
+            )
+        bar = "#" * max(1, int(round(row.real_mbps / max_mbps * width)))
+        paper = _paper_real_mbps(row)
+        paper_str = f"(paper real: {paper:5.1f})" if paper is not None else ""
+        blocks.append(
+            f"  {get_info(row.strategy).display_name:<10} "
+            f"{bar:<{width}} {row.real_mbps:6.1f} {paper_str}"
+        )
+    return "\n".join(blocks).strip("\n")

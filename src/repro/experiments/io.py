@@ -1,0 +1,97 @@
+"""Result serialization: save any experiment result as JSON.
+
+The experiment drivers return frozen dataclasses containing NumPy arrays,
+``Resources``, ``CoreType``, stages and solutions.  :func:`result_to_dict`
+converts any of them into plain JSON-compatible structures, and
+:func:`save_json` / :func:`load_json` round-trip them to disk, so campaign
+outputs can be archived and compared across machines (the workflow behind
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.solution import Solution
+from ..core.stage import Stage
+from ..core.types import CoreType, Resources
+
+__all__ = ["result_to_dict", "save_json", "load_json"]
+
+
+def result_to_dict(value: Any) -> Any:
+    """Recursively convert an experiment result into JSON-compatible data.
+
+    Handles dataclasses, NumPy arrays and scalars, ``Resources``,
+    ``CoreType``, ``Stage``/``Solution`` and the built-in containers.
+
+    Raises:
+        TypeError: for values with no JSON representation.
+    """
+    # CoreType is an IntEnum: it must be matched before plain ints.
+    if isinstance(value, CoreType):
+        return value.name
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # JSON has no Infinity/NaN; encode them as strings.
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return result_to_dict(float(value))
+    if isinstance(value, np.ndarray):
+        return [result_to_dict(v) for v in value.tolist()]
+    if isinstance(value, Resources):
+        return {"big": value.big, "little": value.little}
+    if isinstance(value, Stage):
+        return {
+            "start": value.start,
+            "end": value.end,
+            "cores": value.cores,
+            "core_type": value.core_type.name,
+        }
+    if isinstance(value, Solution):
+        return {"stages": [result_to_dict(s) for s in value.stages]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: result_to_dict(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): result_to_dict(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [result_to_dict(v) for v in value]
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def save_json(result: Any, path: "str | Path", indent: int = 2) -> Path:
+    """Serialize an experiment result to a JSON file.
+
+    Args:
+        result: any experiment result (or nested structure of them).
+        path: destination file.
+        indent: JSON indentation.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=indent) + "\n")
+    return path
+
+
+def load_json(path: "str | Path") -> Any:
+    """Load a previously saved result as plain dictionaries/lists."""
+    return json.loads(Path(path).read_text())

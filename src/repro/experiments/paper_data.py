@@ -1,0 +1,164 @@
+"""Paper-reported values, embedded for side-by-side comparison.
+
+``EXPERIMENTS.md`` and the experiment drivers print the paper's numbers next
+to the reproduction's.  Only the values needed for those comparisons are
+transcribed here (Table I in full; Table II's solution summary rows; the
+headline claims quoted in the text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import Resources
+
+__all__ = [
+    "PaperTable1Entry",
+    "PAPER_TABLE1",
+    "PaperTable2Row",
+    "PAPER_TABLE2",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PaperTable1Entry:
+    """One Table I cell as printed in the paper."""
+
+    resources: Resources
+    stateless_ratio: float
+    strategy: str
+    percent_optimal: float
+    avg_slowdown: float
+    med_slowdown: float
+    max_slowdown: float
+    avg_big_used: float
+    avg_little_used: float
+
+
+def _t1(res, sr, strat, pct, avg, med, mx, b, l):  # noqa: ANN001 - table literal
+    return PaperTable1Entry(res, sr, strat, pct, avg, med, mx, b, l)
+
+
+_R164 = Resources(16, 4)
+_R1010 = Resources(10, 10)
+_R416 = Resources(4, 16)
+
+#: Table I verbatim (percentages, slowdown stats, usage pairs).
+PAPER_TABLE1: tuple[PaperTable1Entry, ...] = (
+    # R = (16B, 4L)
+    _t1(_R164, 0.2, "herad", 100.0, 1.00, 1.00, 1.00, 11.72, 3.33),
+    _t1(_R164, 0.2, "2catac", 100.0, 1.00, 1.00, 1.00, 11.74, 3.31),
+    _t1(_R164, 0.2, "fertac", 99.2, 1.00, 1.00, 1.14, 12.44, 3.91),
+    _t1(_R164, 0.2, "otac_b", 88.7, 1.01, 1.00, 1.31, 14.15, 0.00),
+    _t1(_R164, 0.2, "otac_l", 0.0, 9.01, 8.93, 13.88, 0.00, 4.00),
+    _t1(_R164, 0.5, "herad", 100.0, 1.00, 1.00, 1.00, 11.97, 3.50),
+    _t1(_R164, 0.5, "2catac", 99.6, 1.00, 1.00, 1.13, 12.09, 3.47),
+    _t1(_R164, 0.5, "fertac", 95.8, 1.00, 1.00, 1.22, 12.87, 3.96),
+    _t1(_R164, 0.5, "otac_b", 82.7, 1.02, 1.00, 1.35, 14.37, 0.00),
+    _t1(_R164, 0.5, "otac_l", 0.0, 9.35, 9.27, 14.81, 0.00, 4.00),
+    _t1(_R164, 0.8, "herad", 100.0, 1.00, 1.00, 1.00, 12.63, 3.49),
+    _t1(_R164, 0.8, "2catac", 93.0, 1.00, 1.00, 1.17, 12.91, 3.37),
+    _t1(_R164, 0.8, "fertac", 84.3, 1.01, 1.00, 1.34, 13.30, 3.86),
+    _t1(_R164, 0.8, "otac_b", 69.9, 1.04, 1.00, 1.43, 14.41, 0.00),
+    _t1(_R164, 0.8, "otac_l", 0.0, 10.57, 10.37, 17.92, 0.00, 4.00),
+    # R = (10B, 10L)
+    _t1(_R1010, 0.2, "herad", 100.0, 1.00, 1.00, 1.00, 9.34, 7.87),
+    _t1(_R1010, 0.2, "2catac", 98.8, 1.00, 1.00, 1.07, 9.34, 7.90),
+    _t1(_R1010, 0.2, "fertac", 80.3, 1.01, 1.00, 1.26, 9.48, 8.87),
+    _t1(_R1010, 0.2, "otac_b", 1.7, 1.32, 1.32, 1.78, 9.97, 0.00),
+    _t1(_R1010, 0.2, "otac_l", 0.0, 4.17, 4.19, 5.62, 0.00, 9.57),
+    _t1(_R1010, 0.5, "herad", 100.0, 1.00, 1.00, 1.00, 9.02, 9.24),
+    _t1(_R1010, 0.5, "2catac", 89.1, 1.00, 1.00, 1.23, 9.11, 9.28),
+    _t1(_R1010, 0.5, "fertac", 51.2, 1.04, 1.00, 1.41, 9.49, 9.89),
+    _t1(_R1010, 0.5, "otac_b", 1.4, 1.38, 1.39, 1.87, 9.97, 0.00),
+    _t1(_R1010, 0.5, "otac_l", 0.0, 4.32, 4.37, 5.80, 0.00, 9.72),
+    _t1(_R1010, 0.8, "herad", 100.0, 1.00, 1.00, 1.00, 9.10, 9.44),
+    _t1(_R1010, 0.8, "2catac", 61.7, 1.02, 1.00, 1.22, 9.33, 9.36),
+    _t1(_R1010, 0.8, "fertac", 42.2, 1.06, 1.03, 1.37, 9.56, 9.87),
+    _t1(_R1010, 0.8, "otac_b", 1.6, 1.41, 1.43, 1.92, 9.99, 0.00),
+    _t1(_R1010, 0.8, "otac_l", 0.0, 4.34, 4.40, 5.80, 0.00, 9.81),
+    # R = (4B, 16L)
+    _t1(_R416, 0.2, "herad", 100.0, 1.00, 1.00, 1.00, 3.99, 7.86),
+    _t1(_R416, 0.2, "2catac", 100.0, 1.00, 1.00, 1.00, 3.99, 7.89),
+    _t1(_R416, 0.2, "fertac", 99.0, 1.00, 1.00, 1.09, 3.99, 9.27),
+    _t1(_R416, 0.2, "otac_b", 0.0, 1.61, 1.59, 2.62, 4.00, 0.00),
+    _t1(_R416, 0.2, "otac_l", 0.0, 2.22, 2.16, 4.72, 0.00, 10.98),
+    _t1(_R416, 0.5, "herad", 100.0, 1.00, 1.00, 1.00, 3.99, 13.32),
+    _t1(_R416, 0.5, "2catac", 91.7, 1.00, 1.00, 1.14, 3.99, 13.42),
+    _t1(_R416, 0.5, "fertac", 61.4, 1.03, 1.00, 1.34, 3.99, 14.08),
+    _t1(_R416, 0.5, "otac_b", 0.0, 2.03, 2.06, 2.88, 4.00, 0.00),
+    _t1(_R416, 0.5, "otac_l", 0.0, 2.58, 2.49, 4.72, 0.00, 11.91),
+    _t1(_R416, 0.8, "herad", 100.0, 1.00, 1.00, 1.00, 3.99, 15.80),
+    _t1(_R416, 0.8, "2catac", 41.1, 1.03, 1.01, 1.21, 3.99, 15.83),
+    _t1(_R416, 0.8, "fertac", 13.0, 1.08, 1.07, 1.36, 3.99, 15.91),
+    _t1(_R416, 0.8, "otac_b", 0.0, 2.42, 2.40, 3.13, 4.00, 0.00),
+    _t1(_R416, 0.8, "otac_l", 0.0, 2.57, 2.36, 4.97, 0.00, 13.20),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PaperTable2Row:
+    """One Table II solution row (expected values and measured throughput)."""
+
+    solution_id: str
+    platform: str
+    resources: Resources
+    strategy: str
+    decomposition: str
+    num_stages: int
+    big_used: int
+    little_used: int
+    period_us: float
+    sim_fps: float
+    real_fps: float
+    sim_mbps: float
+    real_mbps: float
+
+
+def _t2(sid, plat, res, strat, decomp, s, b, l, period, sfps, rfps, smb, rmb):  # noqa: ANN001
+    return PaperTable2Row(sid, plat, res, strat, decomp, s, b, l, period, sfps, rfps, smb, rmb)
+
+
+#: Table II verbatim.
+PAPER_TABLE2: tuple[PaperTable2Row, ...] = (
+    _t2("S1", "Mac Studio", Resources(8, 2), "herad",
+        "(5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)", 7, 8, 2, 1128.7, 3544, 3316, 50.4, 47.2),
+    _t2("S2", "Mac Studio", Resources(8, 2), "2catac",
+        "(5,1B),(3,1B),(7,1B),(4,5B),(4,1L)", 5, 8, 1, 1154.3, 3465, 3590, 49.3, 51.1),
+    _t2("S3", "Mac Studio", Resources(8, 2), "fertac",
+        "(3,1L),(1,1L),(2,1B),(9,1B),(5,5B),(3,1B)", 6, 8, 2, 1265.6, 3160, 2944, 45.0, 41.9),
+    _t2("S4", "Mac Studio", Resources(8, 2), "otac_b",
+        "(5,1B),(4,1B),(6,1B),(4,4B),(4,1B)", 5, 8, 0, 1442.9, 2772, 2677, 39.5, 38.1),
+    _t2("S5", "Mac Studio", Resources(8, 2), "otac_l",
+        "(16,1L),(7,1L)", 2, 0, 2, 11440.0, 350, 351, 5.0, 5.0),
+    _t2("S6", "Mac Studio", Resources(16, 4), "herad",
+        "(3,1L),(1,1L),(1,1L),(1,1B),(6,1B),(7,7B),(4,1L)", 7, 9, 4, 950.6, 4208, 3934, 59.9, 56.0),
+    _t2("S7", "Mac Studio", Resources(16, 4), "2catac",
+        "(3,1L),(1,1L),(1,1L),(1,1B),(9,1B),(5,7B),(3,1L)", 7, 9, 4, 950.6, 4208, 3927, 59.9, 55.9),
+    _t2("S8", "Mac Studio", Resources(16, 4), "fertac",
+        "(3,1L),(1,1L),(1,1L),(1,1B),(2,1L),(7,1B),(5,7B),(3,1B)", 8, 10, 4, 950.6, 4208, 3920, 59.9, 55.8),
+    _t2("S9", "Mac Studio", Resources(16, 4), "otac_b",
+        "(5,1B),(1,1B),(9,1B),(5,7B),(3,1B)", 5, 11, 0, 950.6, 4208, 3927, 59.9, 55.9),
+    _t2("S10", "Mac Studio", Resources(16, 4), "otac_l",
+        "(13,1L),(6,2L),(4,1L)", 3, 0, 4, 6470.9, 618, 611, 8.8, 8.7),
+    _t2("S11", "X7 Ti", Resources(3, 4), "herad",
+        "(5,1B),(10,1B),(3,1B),(1,3L),(4,1L)", 5, 3, 4, 2722.1, 2939, 2726, 41.8, 38.8),
+    _t2("S12", "X7 Ti", Resources(3, 4), "2catac",
+        "(5,1L),(10,1B),(3,1B),(1,3L),(4,1B)", 5, 3, 4, 2722.1, 2939, 2677, 41.8, 38.1),
+    _t2("S13", "X7 Ti", Resources(3, 4), "fertac",
+        "(5,1L),(3,1L),(7,1L),(4,3B),(4,1L)", 5, 3, 4, 2867.0, 2790, 2852, 39.7, 40.6),
+    _t2("S14", "X7 Ti", Resources(3, 4), "otac_b",
+        "(18,1B),(1,1B),(4,1B)", 3, 3, 0, 6209.0, 1288, 1384, 18.3, 19.7),
+    _t2("S15", "X7 Ti", Resources(3, 4), "otac_l",
+        "(15,1L),(4,2L),(4,1L)", 3, 0, 4, 7490.3, 1068, 1025, 15.2, 14.6),
+    _t2("S16", "X7 Ti", Resources(6, 8), "herad",
+        "(5,1B),(1,1B),(6,1B),(4,2B),(3,7L),(4,1L)", 6, 6, 8, 1341.9, 5962, 5108, 84.8, 72.5),
+    _t2("S17", "X7 Ti", Resources(6, 8), "2catac",
+        "(5,1B),(1,1B),(9,1B),(3,2B),(2,7L),(3,1L)", 6, 6, 8, 1341.9, 5962, 5052, 84.8, 71.4),
+    _t2("S18", "X7 Ti", Resources(6, 8), "fertac",
+        "(3,1L),(2,1L),(3,1B),(4,1L),(6,5L),(1,4B),(4,1B)", 7, 6, 8, 1552.3, 5154, 4602, 73.3, 65.4),
+    _t2("S19", "X7 Ti", Resources(6, 8), "otac_b",
+        "(8,1B),(7,1B),(4,3B),(4,1B)", 4, 6, 0, 2867.0, 2790, 2712, 39.7, 38.6),
+    _t2("S20", "X7 Ti", Resources(6, 8), "otac_l",
+        "(5,1L),(5,1L),(5,1L),(4,4L),(4,1L)", 5, 0, 8, 3745.1, 2136, 1833, 30.4, 26.1),
+)

@@ -1,0 +1,206 @@
+"""Table II / Fig. 5 data — DVB-S2 receiver schedules and throughput.
+
+For each of the four real-platform configurations (Mac Studio with all/half
+cores, X7 Ti with all/half cores) and each of the five strategies, this
+driver:
+
+1. schedules the DVB-S2 receiver chain (paper Table III latencies);
+2. reports the pipeline decomposition, stage count, core usage and the
+   expected (model) period, converted to FPS and Mb/s ("Sim" columns);
+3. *executes* the schedule on the StreamPU-like discrete-event runtime with
+   the calibrated overhead model to obtain the "Real" columns — the
+   substitution for running StreamPU on the physical machines (see
+   DESIGN.md §3), calibrated to the gap magnitudes the paper measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.tables import render_table
+from ..core.registry import PAPER_ORDER, get_info
+from ..core.solution import Solution
+from ..core.types import Resources
+from ..platform.model import Platform
+from ..platform.presets import REAL_CONFIGURATIONS
+from ..sdr.dvbs2 import dvbs2_chain
+from ..sdr.framing import DVBS2_NORMAL_R8_9, fps_from_period_us
+from ..streampu.overheads import CalibratedOverhead, OverheadModel
+from ..streampu.pipeline import PipelineSpec
+from ..streampu.simulator import simulate_pipeline
+from .paper_data import PAPER_TABLE2
+
+__all__ = ["Table2Row", "Table2Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table II line: a strategy's schedule and throughput on a config.
+
+    Attributes:
+        platform: platform name.
+        resources: budget offered to the scheduler.
+        strategy: canonical strategy name.
+        solution: the computed schedule.
+        decomposition: paper-style stage string.
+        num_stages: pipeline depth.
+        big_used / little_used: cores used per type.
+        period_us: expected (model) period in microseconds.
+        sim_fps / sim_mbps: throughput implied by the model period.
+        real_fps / real_mbps: throughput measured on the overhead-calibrated
+            runtime simulation.
+    """
+
+    platform: str
+    resources: Resources
+    strategy: str
+    solution: Solution
+    decomposition: str
+    num_stages: int
+    big_used: int
+    little_used: int
+    period_us: float
+    sim_fps: float
+    sim_mbps: float
+    real_fps: float
+    real_mbps: float
+
+    @property
+    def mbps_diff(self) -> float:
+        """Expected minus measured throughput (paper's "Diff." column)."""
+        return self.sim_mbps - self.real_mbps
+
+    @property
+    def mbps_ratio_percent(self) -> float:
+        """Relative expected-to-measured gap in percent ("Ratio" column)."""
+        if self.real_mbps <= 0:
+            return float("inf")
+        return (self.sim_mbps / self.real_mbps - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All Table II rows."""
+
+    rows: tuple[Table2Row, ...]
+    num_frames: int
+
+
+def run(
+    configurations: Sequence[tuple[Platform, Resources]] = REAL_CONFIGURATIONS,
+    strategies: Sequence[str] = PAPER_ORDER,
+    overhead: OverheadModel | None = None,
+    num_frames: int = 2000,
+    info_bits: int = DVBS2_NORMAL_R8_9.info_bits,
+) -> Table2Result:
+    """Compute the Table II reproduction.
+
+    Args:
+        configurations: (platform, budget) pairs (default: the paper's four).
+        strategies: strategies to evaluate (default: the paper's five).
+        overhead: runtime overhead model for the "Real" columns; defaults to
+            the calibrated model.
+        num_frames: frames streamed per throughput measurement.
+        info_bits: information bits per frame (K).
+    """
+    model = overhead if overhead is not None else CalibratedOverhead()
+    rows = []
+    for platform, resources in configurations:
+        chain = dvbs2_chain(platform)
+        interframe = platform.interframe
+        for name in strategies:
+            info = get_info(name)
+            outcome = info.func(chain, resources)
+            solution = outcome.solution
+            usage = solution.core_usage()
+            period = outcome.period
+
+            spec = PipelineSpec.from_solution(solution, chain)
+            sim = simulate_pipeline(spec, num_frames=num_frames, overhead=model)
+            real_period = sim.report.measured_period
+
+            sim_fps = fps_from_period_us(period, interframe)
+            real_fps = fps_from_period_us(real_period, interframe)
+            rows.append(
+                Table2Row(
+                    platform=platform.name,
+                    resources=resources,
+                    strategy=info.name,
+                    solution=solution,
+                    decomposition=solution.render(),
+                    num_stages=solution.num_stages,
+                    big_used=usage.big,
+                    little_used=usage.little,
+                    period_us=period,
+                    sim_fps=sim_fps,
+                    sim_mbps=sim_fps * info_bits / 1e6,
+                    real_fps=real_fps,
+                    real_mbps=real_fps * info_bits / 1e6,
+                )
+            )
+    return Table2Result(rows=tuple(rows), num_frames=num_frames)
+
+
+def _paper_row(resources: Resources, platform: str, strategy: str):
+    for row in PAPER_TABLE2:
+        if (
+            row.resources == resources
+            and row.platform == platform
+            and row.strategy == strategy
+        ):
+            return row
+    return None
+
+
+def render(result: Table2Result, include_paper: bool = True) -> str:
+    """Render the reproduction in the paper's Table II layout."""
+    headers = [
+        "Platform",
+        "R=(b,l)",
+        "Strategy",
+        "Pipeline decomposition",
+        "|s|",
+        "b",
+        "l",
+        "Period (us)",
+        "Sim FPS",
+        "Real FPS",
+        "Sim Mb/s",
+        "Real Mb/s",
+        "Ratio",
+    ]
+    if include_paper:
+        headers += ["paper period", "paper real Mb/s"]
+    rows = []
+    for row in result.rows:
+        cells = [
+            row.platform,
+            str(row.resources),
+            get_info(row.strategy).display_name,
+            row.decomposition,
+            row.num_stages,
+            row.big_used,
+            row.little_used,
+            f"{row.period_us:.1f}",
+            f"{row.sim_fps:.0f}",
+            f"{row.real_fps:.0f}",
+            f"{row.sim_mbps:.1f}",
+            f"{row.real_mbps:.1f}",
+            f"{row.mbps_ratio_percent:+.0f}%",
+        ]
+        if include_paper:
+            paper = _paper_row(row.resources, row.platform, row.strategy)
+            if paper is None:
+                cells += ["-", "-"]
+            else:
+                cells += [f"{paper.period_us:.1f}", f"{paper.real_mbps:.1f}"]
+        rows.append(cells)
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Table II reproduction — DVB-S2 receiver schedules "
+            f"({result.num_frames} simulated frames per measurement)"
+        ),
+    )

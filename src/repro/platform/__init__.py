@@ -1,0 +1,19 @@
+"""Platform models and the paper's platform presets."""
+
+from .model import Platform
+from .presets import (
+    MAC_STUDIO,
+    REAL_CONFIGURATIONS,
+    SIMULATION_BUDGETS,
+    X7_TI,
+    simulation_platform,
+)
+
+__all__ = [
+    "Platform",
+    "MAC_STUDIO",
+    "X7_TI",
+    "SIMULATION_BUDGETS",
+    "REAL_CONFIGURATIONS",
+    "simulation_platform",
+]

@@ -1,0 +1,86 @@
+"""Platform descriptions.
+
+A :class:`Platform` couples a core budget ``R = (b, l)`` with metadata about
+the machine (names, nominal frequencies) used by reports and by the runtime
+simulator.  Scheduling itself only needs the budget — per-task speeds come
+from the profiled chain weights, since the resources are *unrelated* (the
+big/little latency ratio varies per task; see Table III of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.errors import InvalidPlatformError
+from ..core.types import CoreType, Resources
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True, slots=True)
+class Platform:
+    """A two-type multicore platform.
+
+    Attributes:
+        name: human-readable platform name.
+        resources: the core budget ``(b, l)``.
+        big_frequency_ghz: nominal big-core frequency (informational).
+        little_frequency_ghz: nominal little-core frequency (informational).
+        interframe: number of frames processed per pipeline traversal by the
+            streaming runtime on this platform (the DVB-S2 experiments use 4
+            on the Mac Studio and 8 on the X7 Ti); task latencies profiled on
+            a platform are *per batch* of ``interframe`` frames.
+    """
+
+    name: str
+    resources: Resources
+    big_frequency_ghz: float = 0.0
+    little_frequency_ghz: float = 0.0
+    interframe: int = 1
+
+    def __post_init__(self) -> None:
+        if self.resources.total <= 0:
+            raise InvalidPlatformError(f"platform {self.name!r} has no cores")
+        if self.interframe < 1:
+            raise InvalidPlatformError(
+                f"platform {self.name!r}: interframe must be >= 1"
+            )
+
+    @property
+    def big(self) -> int:
+        """Number of big cores."""
+        return self.resources.big
+
+    @property
+    def little(self) -> int:
+        """Number of little cores."""
+        return self.resources.little
+
+    def frequency(self, core_type: CoreType) -> float:
+        """Nominal frequency of the given core type (GHz; informational)."""
+        return (
+            self.big_frequency_ghz
+            if core_type is CoreType.BIG
+            else self.little_frequency_ghz
+        )
+
+    def halved(self) -> "Platform":
+        """The paper's "half the cores" configuration of this platform.
+
+        Halves both pools (floor division), keeping at least one core in a
+        pool that was non-empty.
+        """
+        big = max(1, self.big // 2) if self.big else 0
+        little = max(1, self.little // 2) if self.little else 0
+        return replace(
+            self,
+            name=f"{self.name} (half)",
+            resources=Resources(big, little),
+        )
+
+    def with_resources(self, big: int, little: int) -> "Platform":
+        """A copy of this platform with a different core budget."""
+        return replace(self, resources=Resources(big, little))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} R=({self.big}B, {self.little}L)"

@@ -1,0 +1,71 @@
+"""Platform presets used throughout the paper's evaluation.
+
+* The three *simulation* budgets of Section VI-A-1:
+  ``(16B, 4L)``, ``(10B, 10L)``, ``(4B, 16L)``.
+* The two *real* SDR platforms of Section VI-A-2:
+
+  - **Mac Studio** — Apple M1 Ultra, 16 performance + 4 efficiency cores,
+    DVB-S2 receiver run at interframe level 4;
+  - **X7 Ti** — Minisforum AtomMan X7 Ti (Intel Ultra 9 185H), 6 P-cores +
+    8 E-cores usable (2 LPE-cores left unused), interframe level 8.
+
+  Each real platform is evaluated with all cores and with half of them,
+  giving the four Table II configurations ``(8B, 2L)``, ``(16B, 4L)``,
+  ``(3B, 4L)``, ``(6B, 8L)``.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Resources
+from .model import Platform
+
+__all__ = [
+    "MAC_STUDIO",
+    "X7_TI",
+    "SIMULATION_BUDGETS",
+    "simulation_platform",
+    "REAL_CONFIGURATIONS",
+]
+
+#: Apple Mac Studio (M1 Ultra) as configured in the paper.
+MAC_STUDIO = Platform(
+    name="Mac Studio",
+    resources=Resources(big=16, little=4),
+    big_frequency_ghz=3.2,
+    little_frequency_ghz=2.0,
+    interframe=4,
+)
+
+#: Minisforum AtomMan X7 Ti (Intel Ultra 9 185H) as configured in the paper.
+X7_TI = Platform(
+    name="X7 Ti",
+    resources=Resources(big=6, little=8),
+    big_frequency_ghz=5.1,
+    little_frequency_ghz=3.8,
+    interframe=8,
+)
+
+#: The three simulated budgets of the synthetic campaign (Table I, Figs. 1-2).
+SIMULATION_BUDGETS: tuple[Resources, ...] = (
+    Resources(16, 4),
+    Resources(10, 10),
+    Resources(4, 16),
+)
+
+
+def simulation_platform(big: int, little: int) -> Platform:
+    """A synthetic platform with the given budget (for simulation studies)."""
+    return Platform(
+        name=f"synthetic ({big}B, {little}L)",
+        resources=Resources(big, little),
+    )
+
+
+#: The four real-world configurations of Table II, in paper order:
+#: (platform, budget actually offered to the scheduler).
+REAL_CONFIGURATIONS: tuple[tuple[Platform, Resources], ...] = (
+    (MAC_STUDIO, Resources(8, 2)),
+    (MAC_STUDIO, Resources(16, 4)),
+    (X7_TI, Resources(3, 4)),
+    (X7_TI, Resources(6, 8)),
+)

@@ -1,0 +1,75 @@
+"""Software-defined radio workload: the DVB-S2 receiver model.
+
+Two layers:
+
+* the *scheduling* model — the 23-task chain with the paper's Table III
+  profiled latencies (:func:`dvbs2_chain` and friends);
+* the *functional* substrate — executable signal-processing blocks
+  (scramblers, BCH, LDPC, QPSK modem, RRC filters, PL framing/sync) and the
+  :class:`FunctionalTransceiver` assembling them into a bit-true loopback
+  link whose receiver runs on the streaming runtime.
+"""
+
+from .bch import BchCodec
+
+from .filters import MatchedFilter, PulseShaper, rrc_taps
+from .galois import GaloisField
+from .ldpc import LdpcCode
+from .modem import AwgnChannel, QpskModem, estimate_noise_sigma
+from .plframe import (
+    PlFramer,
+    apply_frequency_offset,
+    correlate_frame_start,
+    decision_directed_phase_track,
+    estimate_frequency_offset,
+)
+from .scrambler import BinaryScrambler, SymbolScrambler
+from .transceiver import FramePayload, FunctionalTransceiver, TransceiverConfig
+from .dvbs2 import (
+    DVBS2_TASK_TABLE,
+    SLOWEST_REPLICABLE,
+    SLOWEST_SEQUENTIAL,
+    DvbS2TaskRecord,
+    dvbs2_chain,
+    dvbs2_mac_studio_chain,
+    dvbs2_x7ti_chain,
+)
+from .framing import (
+    DVBS2_NORMAL_R8_9,
+    FrameFormat,
+    fps_from_period_us,
+    mbps_from_fps,
+)
+
+__all__ = [
+    "DVBS2_TASK_TABLE",
+    "DvbS2TaskRecord",
+    "dvbs2_chain",
+    "dvbs2_mac_studio_chain",
+    "dvbs2_x7ti_chain",
+    "SLOWEST_SEQUENTIAL",
+    "SLOWEST_REPLICABLE",
+    "FrameFormat",
+    "DVBS2_NORMAL_R8_9",
+    "fps_from_period_us",
+    "mbps_from_fps",
+    "GaloisField",
+    "BchCodec",
+    "LdpcCode",
+    "QpskModem",
+    "AwgnChannel",
+    "estimate_noise_sigma",
+    "BinaryScrambler",
+    "SymbolScrambler",
+    "PulseShaper",
+    "MatchedFilter",
+    "rrc_taps",
+    "PlFramer",
+    "correlate_frame_start",
+    "apply_frequency_offset",
+    "estimate_frequency_offset",
+    "decision_directed_phase_track",
+    "FunctionalTransceiver",
+    "TransceiverConfig",
+    "FramePayload",
+]

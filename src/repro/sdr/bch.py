@@ -1,0 +1,163 @@
+"""BCH block code — the receiver's outer code (Decoder BCH, tau_19).
+
+A binary primitive BCH(n = 2^m - 1, k, t) codec with:
+
+* systematic polynomial-division encoding,
+* syndrome computation,
+* Berlekamp-Massey error-locator synthesis,
+* Chien-search root finding and bit correction.
+
+The paper's DVB-S2 configuration uses a shortened BCH over GF(2^16) with
+K = 14232; this implementation supports any supported field degree, and the
+end-to-end chain uses a smaller field for tractable pure-Python decoding
+(the substitution is documented in DESIGN.md — the *decode HIHO* code path
+and cost structure is what matters for scheduling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .galois import GaloisField
+
+__all__ = ["BchCodec"]
+
+
+class BchCodec:
+    """A binary primitive BCH codec over GF(2^m).
+
+    Attributes:
+        m: field degree; code length is ``n = 2^m - 1``.
+        t: correctable errors per codeword.
+        n: codeword length in bits.
+        k: message length in bits.
+    """
+
+    def __init__(self, m: int = 6, t: int = 2) -> None:
+        self.field = GaloisField(m)
+        self.m = m
+        self.t = t
+        self.n = self.field.size - 1
+        self.generator = self.field.bch_generator(t)
+        self.k = self.n - (len(self.generator) - 1)
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={m}, t={t}) has no message bits (k={self.k})"
+            )
+        self._gen_arr = np.array(self.generator, dtype=np.uint8)
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` message bits into ``n`` code bits.
+
+        Layout: ``codeword = [parity (n - k) | message (k)]``.
+
+        Raises:
+            ValueError: for a wrong-size or non-binary message.
+        """
+        msg = np.asarray(message, dtype=np.uint8)
+        if msg.shape != (self.k,):
+            raise ValueError(f"expected {self.k} message bits, got {msg.shape}")
+        if ((msg != 0) & (msg != 1)).any():
+            raise ValueError("message must be binary")
+
+        # Polynomial division of x^(n-k) * m(x) by g(x) over GF(2).
+        degree = len(self.generator) - 1
+        remainder = np.zeros(degree, dtype=np.uint8)
+        for bit in msg[::-1]:  # highest-degree message coefficient first
+            feedback = bit ^ remainder[-1]
+            remainder[1:] = remainder[:-1]
+            remainder[0] = 0
+            if feedback:
+                remainder ^= self._gen_arr[:-1] * feedback
+        codeword = np.concatenate([remainder, msg])
+        return codeword.astype(np.uint8)
+
+    # -- decoding ---------------------------------------------------------------
+
+    def syndromes(self, received: np.ndarray) -> "list[int]":
+        """Syndromes ``S_i = r(alpha^i)`` for i = 1..2t."""
+        field = self.field
+        out = []
+        positions = np.flatnonzero(received)
+        for i in range(1, 2 * self.t + 1):
+            s = 0
+            for pos in positions:
+                s ^= field.pow_alpha(i * int(pos))
+            out.append(s)
+        return out
+
+    def _berlekamp_massey(self, syndromes: "list[int]") -> "list[int]":
+        """Error-locator polynomial sigma(x) from the syndromes."""
+        field = self.field
+        sigma = [1]
+        prev = [1]
+        l = 0
+        shift = 1
+        for step, s in enumerate(syndromes):
+            # Discrepancy.
+            delta = s
+            for j in range(1, l + 1):
+                if j < len(sigma) and sigma[j]:
+                    delta ^= field.mul(sigma[j], syndromes[step - j])
+            if delta == 0:
+                shift += 1
+                continue
+            candidate = list(sigma)
+            scaled = [0] * shift + [
+                field.mul(delta, c) for c in prev
+            ]
+            width = max(len(sigma), len(scaled))
+            sigma = [
+                (sigma[i] if i < len(sigma) else 0)
+                ^ (scaled[i] if i < len(scaled) else 0)
+                for i in range(width)
+            ]
+            if 2 * l <= step:
+                l = step + 1 - l
+                prev = [field.div(c, delta) for c in candidate]
+                shift = 1
+            else:
+                shift += 1
+        return sigma
+
+    def decode(self, received: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Correct up to ``t`` bit errors and extract the message.
+
+        Args:
+            received: ``n`` hard bits.
+
+        Returns:
+            ``(message bits, corrected_count)``; ``corrected_count`` is -1
+            when decoding failed (more than ``t`` errors detected).
+        """
+        word = np.array(received, dtype=np.uint8)
+        if word.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {word.shape}")
+
+        syndromes = self.syndromes(word)
+        if not any(syndromes):
+            return word[self.n - self.k :].copy(), 0
+
+        sigma = self._berlekamp_massey(syndromes)
+        errors = len(sigma) - 1
+        if errors > self.t:
+            return word[self.n - self.k :].copy(), -1
+
+        # Chien search: roots alpha^{-pos} locate error positions.
+        field = self.field
+        locations = []
+        for pos in range(self.n):
+            x = field.pow_alpha(-pos)
+            if field.poly_eval(sigma, x) == 0:
+                locations.append(pos)
+        if len(locations) != errors:
+            return word[self.n - self.k :].copy(), -1
+
+        for pos in locations:
+            word[pos] ^= 1
+        # Sanity: the corrected word must be a codeword.
+        if any(self.syndromes(word)):
+            return word[self.n - self.k :].copy(), -1
+        return word[self.n - self.k :].copy(), len(locations)

@@ -1,0 +1,134 @@
+"""The DVB-S2 receiver task chain (paper Table III).
+
+The receiver implements the transmission phase of the ETSI EN 302 307
+standard as a chain of 23 StreamPU tasks: radio reception, automatic gain
+control, coarse/fine synchronization, matched filtering, frame
+synchronization, QPSK demodulation, LDPC and BCH decoding, descrambling and
+monitoring.  Ten tasks are stateful (synchronizers, radio, sink/source) and
+cannot be replicated; thirteen are stateless.
+
+The per-task latencies below are the paper's own profiling results (Table
+III) on the two evaluated platforms, in microseconds per batch of
+``interframe`` frames (4 frames on the Mac Studio, 8 on the X7 Ti).  They
+are the exact scheduler inputs used to produce Table II, which is why this
+module reproduces the paper's pipeline decompositions and expected periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.task import Task, TaskChain
+from ..platform.model import Platform
+from ..platform.presets import MAC_STUDIO, X7_TI
+
+__all__ = [
+    "DVBS2_TASK_TABLE",
+    "DvbS2TaskRecord",
+    "dvbs2_chain",
+    "dvbs2_mac_studio_chain",
+    "dvbs2_x7ti_chain",
+    "SLOWEST_SEQUENTIAL",
+    "SLOWEST_REPLICABLE",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DvbS2TaskRecord:
+    """One row of Table III.
+
+    Attributes:
+        index: 1-based task id (``tau_i``).
+        name: module - task label as printed in the paper.
+        replicable: True for stateless tasks.
+        mac_big: latency on a Mac Studio P-core (us, per 4-frame batch).
+        mac_little: latency on a Mac Studio E-core (us, per 4-frame batch).
+        x7_big: latency on an X7 Ti P-core (us, per 8-frame batch).
+        x7_little: latency on an X7 Ti E-core (us, per 8-frame batch).
+    """
+
+    index: int
+    name: str
+    replicable: bool
+    mac_big: float
+    mac_little: float
+    x7_big: float
+    x7_little: float
+
+
+# fmt: off
+#: Table III verbatim: (index, name, replicable, Mac B, Mac L, X7 B, X7 L).
+DVBS2_TASK_TABLE: tuple[DvbS2TaskRecord, ...] = (
+    DvbS2TaskRecord(1,  "Radio - receive",                     False,   52.3,  248.3,  131.7,  133.2),
+    DvbS2TaskRecord(2,  "Multiplier AGC - imultiply",          False,   75.2,  149.9,  138.3,  318.1),
+    DvbS2TaskRecord(3,  "Sync. Freq. Coarse - synchronize",    False,   96.4,  496.6,  113.7,  429.0),
+    DvbS2TaskRecord(4,  "Filter Matched - filter (part 1)",    False,  318.9,  902.9,  334.8,  711.9),
+    DvbS2TaskRecord(5,  "Filter Matched - filter (part 2)",    False,  315.1,  883.2,  329.3,  712.6),
+    DvbS2TaskRecord(6,  "Sync. Timing - synchronize",          False,  950.6, 1468.9, 1341.9, 2387.1),
+    DvbS2TaskRecord(7,  "Sync. Timing - extract",              False,   55.5,  106.0,   58.7,  135.1),
+    DvbS2TaskRecord(8,  "Multiplier AGC - imultiply",          False,   37.1,   75.4,   63.5,  157.4),
+    DvbS2TaskRecord(9,  "Sync. Frame - synchronize (part 1)",  False,  361.0, 1064.7,  365.9,  848.1),
+    DvbS2TaskRecord(10, "Sync. Frame - synchronize (part 2)",  False,   52.9,  169.1,   81.1,  197.9),
+    DvbS2TaskRecord(11, "Scrambler Symbol - descramble",       True,    16.0,   61.0,   25.1,   65.9),
+    DvbS2TaskRecord(12, "Sync. Freq. Fine L&R - synchronize",  False,   50.5,  247.1,   54.3,  203.2),
+    DvbS2TaskRecord(13, "Sync. Freq. Fine P/F - synchronize",  True,    99.2,  597.8,  253.8,  356.2),
+    DvbS2TaskRecord(14, "Framer PLH - remove",                 True,    23.4,   65.1,   47.4,   87.7),
+    DvbS2TaskRecord(15, "Noise Estimator - estimate",          True,    40.5,   65.4,   32.4,   65.4),
+    DvbS2TaskRecord(16, "Modem QPSK - demodulate",             True,  2257.5, 4838.6, 2123.1, 5742.4),
+    DvbS2TaskRecord(17, "Interleaver - deinterleave",          True,    21.1,   58.4,   29.3,   47.6),
+    DvbS2TaskRecord(18, "Decoder LDPC - decode SIHO",          True,   153.2,  506.7,  239.7, 1024.4),
+    DvbS2TaskRecord(19, "Decoder BCH - decode HIHO",           True,  3339.9, 7303.5, 6209.0, 8166.2),
+    DvbS2TaskRecord(20, "Scrambler Binary - descramble",       True,   191.7,  464.9,  559.0,  621.8),
+    DvbS2TaskRecord(21, "Sink Binary File - send",             False,    9.5,   33.3,   34.6,   75.6),
+    DvbS2TaskRecord(22, "Source - generate",                   False,    4.0,   13.6,   16.9,   23.4),
+    DvbS2TaskRecord(23, "Monitor - check errors",              True,     9.5,   21.0,    9.2,   20.5),
+)
+# fmt: on
+
+#: Table III highlights: the two slowest sequential / replicable tasks.
+SLOWEST_SEQUENTIAL: tuple[int, ...] = (6, 9)
+SLOWEST_REPLICABLE: tuple[int, ...] = (19, 16)
+
+
+def dvbs2_chain(platform: Platform) -> TaskChain:
+    """Build the DVB-S2 receiver chain profiled for ``platform``.
+
+    Args:
+        platform: one of the presets (:data:`~repro.platform.MAC_STUDIO`,
+            :data:`~repro.platform.X7_TI`) or any platform whose name starts
+            with theirs (half-core variants keep the same profile).
+
+    Raises:
+        ValueError: if the platform has no profile in Table III.
+    """
+    if platform.name.startswith(MAC_STUDIO.name):
+        pick = lambda r: (r.mac_big, r.mac_little)  # noqa: E731
+    elif platform.name.startswith(X7_TI.name):
+        pick = lambda r: (r.x7_big, r.x7_little)  # noqa: E731
+    else:
+        raise ValueError(
+            f"no DVB-S2 profile for platform {platform.name!r}; "
+            "use MAC_STUDIO or X7_TI"
+        )
+    tasks = []
+    for record in DVBS2_TASK_TABLE:
+        big, little = pick(record)
+        tasks.append(
+            Task(
+                name=f"tau_{record.index} {record.name}",
+                weight_big=big,
+                weight_little=little,
+                replicable=record.replicable,
+            )
+        )
+    return TaskChain(tasks, name=f"DVB-S2 receiver @ {platform.name}")
+
+
+def dvbs2_mac_studio_chain() -> TaskChain:
+    """The receiver chain with Mac Studio latencies (4-frame batches)."""
+    return dvbs2_chain(MAC_STUDIO)
+
+
+def dvbs2_x7ti_chain() -> TaskChain:
+    """The receiver chain with X7 Ti latencies (8-frame batches)."""
+    return dvbs2_chain(X7_TI)

@@ -1,0 +1,75 @@
+"""DVB-S2 framing constants and throughput conversions.
+
+The paper's receiver decodes normal FECFRAMEs with MODCOD 2 (QPSK) at LDPC
+code rate 8/9: the BCH information block carries ``K = 14232`` bits per
+frame.  Task latencies in Table III are profiled *per batch* of
+``interframe`` frames (4 on the Mac Studio, 8 on the X7 Ti), so:
+
+* ``FPS  = interframe / period``  (period in seconds), and
+* ``Mb/s = FPS * K / 1e6``.
+
+E.g. Table II's ``S_1``: period 1128.7 us with interframe 4 gives
+``4 / 1128.7e-6 = 3544`` FPS and ``3544 * 14232 / 1e6 = 50.4`` Mb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrameFormat", "DVBS2_NORMAL_R8_9", "fps_from_period_us", "mbps_from_fps"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrameFormat:
+    """A DVB-S2 frame configuration.
+
+    Attributes:
+        name: configuration label.
+        info_bits: information bits per frame (``K``).
+        ldpc_rate: LDPC code rate (informational).
+        modcod: MODCOD index (informational).
+        ldpc_frame_bits: coded bits per LDPC frame (informational).
+    """
+
+    name: str
+    info_bits: int
+    ldpc_rate: str = ""
+    modcod: int = 0
+    ldpc_frame_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.info_bits <= 0:
+            raise ValueError("info_bits must be positive")
+
+    def throughput_mbps(self, fps: float) -> float:
+        """Information throughput in Mb/s for a frame rate in frames/s."""
+        return fps * self.info_bits / 1e6
+
+
+#: The paper's receiver configuration: K = 14232, R = 8/9, MODCOD 2.
+DVBS2_NORMAL_R8_9 = FrameFormat(
+    name="DVB-S2 normal FECFRAME, MODCOD 2, R=8/9",
+    info_bits=14232,
+    ldpc_rate="8/9",
+    modcod=2,
+    ldpc_frame_bits=64800,
+)
+
+
+def fps_from_period_us(period_us: float, interframe: int) -> float:
+    """Frames per second for a pipeline period given in microseconds.
+
+    Args:
+        period_us: steady-state pipeline period (per batch), microseconds.
+        interframe: frames per batch.
+    """
+    if period_us <= 0:
+        raise ValueError(f"period must be positive, got {period_us}")
+    if interframe < 1:
+        raise ValueError(f"interframe must be >= 1, got {interframe}")
+    return interframe / (period_us * 1e-6)
+
+
+def mbps_from_fps(fps: float, frame: FrameFormat = DVBS2_NORMAL_R8_9) -> float:
+    """Information throughput (Mb/s) for a frame rate (frames/s)."""
+    return frame.throughput_mbps(fps)

@@ -1,0 +1,171 @@
+"""Galois-field arithmetic GF(2^m) for the BCH codec.
+
+Implements the standard table-driven field: elements are integers whose bits
+are polynomial coefficients over GF(2); multiplication uses log/antilog
+tables built from a primitive polynomial.  Everything the BCH
+encoder/decoder needs: multiply, inverse, power, and minimal-polynomial /
+generator-polynomial construction.
+
+This is real (if compact) finite-field code — the reproduction's DVB-S2
+receiver decodes actual BCH codewords with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaloisField", "DEFAULT_PRIMITIVE_POLYS"]
+
+#: Primitive polynomials (as integers, bit i = coefficient of x^i) for the
+#: field sizes the codecs use.
+DEFAULT_PRIMITIVE_POLYS: dict[int, int] = {
+    3: 0b1011,         # x^3 + x + 1
+    4: 0b10011,        # x^4 + x + 1
+    5: 0b100101,       # x^5 + x^2 + 1
+    6: 0b1000011,      # x^6 + x + 1
+    7: 0b10001001,     # x^7 + x^3 + 1
+    8: 0b100011101,    # x^8 + x^4 + x^3 + x^2 + 1
+    10: 0b10000001001, # x^10 + x^3 + 1
+}
+
+
+class GaloisField:
+    """GF(2^m) with log/antilog tables.
+
+    Attributes:
+        m: field degree (2^m elements).
+        size: number of elements ``2^m``.
+        primitive_poly: the defining primitive polynomial.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if primitive_poly is None:
+            try:
+                primitive_poly = DEFAULT_PRIMITIVE_POLYS[m]
+            except KeyError:
+                raise ValueError(
+                    f"no default primitive polynomial for m={m}; pass one"
+                ) from None
+        self.m = m
+        self.size = 1 << m
+        self.primitive_poly = primitive_poly
+
+        # alpha^i for i in [0, 2^m - 2]; log is the inverse map.
+        exp = np.zeros(2 * self.size, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.size - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= primitive_poly
+        if x != 1:
+            raise ValueError(
+                f"polynomial {primitive_poly:#b} is not primitive for m={m}"
+            )
+        # Duplicate for index wrap-around (avoids modulo in hot paths).
+        exp[self.size - 1 : 2 * (self.size - 1)] = exp[: self.size - 1]
+        self._exp = exp
+        self._log = log
+
+    # -- element arithmetic ---------------------------------------------------
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse.
+
+        Raises:
+            ZeroDivisionError: for the zero element.
+        """
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return int(self._exp[(self.size - 1) - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.mul(a, self.inv(b)) if a else 0
+
+    def pow_alpha(self, i: int) -> int:
+        """``alpha^i`` for any integer exponent."""
+        return int(self._exp[i % (self.size - 1)])
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha.
+
+        Raises:
+            ValueError: for the zero element.
+        """
+        if a == 0:
+            raise ValueError("log of 0 is undefined")
+        return int(self._log[a])
+
+    # -- polynomials over GF(2^m) (lists of coefficients, low degree first) ---
+
+    def poly_eval(self, poly: "list[int]", x: int) -> int:
+        """Evaluate a polynomial at ``x`` (Horner)."""
+        result = 0
+        for coeff in reversed(poly):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def poly_mul(self, a: "list[int]", b: "list[int]") -> "list[int]":
+        """Multiply two polynomials over the field."""
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out
+
+    # -- code construction ------------------------------------------------------
+
+    def minimal_polynomial(self, element: int) -> "list[int]":
+        """Minimal polynomial over GF(2) of a field element.
+
+        Built from the conjugacy class {e, e^2, e^4, ...}; coefficients are
+        0/1 (the polynomial lies in GF(2)[x]).
+        """
+        conjugates = []
+        e = element
+        while e not in conjugates:
+            conjugates.append(e)
+            e = self.mul(e, e)
+        poly = [1]
+        for root in conjugates:
+            poly = self.poly_mul(poly, [root, 1])
+        if any(c not in (0, 1) for c in poly):
+            raise AssertionError(
+                "minimal polynomial must have GF(2) coefficients"
+            )
+        return poly
+
+    def bch_generator(self, t: int) -> "list[int]":
+        """Generator polynomial of the t-error-correcting primitive BCH code.
+
+        LCM of the minimal polynomials of alpha, alpha^2, ..., alpha^{2t};
+        coefficients in GF(2) (0/1 ints), lowest degree first.
+        """
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        generator = [1]
+        seen_polys: set[tuple[int, ...]] = set()
+        for i in range(1, 2 * t + 1):
+            m_poly = tuple(self.minimal_polynomial(self.pow_alpha(i)))
+            if m_poly in seen_polys:
+                continue
+            seen_polys.add(m_poly)
+            generator = self.poly_mul(generator, list(m_poly))
+        return generator

@@ -1,0 +1,183 @@
+"""LDPC code — the receiver's inner code (Decoder LDPC, tau_18).
+
+A regular Gallager-style LDPC code with:
+
+* deterministic parity-check construction (column weight 3, configurable
+  rate) followed by Gaussian elimination over GF(2) for a systematic
+  generator matrix;
+* soft-input hard-output **normalized min-sum** decoding with an early-stop
+  syndrome check — the same decoder family as the paper's receiver ("LDPC
+  horizontal layered NMS 10 ite with early stop criterion").
+
+The paper's DVB-S2 code is the standard's 64800-bit FECFRAME at rate 8/9;
+this implementation builds codes of any modest size (hundreds to a few
+thousand bits) that exercise the identical decode code path at pure-Python
+tractable cost (substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LdpcCode"]
+
+
+def _gaussian_elimination_gf2(h: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Bring H (r x n) to ``[I | P]`` form via row ops and column swaps.
+
+    Returns the reduced matrix and the column permutation applied.
+    """
+    h = h.copy() % 2
+    rows, cols = h.shape
+    perm = np.arange(cols)
+    rank = 0
+    for col in range(rows):
+        pivot_rows = np.flatnonzero(h[rank:, col]) + rank
+        if pivot_rows.size == 0:
+            # Find a later column with a pivot and swap it in.
+            swap = None
+            for candidate in range(col + 1, cols):
+                pivots = np.flatnonzero(h[rank:, candidate]) + rank
+                if pivots.size:
+                    swap = candidate
+                    pivot_rows = pivots
+                    break
+            if swap is None:
+                break
+            h[:, [col, swap]] = h[:, [swap, col]]
+            perm[[col, swap]] = perm[[swap, col]]
+        pivot = pivot_rows[0]
+        if pivot != rank:
+            h[[rank, pivot]] = h[[pivot, rank]]
+        # Eliminate the column everywhere else.
+        mask = h[:, col].astype(bool)
+        mask[rank] = False
+        h[mask] ^= h[rank]
+        rank += 1
+    return h[:rank], perm
+
+
+class LdpcCode:
+    """A regular LDPC code with a normalized min-sum decoder.
+
+    Attributes:
+        n: codeword length in bits.
+        k: message length in bits.
+        column_weight: ones per column of the parity-check matrix.
+    """
+
+    def __init__(
+        self,
+        n: int = 256,
+        rate: float = 0.5,
+        column_weight: int = 3,
+        seed: int = 2024,
+    ) -> None:
+        if not (0.0 < rate < 1.0):
+            raise ValueError(f"rate must be in (0, 1), got {rate}")
+        if n < 16:
+            raise ValueError("n must be at least 16")
+        num_checks = int(round(n * (1.0 - rate)))
+        if num_checks < column_weight:
+            raise ValueError("too few checks for the requested column weight")
+
+        rng = np.random.default_rng(seed)
+        h = np.zeros((num_checks, n), dtype=np.uint8)
+        # Gallager-style: each column gets `column_weight` distinct checks,
+        # spreading row weights as evenly as possible.
+        row_budget = np.zeros(num_checks, dtype=np.int64)
+        for col in range(n):
+            order = np.lexsort((rng.random(num_checks), row_budget))
+            chosen = order[:column_weight]
+            h[chosen, col] = 1
+            row_budget[chosen] += 1
+        # Drop degenerate rows (can appear for tiny codes).
+        h = h[h.sum(axis=1) >= 2]
+
+        reduced, perm = _gaussian_elimination_gf2(h)
+        rank = reduced.shape[0]
+        self.n = n
+        self.k = n - rank
+        if self.k <= 0:
+            raise ValueError("construction yielded no message bits")
+        # Systematic generator in the permuted ordering: codeword_perm =
+        # [parity | message], parity = P @ message (P = reduced[:, rank:]).
+        self._p = reduced[:, rank:].astype(np.uint8)
+        self._perm = perm
+        self._inv_perm = np.argsort(perm)
+        # Keep the original H (in natural order) for syndrome checks and
+        # message passing.
+        self.h = h.astype(np.uint8)
+        self._check_index = [np.flatnonzero(row) for row in self.h]
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``k`` message bits into an ``n``-bit codeword."""
+        msg = np.asarray(message, dtype=np.uint8)
+        if msg.shape != (self.k,):
+            raise ValueError(f"expected {self.k} message bits, got {msg.shape}")
+        parity = (self._p @ msg) % 2
+        permuted = np.concatenate([parity.astype(np.uint8), msg])
+        codeword = permuted[self._inv_perm]
+        return codeword.astype(np.uint8)
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Recover the message bits from a codeword."""
+        permuted = np.asarray(codeword, dtype=np.uint8)[self._perm]
+        return permuted[self.n - self.k :].copy()
+
+    def is_codeword(self, bits: np.ndarray) -> bool:
+        """Check the parity equations (the decoder's early-stop test)."""
+        return not ((self.h @ np.asarray(bits, dtype=np.int64)) % 2).any()
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(
+        self,
+        llr: np.ndarray,
+        max_iterations: int = 10,
+        normalization: float = 0.75,
+    ) -> "tuple[np.ndarray, int]":
+        """Normalized min-sum decoding with early stop.
+
+        Args:
+            llr: channel log-likelihood ratios (positive = bit 0 likely).
+            max_iterations: iteration cap (the paper's receiver uses 10).
+            normalization: min-sum scaling factor.
+
+        Returns:
+            ``(hard bits, iterations used)``; ``iterations`` is
+            ``max_iterations + 1`` when the decoder did not converge.
+        """
+        llr = np.asarray(llr, dtype=np.float64)
+        if llr.shape != (self.n,):
+            raise ValueError(f"expected {self.n} LLRs, got {llr.shape}")
+
+        num_checks = self.h.shape[0]
+        # check-to-variable messages, indexed per check row.
+        c2v = [np.zeros(idx.size) for idx in self._check_index]
+        total = llr.copy()
+
+        for iteration in range(1, max_iterations + 1):
+            # Horizontal (layered) pass: process checks sequentially,
+            # updating the running totals in place, as in layered NMS.
+            for row, idx in enumerate(self._check_index):
+                extrinsic = total[idx] - c2v[row]
+                signs = np.sign(extrinsic)
+                signs[signs == 0] = 1.0
+                magnitude = np.abs(extrinsic)
+                order = np.argsort(magnitude)
+                min1 = magnitude[order[0]]
+                min2 = magnitude[order[1]] if idx.size > 1 else min1
+                parity = np.prod(signs)
+                new = np.where(
+                    np.arange(idx.size) == order[0], min2, min1
+                )
+                new = normalization * new * parity * signs
+                total[idx] = extrinsic + new
+                c2v[row] = new
+            hard = (total < 0).astype(np.uint8)
+            if self.is_codeword(hard):
+                return hard, iteration
+        return (total < 0).astype(np.uint8), max_iterations + 1

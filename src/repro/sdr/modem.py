@@ -1,0 +1,97 @@
+"""QPSK modem and AWGN channel — tau_16 (Modem QPSK) and the link model.
+
+Gray-mapped QPSK with unit-energy symbols, soft demodulation to channel
+LLRs (the input the LDPC decoder expects), plus an AWGN channel and a noise
+estimator (tau_15's role: estimate the channel sigma from known symbol
+statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QpskModem", "AwgnChannel", "estimate_noise_sigma"]
+
+_SQRT1_2 = 1.0 / np.sqrt(2.0)
+
+
+class QpskModem:
+    """Gray-mapped QPSK: bit pairs ``(b0, b1)`` -> ``((1-2 b0) + j(1-2 b1)) / sqrt(2)``."""
+
+    bits_per_symbol = 2
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map an even-length bit vector to complex symbols.
+
+        Raises:
+            ValueError: for an odd number of bits.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % 2:
+            raise ValueError("QPSK needs an even number of bits")
+        i = 1.0 - 2.0 * bits[0::2]
+        q = 1.0 - 2.0 * bits[1::2]
+        return (i + 1j * q) * _SQRT1_2
+
+    def demodulate_soft(
+        self, symbols: np.ndarray, noise_sigma: float
+    ) -> np.ndarray:
+        """Per-bit channel LLRs (positive = bit 0 more likely).
+
+        For Gray QPSK over AWGN the LLRs separate per quadrature:
+        ``LLR = 2 sqrt(2) Re/Im(y) / sigma^2``.
+
+        Raises:
+            ValueError: for a non-positive noise sigma.
+        """
+        if noise_sigma <= 0:
+            raise ValueError("noise_sigma must be positive")
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        scale = 2.0 * np.sqrt(2.0) / (noise_sigma**2)
+        llr = np.empty(symbols.size * 2, dtype=np.float64)
+        llr[0::2] = scale * symbols.real
+        llr[1::2] = scale * symbols.imag
+        return llr
+
+    def demodulate_hard(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard bit decisions (sign slicing)."""
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        bits = np.empty(symbols.size * 2, dtype=np.uint8)
+        bits[0::2] = (symbols.real < 0).astype(np.uint8)
+        bits[1::2] = (symbols.imag < 0).astype(np.uint8)
+        return bits
+
+
+class AwgnChannel:
+    """Additive white Gaussian noise channel with a seeded generator."""
+
+    def __init__(self, snr_db: float, seed: int = 0) -> None:
+        self.snr_db = snr_db
+        #: Per-component noise std-dev for unit-energy symbols.
+        self.sigma = float(np.sqrt(0.5 * 10.0 ** (-snr_db / 10.0)))
+        self._rng = np.random.default_rng(seed)
+
+    def transmit(self, symbols: np.ndarray) -> np.ndarray:
+        """Add complex Gaussian noise."""
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        noise = self._rng.normal(0.0, self.sigma, symbols.size) + (
+            1j * self._rng.normal(0.0, self.sigma, symbols.size)
+        )
+        return symbols + noise
+
+
+def estimate_noise_sigma(symbols: np.ndarray) -> float:
+    """Blind per-component noise estimate for unit-energy QPSK.
+
+    Uses the distance of each sample to the nearest constellation point —
+    the role of the receiver's Noise Estimator task (tau_15).
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    if symbols.size == 0:
+        raise ValueError("cannot estimate noise from no symbols")
+    nearest = (
+        np.sign(symbols.real) + 1j * np.sign(symbols.imag)
+    ) * _SQRT1_2
+    error = symbols - nearest
+    per_component = np.concatenate([error.real, error.imag])
+    return float(max(per_component.std(), 1e-6))

@@ -1,0 +1,88 @@
+"""Scramblers — tau_11 (symbol) and tau_20 (binary) of the receiver.
+
+* :class:`BinaryScrambler` — the DVB-S2 baseband scrambler: an additive LFSR
+  with polynomial ``1 + x^14 + x^15`` XORed onto the bit stream.  Additive
+  scrambling is an involution: descrambling is the same operation, which is
+  what makes these tasks *stateless* per frame (replicable) when the LFSR is
+  reset per frame, exactly as in the receiver's task table.
+* :class:`SymbolScrambler` — complex symbol (de)scrambling by a
+  deterministic unit-magnitude sequence (a simplified stand-in for the
+  standard's Gold-code PL scrambler; same involution structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BinaryScrambler", "SymbolScrambler"]
+
+
+class BinaryScrambler:
+    """DVB-S2 BB additive scrambler (polynomial ``1 + x^14 + x^15``).
+
+    The keystream is generated once for a maximum frame size and reused per
+    frame (reset-per-frame semantics, making scrambling stateless across
+    frames).
+    """
+
+    def __init__(self, max_bits: int = 1 << 16, seed_register: int = 0x4A80) -> None:
+        if max_bits < 1:
+            raise ValueError("max_bits must be >= 1")
+        register = seed_register & 0x7FFF
+        if register == 0:
+            raise ValueError("the LFSR register must not start at zero")
+        stream = np.empty(max_bits, dtype=np.uint8)
+        for i in range(max_bits):
+            bit = ((register >> 13) ^ (register >> 14)) & 1
+            stream[i] = bit
+            register = ((register << 1) | bit) & 0x7FFF
+        self._stream = stream
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR the keystream onto ``bits`` (involution).
+
+        Raises:
+            ValueError: when the frame exceeds the generated keystream.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size > self._stream.size:
+            raise ValueError(
+                f"frame of {bits.size} bits exceeds keystream "
+                f"({self._stream.size})"
+            )
+        return bits ^ self._stream[: bits.size]
+
+    #: Descrambling is the same additive operation.
+    descramble = scramble
+
+
+class SymbolScrambler:
+    """Complex symbol scrambler: multiply by a deterministic QPSK-phase
+    sequence; descrambling multiplies by the conjugate."""
+
+    def __init__(self, max_symbols: int = 1 << 15, seed: int = 0x18D) -> None:
+        if max_symbols < 1:
+            raise ValueError("max_symbols must be >= 1")
+        rng = np.random.default_rng(seed)
+        phases = rng.integers(0, 4, size=max_symbols)
+        self._sequence = np.exp(1j * np.pi / 2 * phases)
+
+    def scramble(self, symbols: np.ndarray) -> np.ndarray:
+        """Rotate each symbol by the sequence phase."""
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        if symbols.size > self._sequence.size:
+            raise ValueError(
+                f"frame of {symbols.size} symbols exceeds the sequence "
+                f"({self._sequence.size})"
+            )
+        return symbols * self._sequence[: symbols.size]
+
+    def descramble(self, symbols: np.ndarray) -> np.ndarray:
+        """Invert :meth:`scramble` (conjugate rotation)."""
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        if symbols.size > self._sequence.size:
+            raise ValueError(
+                f"frame of {symbols.size} symbols exceeds the sequence "
+                f"({self._sequence.size})"
+            )
+        return symbols * np.conj(self._sequence[: symbols.size])

@@ -1,0 +1,119 @@
+"""Inter-stage channels for the threaded runtime.
+
+StreamPU connects pipeline stages with synchronization *adaptors*: bounded
+buffers that deliver frames downstream **in order**, even when the upstream
+stage is replicated and its replicas finish out of order.
+:class:`OrderedChannel` reproduces that contract:
+
+* ``put`` blocks while the channel holds ``capacity`` frames (backpressure);
+* ``get`` blocks until the next *expected* frame index is available, so
+  consumers always observe the stream in frame order;
+* ``close`` marks the end of the stream; pending frames are still delivered,
+  after which ``get`` returns ``None``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Frame", "OrderedChannel", "ChannelClosedError"]
+
+
+class ChannelClosedError(RuntimeError):
+    """Raised when putting into a channel that has been closed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One unit of streaming data.
+
+    Attributes:
+        index: global frame sequence number (0-based).
+        payload: arbitrary frame data.
+    """
+
+    index: int
+    payload: Any
+
+    def __lt__(self, other: "Frame") -> bool:
+        return self.index < other.index
+
+
+class OrderedChannel:
+    """Bounded, order-restoring channel between pipeline stages."""
+
+    def __init__(self, capacity: int = 16, first_index: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._heap: list[Frame] = []
+        self._next_index = first_index
+        self._closed = False
+        self._cond = threading.Condition()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum buffered frames."""
+        return self._capacity
+
+    def put(self, frame: Frame, timeout: float | None = None) -> None:
+        """Insert a frame, blocking while the flow-control window is full.
+
+        Flow control is *index-window* based: a frame may enter while its
+        index is below ``next_expected + capacity``.  Counting indices
+        rather than buffered frames guarantees the next expected frame is
+        always admissible, so out-of-order replicas can never deadlock the
+        reorder buffer.
+
+        Raises:
+            ChannelClosedError: if the channel was closed.
+            TimeoutError: if ``timeout`` elapses while blocked.
+        """
+        with self._cond:
+            while (
+                frame.index >= self._next_index + self._capacity
+                and not self._closed
+            ):
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError("timed out waiting for buffer space")
+            if self._closed:
+                raise ChannelClosedError("cannot put into a closed channel")
+            heapq.heappush(self._heap, frame)
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> Frame | None:
+        """Pop the next in-order frame; ``None`` once closed and drained.
+
+        Raises:
+            TimeoutError: if ``timeout`` elapses while blocked.
+        """
+        with self._cond:
+            while True:
+                if self._heap and self._heap[0].index == self._next_index:
+                    frame = heapq.heappop(self._heap)
+                    self._next_index += 1
+                    self._cond.notify_all()
+                    return frame
+                if self._closed and not self._heap:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError("timed out waiting for the next frame")
+
+    def close(self) -> None:
+        """Mark the end of the stream (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the channel has been closed."""
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)

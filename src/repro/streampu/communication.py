@@ -1,0 +1,161 @@
+"""Inter-stage communication cost models (paper future work, Section VII).
+
+The paper's model deliberately excludes communication weights (interval
+mapping on a shared-memory multicore keeps transfers local and cheap), and
+its conclusion lists profiling and modeling the communication and
+synchronization overheads as future work.  This module supplies that
+extension for the *runtime* side:
+
+* :class:`CommunicationModel` — the cost of moving one frame across one
+  stage boundary, as a function of the frame's payload size and of whether
+  the boundary crosses core types (big->little transfers on asymmetric
+  parts often cross cluster/interconnect boundaries);
+* :func:`boundary_costs` — per-boundary costs for a pipeline;
+* :func:`simulate_with_communication` — the discrete-event simulation with
+  transfer time added between stages.
+
+The scheduling strategies remain communication-oblivious (as in the paper);
+these tools quantify how much a given schedule *would* lose to transfers,
+letting users compare candidate schedules under explicit transfer costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import CoreType
+from .metrics import ThroughputReport, steady_state_period
+from .overheads import NoOverhead, OverheadModel
+from .pipeline import PipelineSpec
+from .simulator import SimulationResult
+
+__all__ = [
+    "CommunicationModel",
+    "boundary_costs",
+    "simulate_with_communication",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicationModel:
+    """Cost of one frame crossing one stage boundary.
+
+    ``cost = base_cost + bytes_per_frame / bandwidth``, multiplied by
+    ``cross_cluster_factor`` when the producer and consumer stages run on
+    different core types.
+
+    Attributes:
+        base_cost: fixed per-transfer cost (synchronization handshake), in
+            the chain's weight unit.
+        bytes_per_frame: payload size moved per frame.
+        bandwidth: bytes per weight unit of transfer time (0 disables the
+            size-dependent term).
+        cross_cluster_factor: multiplier for boundaries whose two stages
+            use different core types.
+    """
+
+    base_cost: float = 0.0
+    bytes_per_frame: float = 0.0
+    bandwidth: float = 0.0
+    cross_cluster_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_cost < 0 or self.bytes_per_frame < 0:
+            raise ValueError("costs must be non-negative")
+        if self.bandwidth < 0:
+            raise ValueError("bandwidth must be non-negative")
+        if self.cross_cluster_factor < 1.0:
+            raise ValueError("cross_cluster_factor must be >= 1")
+
+    def boundary_cost(
+        self, producer_type: CoreType, consumer_type: CoreType
+    ) -> float:
+        """Transfer time for one frame across one boundary."""
+        cost = self.base_cost
+        if self.bandwidth > 0:
+            cost += self.bytes_per_frame / self.bandwidth
+        if producer_type is not consumer_type:
+            cost *= self.cross_cluster_factor
+        return cost
+
+
+def boundary_costs(
+    spec: PipelineSpec, model: CommunicationModel
+) -> np.ndarray:
+    """Per-boundary transfer costs: entry ``i`` is the cost between stage
+    ``i`` and stage ``i + 1`` (length ``num_stages - 1``)."""
+    stages = spec.stages
+    return np.array(
+        [
+            model.boundary_cost(a.core_type, b.core_type)
+            for a, b in zip(stages, stages[1:])
+        ],
+        dtype=np.float64,
+    )
+
+
+def simulate_with_communication(
+    spec: PipelineSpec,
+    model: CommunicationModel,
+    num_frames: int = 2000,
+    overhead: OverheadModel | None = None,
+    warmup_fraction: float = 0.25,
+) -> SimulationResult:
+    """Discrete-event simulation with inter-stage transfer times.
+
+    Semantics match :func:`~repro.streampu.simulator.simulate_pipeline`
+    with one addition: a frame becomes available to stage ``i + 1`` only
+    ``boundary_cost`` after it finishes stage ``i`` (the transfer occupies
+    the *boundary*, not the worker, matching DMA-style adaptors).
+
+    Args:
+        spec: the pipeline to run.
+        model: communication model.
+        num_frames: frames to stream.
+        overhead: per-frame compute-time model; default ideal.
+        warmup_fraction: fraction excluded from the period estimate.
+    """
+    if num_frames < 2:
+        raise ValueError(f"need at least 2 frames, got {num_frames}")
+    compute = overhead if overhead is not None else NoOverhead()
+
+    stages = spec.stages
+    k = len(stages)
+    capacity = spec.queue_capacity
+    transfer = boundary_costs(spec, model)
+
+    finish = np.zeros((k, num_frames), dtype=np.float64)
+    avail = np.zeros((k, num_frames), dtype=np.float64)
+    started = np.zeros((k, num_frames), dtype=np.float64)
+
+    for f in range(num_frames):
+        for i, stage in enumerate(stages):
+            ready = 0.0
+            if i > 0:
+                # Availability upstream already includes the transfer time.
+                ready = avail[i - 1, f]
+            prev_same_worker = f - stage.replicas
+            if prev_same_worker >= 0:
+                ready = max(ready, finish[i, prev_same_worker])
+            if i + 1 < k and f - capacity >= 0:
+                ready = max(ready, started[i + 1, f - capacity])
+            latency = compute.effective_latency(
+                stage.latency, stage.index, k, stage.replicas,
+                stage.core_type, f,
+            )
+            started[i, f] = ready
+            done = ready + latency
+            finish[i, f] = done
+            delivered = done + (transfer[i] if i < k - 1 else 0.0)
+            avail[i, f] = max(avail[i, f - 1], delivered) if f > 0 else delivered
+
+    period = steady_state_period(avail[-1], warmup_fraction)
+    report = ThroughputReport.from_simulation(
+        spec=spec,
+        completion_times=avail[-1],
+        measured_period=period,
+        num_frames=num_frames,
+    )
+    return SimulationResult(spec=spec, finish_times=avail, report=report)

@@ -1,0 +1,107 @@
+"""Throughput metrics derived from streaming executions.
+
+Mirrors the paper's reporting: a *period* (time between consecutive frame
+completions at steady state), converted to frames per second and information
+throughput (Mb/s) given a frame format and the platform's interframe level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .pipeline import PipelineSpec
+
+__all__ = ["steady_state_period", "ThroughputReport"]
+
+
+def steady_state_period(
+    completion_times: np.ndarray, warmup_fraction: float = 0.25
+) -> float:
+    """Estimate the steady-state period from frame completion times.
+
+    Uses the mean inter-completion gap after discarding the pipeline-fill
+    warmup — equal to the least-squares slope through evenly indexed points
+    and exact for periodic steady states.
+
+    Args:
+        completion_times: monotone completion time per frame.
+        warmup_fraction: fraction of initial frames to discard (at least one
+            frame is always kept as the baseline).
+
+    Raises:
+        ValueError: for fewer than two frames or an invalid fraction.
+    """
+    times = np.asarray(completion_times, dtype=np.float64)
+    if times.ndim != 1 or times.size < 2:
+        raise ValueError("need a 1-D array of at least two completion times")
+    if not (0.0 <= warmup_fraction < 1.0):
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    skip = min(int(times.size * warmup_fraction), times.size - 2)
+    window = times[skip:]
+    return float((window[-1] - window[0]) / (window.size - 1))
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputReport:
+    """Summary of one streaming execution.
+
+    All times are in the chain's weight unit (microseconds for the DVB-S2
+    profiles).
+
+    Attributes:
+        analytic_period: the schedule's model period (max stage weight).
+        measured_period: the period observed in the execution.
+        num_frames: frames streamed.
+        makespan: completion time of the last frame.
+        fill_latency: completion time of the first frame (pipeline fill).
+    """
+
+    analytic_period: float
+    measured_period: float
+    num_frames: int
+    makespan: float
+    fill_latency: float
+
+    @classmethod
+    def from_simulation(
+        cls,
+        spec: "PipelineSpec",
+        completion_times: np.ndarray,
+        measured_period: float,
+        num_frames: int,
+    ) -> "ThroughputReport":
+        """Build a report from raw completion times."""
+        return cls(
+            analytic_period=spec.analytic_period,
+            measured_period=measured_period,
+            num_frames=num_frames,
+            makespan=float(completion_times[-1]),
+            fill_latency=float(completion_times[0]),
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """Analytic-to-measured period ratio (1.0 means the model's ideal)."""
+        if self.measured_period <= 0:
+            return 0.0
+        return self.analytic_period / self.measured_period
+
+    def fps(self, interframe: int = 1, time_unit_us: bool = True) -> float:
+        """Frames per second at the measured period.
+
+        Args:
+            interframe: frames per pipeline batch (per-platform setting).
+            time_unit_us: True when the chain weights are microseconds.
+        """
+        if self.measured_period <= 0:
+            return 0.0
+        scale = 1e-6 if time_unit_us else 1.0
+        return interframe / (self.measured_period * scale)
+
+    def mbps(self, info_bits: int, interframe: int = 1) -> float:
+        """Information throughput in Mb/s (microsecond time unit assumed)."""
+        return self.fps(interframe) * info_bits / 1e6

@@ -1,0 +1,141 @@
+"""Task executors for the threaded runtime.
+
+StreamPU tasks are C++ modules; the threaded runtime here executes Python
+callables instead.  Executors map a scheduled task's *weight* to actual work:
+
+* :class:`SyntheticSleepTask` — sleeps for ``weight * time_scale`` seconds.
+  ``time.sleep`` releases the GIL, so replicated stages genuinely overlap;
+  ideal for demonstrating pipeline/replication semantics deterministically.
+* :class:`NumpyKernelTask` — performs matrix multiplications sized so the
+  run time tracks the weight.  BLAS releases the GIL, giving real CPU-bound
+  parallelism across replica threads.
+* :class:`CallableTask` — wraps any user function (the "bring your own DSP"
+  path).
+
+Executors receive and return a *payload* (any object): the frame's data as
+it moves down the chain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+__all__ = [
+    "TaskExecutor",
+    "SyntheticSleepTask",
+    "NumpyKernelTask",
+    "CallableTask",
+    "executors_from_weights",
+]
+
+
+class TaskExecutor(Protocol):
+    """A runnable task of the streaming pipeline."""
+
+    #: Cost weight of the task (same unit as the scheduled chain weights).
+    weight: float
+
+    def process(self, payload: Any) -> Any:
+        """Process one frame payload and return the transformed payload."""
+        ...
+
+
+@dataclass(slots=True)
+class SyntheticSleepTask:
+    """Sleep-based synthetic task: deterministic duration, GIL-free.
+
+    Attributes:
+        weight: scheduled weight of the task.
+        time_scale: seconds of sleep per weight unit (e.g. ``1e-6`` makes a
+            weight-100 task take 100 us).
+        name: label for traces.
+    """
+
+    weight: float
+    time_scale: float = 1e-6
+    name: str = "sleep-task"
+
+    def process(self, payload: Any) -> Any:
+        duration = self.weight * self.time_scale
+        if duration > 0:
+            time.sleep(duration)
+        return payload
+
+
+@dataclass(slots=True)
+class NumpyKernelTask:
+    """CPU-bound synthetic task: repeated small GEMMs sized by weight.
+
+    The kernel multiplies a fixed ``size x size`` matrix ``repeats`` times,
+    with ``repeats`` proportional to ``weight``.  NumPy's BLAS releases the
+    GIL during the products, so replica threads scale on real cores.
+
+    Attributes:
+        weight: scheduled weight of the task.
+        repeats_per_weight: GEMM repetitions per weight unit.
+        size: matrix dimension.
+        name: label for traces.
+    """
+
+    weight: float
+    repeats_per_weight: float = 1.0
+    size: int = 48
+    name: str = "gemm-task"
+    _matrix: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(abs(hash(self.name)) % (2**32))
+        self._matrix = rng.standard_normal((self.size, self.size))
+
+    def process(self, payload: Any) -> Any:
+        repeats = max(1, int(round(self.weight * self.repeats_per_weight)))
+        acc = self._matrix
+        for _ in range(repeats):
+            acc = self._matrix @ self._matrix
+        # Keep a scalar dependency so the work cannot be optimized away.
+        _ = float(acc[0, 0])
+        return payload
+
+
+@dataclass(slots=True)
+class CallableTask:
+    """Adapter turning any ``payload -> payload`` function into a task."""
+
+    weight: float
+    func: Callable[[Any], Any]
+    name: str = "callable-task"
+
+    def process(self, payload: Any) -> Any:
+        return self.func(payload)
+
+
+def executors_from_weights(
+    weights: list[float],
+    kind: str = "sleep",
+    time_scale: float = 1e-6,
+) -> list[TaskExecutor]:
+    """Build one executor per task weight.
+
+    Args:
+        weights: scheduled task weights (one executor each).
+        kind: ``"sleep"`` for :class:`SyntheticSleepTask`, ``"gemm"`` for
+            :class:`NumpyKernelTask`.
+        time_scale: sleep scale for the sleep kind.
+
+    Raises:
+        ValueError: for an unknown kind.
+    """
+    if kind == "sleep":
+        return [
+            SyntheticSleepTask(weight=w, time_scale=time_scale, name=f"task-{i}")
+            for i, w in enumerate(weights)
+        ]
+    if kind == "gemm":
+        return [
+            NumpyKernelTask(weight=w, name=f"task-{i}") for i, w in enumerate(weights)
+        ]
+    raise ValueError(f"unknown executor kind {kind!r} (use 'sleep' or 'gemm')")

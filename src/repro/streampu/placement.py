@@ -1,0 +1,235 @@
+"""Thread placement policies (paper future work, Section VII).
+
+The paper's real-world runs pin pipeline threads with a *compact* placement
+and list studying placement effects as future work.  This module models the
+assignment of stage replicas to physical core IDs:
+
+* :class:`PhysicalCore` / :func:`platform_cores` — the machine's core list;
+* :func:`compact_placement` — fill cores of each type in ID order (the
+  paper's policy): consecutive pipeline stages land on adjacent cores;
+* :func:`scatter_placement` — round-robin over clusters to spread load;
+* :class:`PlacementOverhead` — an overhead model deriving per-stage costs
+  from the placement (cluster-crossing neighbors pay a penalty), so
+  placements can be compared on the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InvalidPlatformError
+from ..core.types import CoreType
+from ..platform.model import Platform
+from .pipeline import PipelineSpec
+
+__all__ = [
+    "PhysicalCore",
+    "platform_cores",
+    "Placement",
+    "compact_placement",
+    "scatter_placement",
+    "PlacementOverhead",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicalCore:
+    """One physical core of the machine.
+
+    Attributes:
+        core_id: global core index.
+        core_type: big or little.
+        cluster: cluster index (cores sharing an L2/interconnect hop).
+    """
+
+    core_id: int
+    core_type: CoreType
+    cluster: int
+
+
+def platform_cores(platform: Platform, cluster_size: int = 4) -> "list[PhysicalCore]":
+    """Enumerate a platform's cores, grouped into clusters of equal type.
+
+    Big cores come first (IDs ``0..b-1``) then little cores, with a new
+    cluster every ``cluster_size`` cores of the same type — the typical
+    asymmetric-multicore topology (e.g. Intel hybrid E-core quads).
+    """
+    if cluster_size < 1:
+        raise InvalidPlatformError("cluster_size must be >= 1")
+    cores: list[PhysicalCore] = []
+    cluster = 0
+    for core_type, count in (
+        (CoreType.BIG, platform.big),
+        (CoreType.LITTLE, platform.little),
+    ):
+        for i in range(count):
+            if i and i % cluster_size == 0:
+                cluster += 1
+            cores.append(
+                PhysicalCore(
+                    core_id=len(cores), core_type=core_type, cluster=cluster
+                )
+            )
+        if count:
+            cluster += 1
+    return cores
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of every stage replica to a physical core.
+
+    Attributes:
+        assignments: ``assignments[stage_index]`` is the list of cores
+            running that stage's replicas.
+    """
+
+    assignments: tuple[tuple[PhysicalCore, ...], ...]
+
+    def cores_of(self, stage_index: int) -> tuple[PhysicalCore, ...]:
+        """Cores assigned to one stage."""
+        return self.assignments[stage_index]
+
+    def validate(self, spec: PipelineSpec) -> None:
+        """Check one core per replica, types matching, no double booking.
+
+        Raises:
+            InvalidPlatformError: on any violation.
+        """
+        seen: set[int] = set()
+        for stage, cores in zip(spec.stages, self.assignments):
+            if len(cores) != stage.replicas:
+                raise InvalidPlatformError(
+                    f"stage {stage.index} needs {stage.replicas} cores, "
+                    f"got {len(cores)}"
+                )
+            for core in cores:
+                if core.core_type is not stage.core_type:
+                    raise InvalidPlatformError(
+                        f"stage {stage.index} expects {stage.core_type.name} "
+                        f"cores but core {core.core_id} is {core.core_type.name}"
+                    )
+                if core.core_id in seen:
+                    raise InvalidPlatformError(
+                        f"core {core.core_id} assigned twice"
+                    )
+                seen.add(core.core_id)
+
+    def cluster_crossings(self) -> int:
+        """Stage boundaries whose adjacent stages share no cluster."""
+        crossings = 0
+        for a, b in zip(self.assignments, self.assignments[1:]):
+            clusters_a = {c.cluster for c in a}
+            clusters_b = {c.cluster for c in b}
+            if not (clusters_a & clusters_b):
+                crossings += 1
+        return crossings
+
+
+def _take(
+    pool: "list[PhysicalCore]", core_type: CoreType, count: int
+) -> "list[PhysicalCore]":
+    picked = [c for c in pool if c.core_type is core_type][:count]
+    if len(picked) < count:
+        raise InvalidPlatformError(
+            f"not enough {core_type.name} cores left for the placement"
+        )
+    for core in picked:
+        pool.remove(core)
+    return picked
+
+
+def compact_placement(spec: PipelineSpec, cores: "list[PhysicalCore]") -> Placement:
+    """The paper's policy: assign cores of each type in ascending ID order.
+
+    Consecutive stages on the same type land on adjacent cores (and thus
+    usually the same cluster).
+    """
+    pool = sorted(cores, key=lambda c: c.core_id)
+    assignments = [
+        tuple(_take(pool, stage.core_type, stage.replicas))
+        for stage in spec.stages
+    ]
+    return Placement(assignments=tuple(assignments))
+
+
+def scatter_placement(spec: PipelineSpec, cores: "list[PhysicalCore]") -> Placement:
+    """Spread each stage's replicas across clusters round-robin.
+
+    Balances thermal/cache pressure at the price of more cluster-crossing
+    boundaries — the trade placement studies examine.
+    """
+    by_type: dict[CoreType, list[PhysicalCore]] = {
+        CoreType.BIG: [], CoreType.LITTLE: []
+    }
+    for core in sorted(cores, key=lambda c: (c.cluster, c.core_id)):
+        by_type[core.core_type].append(core)
+    # Interleave clusters: sort by position within cluster, then cluster.
+    for core_type, pool in by_type.items():
+        order: dict[int, int] = {}
+        keyed = []
+        for core in pool:
+            rank = order.get(core.cluster, 0)
+            order[core.cluster] = rank + 1
+            keyed.append((rank, core.cluster, core))
+        keyed.sort(key=lambda t: (t[0], t[1]))
+        by_type[core_type] = [core for _, _, core in keyed]
+
+    assignments = []
+    for stage in spec.stages:
+        pool = by_type[stage.core_type]
+        if len(pool) < stage.replicas:
+            raise InvalidPlatformError(
+                f"not enough {stage.core_type.name} cores left for the placement"
+            )
+        assignments.append(tuple(pool[: stage.replicas]))
+        del pool[: stage.replicas]
+    return Placement(assignments=tuple(assignments))
+
+
+@dataclass(frozen=True)
+class PlacementOverhead:
+    """Overhead model derived from a placement.
+
+    Each stage pays ``cross_cluster_fraction`` extra latency per
+    cluster-crossing boundary it touches (producer or consumer side) —
+    a first-order model of the extra interconnect hops.
+
+    Attributes:
+        spec: the pipeline.
+        placement: the evaluated placement.
+        cross_cluster_fraction: relative latency penalty per crossing.
+    """
+
+    spec: PipelineSpec
+    placement: Placement
+    cross_cluster_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.cross_cluster_fraction < 0:
+            raise ValueError("cross_cluster_fraction must be non-negative")
+        self.placement.validate(self.spec)
+        penalties = []
+        assignments = self.placement.assignments
+        for i in range(len(assignments)):
+            crossings = 0
+            for j in (i - 1, i + 1):
+                if 0 <= j < len(assignments):
+                    a = {c.cluster for c in assignments[i]}
+                    b = {c.cluster for c in assignments[j]}
+                    if not (a & b):
+                        crossings += 1
+            penalties.append(1.0 + self.cross_cluster_fraction * crossings)
+        object.__setattr__(self, "_penalties", tuple(penalties))
+
+    def effective_latency(
+        self,
+        base_latency: float,
+        stage_index: int,
+        num_stages: int,
+        replicas: int,
+        core_type: CoreType,
+        frame: int,
+    ) -> float:
+        """Per-frame latency including the placement penalty."""
+        return base_latency * self._penalties[stage_index]  # type: ignore[attr-defined]

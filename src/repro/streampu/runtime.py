@@ -1,0 +1,259 @@
+"""Threaded streaming runtime — actually executes a scheduled pipeline.
+
+This is the executable counterpart of the discrete-event simulator: every
+pipeline stage becomes a group of replica worker threads connected by
+:class:`~repro.streampu.channels.OrderedChannel` adaptors, exactly like a
+StreamPU pipeline decomposition.  Frames flow from a saturating source
+through the stages; the runtime records per-frame completion times and
+derives a :class:`~repro.streampu.metrics.ThroughputReport`.
+
+Notes on fidelity:
+
+* replica threads of a stage pop frames in order from the shared input
+  channel and process them concurrently (round-robin up to OS scheduling);
+* channels deliver in order and apply window-based backpressure;
+* thread *pinning* to big/little cores is an OS capability the runtime
+  cannot portably reproduce; the per-core-type latencies are instead baked
+  into the executors built from the scheduled chain (see
+  :func:`PipelineRuntime.from_solution`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.chain_stats import ChainProfile, profile_of
+from ..core.solution import Solution
+from ..core.task import TaskChain
+from .channels import ChannelClosedError, Frame, OrderedChannel
+from .metrics import ThroughputReport, steady_state_period
+from .module import SyntheticSleepTask, TaskExecutor
+from .pipeline import PipelineSpec
+
+__all__ = ["StageGroup", "PipelineRuntime", "RuntimeResult"]
+
+
+@dataclass(frozen=True)
+class StageGroup:
+    """One pipeline stage bound to its executors.
+
+    Attributes:
+        spec_index: stage position in the pipeline.
+        executors: the stage's tasks, in chain order.
+        replicas: number of worker threads.
+    """
+
+    spec_index: int
+    executors: tuple[TaskExecutor, ...]
+    replicas: int
+
+    def process(self, payload: object) -> object:
+        """Run the stage's task chain on one payload."""
+        for executor in self.executors:
+            payload = executor.process(payload)
+        return payload
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Outcome of a threaded pipeline run.
+
+    Attributes:
+        report: throughput metrics (times in seconds).
+        completion_times: per-frame completion timestamps (seconds, relative
+            to the run start).
+        payloads: final payload of each frame, in order.
+    """
+
+    report: ThroughputReport
+    completion_times: np.ndarray
+    payloads: tuple[object, ...]
+
+
+class PipelineRuntime:
+    """A runnable, threaded pipeline."""
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        groups: list[StageGroup],
+        time_scale: float = 1e-6,
+    ) -> None:
+        if len(groups) != spec.num_stages:
+            raise ValueError(
+                f"{spec.num_stages} stages but {len(groups)} stage groups"
+            )
+        self.spec = spec
+        self.groups = groups
+        self.time_scale = time_scale
+
+    @classmethod
+    def from_solution(
+        cls,
+        solution: Solution,
+        chain: "TaskChain | ChainProfile",
+        time_scale: float = 1e-6,
+        queue_capacity: int = 16,
+        executors: "list[TaskExecutor] | None" = None,
+    ) -> "PipelineRuntime":
+        """Instantiate the runtime for a schedule.
+
+        Args:
+            solution: a valid chain-covering schedule.
+            chain: the scheduled chain (or its profile).
+            time_scale: seconds per weight unit for the default synthetic
+                executors (1e-6 treats weights as microseconds).
+            queue_capacity: adaptor window size in frames.
+            executors: optional per-task executors (chain order); defaults
+                to sleep tasks whose duration is the task weight *on the
+                core type of the stage it landed in* — the closest portable
+                stand-in for pinning threads to big/little cores.
+        """
+        profile = profile_of(chain)
+        spec = PipelineSpec.from_solution(solution, profile, queue_capacity)
+        groups: list[StageGroup] = []
+        for stage in spec.stages:
+            stage_execs: list[TaskExecutor] = []
+            for t in range(stage.start, stage.end + 1):
+                if executors is not None:
+                    stage_execs.append(executors[t])
+                else:
+                    stage_execs.append(
+                        SyntheticSleepTask(
+                            weight=profile.weight_of(t, stage.core_type),
+                            time_scale=time_scale,
+                            name=f"task-{t}",
+                        )
+                    )
+            groups.append(
+                StageGroup(
+                    spec_index=stage.index,
+                    executors=tuple(stage_execs),
+                    replicas=stage.replicas,
+                )
+            )
+        return cls(spec, groups, time_scale)
+
+    def run(
+        self,
+        num_frames: int,
+        payload_factory=None,
+        warmup_fraction: float = 0.25,
+        timeout: float = 120.0,
+    ) -> RuntimeResult:
+        """Stream ``num_frames`` frames through the pipeline.
+
+        Args:
+            num_frames: frames to process (source is saturating).
+            payload_factory: optional ``index -> payload`` initializer.
+            warmup_fraction: fraction excluded from the period estimate.
+            timeout: per-channel-operation timeout (deadlock safety net).
+
+        Returns:
+            A :class:`RuntimeResult`; times are wall-clock seconds.
+        """
+        if num_frames < 2:
+            raise ValueError(f"need at least 2 frames, got {num_frames}")
+        k = self.spec.num_stages
+        channels = [
+            OrderedChannel(self.spec.queue_capacity) for _ in range(k + 1)
+        ]
+        completions = np.zeros(num_frames, dtype=np.float64)
+        payloads: list[object] = [None] * num_frames
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def worker(group: StageGroup, inp: OrderedChannel, out: OrderedChannel,
+                   exit_counter: list[int], exit_lock: threading.Lock) -> None:
+            try:
+                while True:
+                    frame = inp.get(timeout=timeout)
+                    if frame is None:
+                        break
+                    result = group.process(frame.payload)
+                    out.put(Frame(frame.index, result), timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with errors_lock:
+                    errors.append(exc)
+                out.close()
+            finally:
+                last = False
+                with exit_lock:
+                    exit_counter[0] += 1
+                    last = exit_counter[0] == group.replicas
+                if last:
+                    out.close()
+
+        threads: list[threading.Thread] = []
+        for i, group in enumerate(self.groups):
+            counter = [0]
+            lock = threading.Lock()
+            for r in range(group.replicas):
+                t = threading.Thread(
+                    target=worker,
+                    args=(group, channels[i], channels[i + 1], counter, lock),
+                    name=f"stage{i}-replica{r}",
+                    daemon=True,
+                )
+                threads.append(t)
+
+        def source() -> None:
+            try:
+                for f in range(num_frames):
+                    payload = payload_factory(f) if payload_factory else f
+                    channels[0].put(Frame(f, payload), timeout=timeout)
+            except ChannelClosedError:
+                pass  # a worker failed; the error list has the cause
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with errors_lock:
+                    errors.append(exc)
+            finally:
+                channels[0].close()
+
+        source_thread = threading.Thread(target=source, name="source", daemon=True)
+        threads.append(source_thread)
+
+        start_time = time.perf_counter()
+        for t in threads:
+            t.start()
+
+        # Sink: drain the final channel on this thread so completion
+        # timestamps are taken the moment frames leave the pipeline.
+        received = 0
+        while received < num_frames:
+            frame = channels[-1].get(timeout=timeout)
+            if frame is None:
+                break
+            completions[frame.index] = time.perf_counter() - start_time
+            payloads[frame.index] = frame.payload
+            received += 1
+
+        for t in threads:
+            t.join(timeout=timeout)
+        if errors:
+            raise errors[0]
+        if received < num_frames:
+            raise RuntimeError(
+                f"pipeline delivered {received}/{num_frames} frames"
+            )
+
+        period_s = steady_state_period(completions, warmup_fraction)
+        # ThroughputReport keeps the chain's weight unit: convert seconds
+        # back through the time scale.
+        period_w = period_s / self.time_scale
+        report = ThroughputReport(
+            analytic_period=self.spec.analytic_period,
+            measured_period=period_w,
+            num_frames=num_frames,
+            makespan=float(completions[-1]) / self.time_scale,
+            fill_latency=float(completions[0]) / self.time_scale,
+        )
+        return RuntimeResult(
+            report=report,
+            completion_times=completions,
+            payloads=tuple(payloads),
+        )

@@ -1,0 +1,24 @@
+"""Workload generation: the paper's synthetic distribution and extra shapes."""
+
+from .generators import (
+    alternating_chain,
+    fully_replicable_chain,
+    fully_sequential_chain,
+    heavy_tail_chain,
+    inverted_speed_chain,
+    uniform_chain,
+)
+from .synthetic import DEFAULT_CONFIG, GeneratorConfig, chain_batch, random_chain
+
+__all__ = [
+    "GeneratorConfig",
+    "DEFAULT_CONFIG",
+    "random_chain",
+    "chain_batch",
+    "uniform_chain",
+    "fully_replicable_chain",
+    "fully_sequential_chain",
+    "alternating_chain",
+    "heavy_tail_chain",
+    "inverted_speed_chain",
+]

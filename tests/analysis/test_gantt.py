@@ -1,0 +1,46 @@
+"""Tests for repro.analysis.gantt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.core.herad import herad
+from repro.core.task import TaskChain
+from repro.core.types import Resources
+from repro.streampu.pipeline import PipelineSpec
+from repro.streampu.simulator import simulate_pipeline
+
+
+@pytest.fixture
+def simulation(simple_chain, balanced_resources):
+    solution = herad(simple_chain, balanced_resources).solution
+    spec = PipelineSpec.from_solution(solution, simple_chain)
+    return simulate_pipeline(spec, num_frames=30)
+
+
+def test_renders_one_row_per_stage(simulation):
+    text = render_gantt(simulation, max_frames=8)
+    rows = [line for line in text.splitlines() if line.lstrip().startswith("s")]
+    assert len(rows) == simulation.spec.num_stages
+
+
+def test_frame_digits_present(simulation):
+    text = render_gantt(simulation, max_frames=5)
+    for digit in "01234":
+        assert digit in text
+
+
+def test_core_type_symbols_shown(simulation):
+    text = render_gantt(simulation, max_frames=4)
+    assert "B" in text or "L" in text
+
+
+def test_max_frames_validated(simulation):
+    with pytest.raises(ValueError):
+        render_gantt(simulation, max_frames=0)
+
+
+def test_narrow_width_still_renders(simulation):
+    text = render_gantt(simulation, max_frames=4, width=20)
+    assert "Gantt" in text

@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.heatmap and repro.analysis.tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import usage_heatmap
+from repro.analysis.tables import render_step_curves, render_table
+
+
+class TestUsageHeatmap:
+    def test_counts_percentages(self):
+        hm = usage_heatmap(
+            strategy_big=[3, 3, 2],
+            strategy_little=[2, 1, 1],
+            optimal_big=[2, 3, 2],
+            optimal_little=[1, 1, 1],
+        )
+        # Deltas: (1,1), (0,0), (0,0).
+        assert hm.at(0, 0) == pytest.approx(200 / 3)
+        assert hm.at(1, 1) == pytest.approx(100 / 3)
+        assert hm.at(5, 5) == 0.0
+        assert hm.num_chains == 3
+
+    def test_share_within_extra_cores(self):
+        hm = usage_heatmap([3, 4], [1, 2], [2, 2], [1, 1])
+        # Deltas: (1, 0) -> 1 extra; (2, 1) -> 3 extra.
+        assert hm.share_within_extra_cores(1) == pytest.approx(50.0)
+        assert hm.share_within_extra_cores(3) == pytest.approx(100.0)
+
+    def test_mask_selects(self):
+        hm = usage_heatmap(
+            [3, 4], [1, 2], [2, 2], [1, 1], mask=np.array([True, False])
+        )
+        assert hm.num_chains == 1
+        assert hm.at(1, 0) == pytest.approx(100.0)
+
+    def test_population_denominator(self):
+        hm = usage_heatmap(
+            [3, 4], [1, 2], [2, 2], [1, 1],
+            mask=np.array([True, False]),
+            population=2,
+        )
+        assert hm.at(1, 0) == pytest.approx(50.0)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            usage_heatmap([1], [1], [1], [1], mask=np.array([False]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            usage_heatmap([1, 2], [1], [1, 2], [1, 2])
+
+    def test_render_contains_deltas(self):
+        hm = usage_heatmap([3], [0], [1], [2])
+        text = hm.render()
+        assert "2" in text and "-2" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["bbbb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:2])
+        assert "bbbb" in text
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderStepCurves:
+    def test_draws_all_curves(self):
+        curves = {
+            "A": (np.array([1.0, 1.2]), np.array([0.5, 1.0])),
+            "B": (np.array([1.0, 1.4]), np.array([0.2, 1.0])),
+        }
+        text = render_step_curves(curves, (1.0, 1.5))
+        assert "o = A" in text
+        assert "x = B" in text
+        assert "slowdown" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_step_curves({}, (1.0, 2.0))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_step_curves(
+                {"A": (np.array([1.0]), np.array([1.0]))}, (2.0, 1.0)
+            )

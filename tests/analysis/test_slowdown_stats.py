@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.slowdown and repro.analysis.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.slowdown import slowdown_cdf, slowdown_ratios
+from repro.analysis.stats import aggregate_scenario
+
+
+class TestSlowdownRatios:
+    def test_basic(self):
+        out = slowdown_ratios([2.0, 3.0], [1.0, 3.0])
+        np.testing.assert_allclose(out, [2.0, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            slowdown_ratios([1.0], [1.0, 2.0])
+
+    def test_nonpositive_optimal(self):
+        with pytest.raises(ValueError):
+            slowdown_ratios([1.0], [0.0])
+
+
+class TestCdf:
+    def test_step_values(self):
+        cdf = slowdown_cdf([1.0, 1.0, 1.2, 1.5])
+        assert cdf.at(0.9) == 0.0
+        assert cdf.at(1.0) == pytest.approx(0.5)
+        assert cdf.at(1.2) == pytest.approx(0.75)
+        assert cdf.at(2.0) == 1.0
+
+    def test_fraction_optimal(self):
+        cdf = slowdown_cdf([1.0, 1.0, 1.3])
+        assert cdf.fraction_optimal == pytest.approx(2 / 3)
+
+    def test_quantile(self):
+        cdf = slowdown_cdf([1.0, 1.1, 1.2, 1.3])
+        assert cdf.quantile(0.5) == pytest.approx(1.1)
+        assert cdf.quantile(1.0) == pytest.approx(1.3)
+
+    def test_quantile_validated(self):
+        cdf = slowdown_cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown_cdf([])
+
+    @given(st.lists(st.floats(1.0, 10.0), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_is_monotone_and_normalized(self, ratios):
+        cdf = slowdown_cdf(ratios)
+        assert (np.diff(cdf.cumulative) >= 0).all()
+        assert cdf.cumulative[-1] == pytest.approx(1.0)
+        assert cdf.at(float(max(ratios))) == pytest.approx(1.0)
+
+
+class TestAggregateScenario:
+    def test_paper_style_tuple(self):
+        stats = aggregate_scenario(
+            "fertac",
+            periods=[10.0, 12.0, 11.0, 10.0],
+            optimal_periods=[10.0, 10.0, 10.0, 10.0],
+            big_used=[3, 4, 2, 3],
+            little_used=[1, 1, 2, 1],
+        )
+        pct, avg, med, mx = stats.period_tuple()
+        assert pct == pytest.approx(50.0)
+        assert avg == pytest.approx(np.mean([1.0, 1.2, 1.1, 1.0]))
+        assert med == pytest.approx(1.05)
+        assert mx == pytest.approx(1.2)
+        assert stats.usage_pair() == (pytest.approx(3.0), pytest.approx(1.25))
+
+    def test_render_matches_paper_format(self):
+        stats = aggregate_scenario(
+            "herad", [5.0], [5.0], [2], [2]
+        )
+        assert stats.render_period() == "( 100.0%, 1.00, 1.00, 1.00 )"
+        assert stats.render_usage() == "(  2.00,  2.00 )"
+
+    def test_usage_shape_validated(self):
+        with pytest.raises(ValueError):
+            aggregate_scenario("x", [1.0], [1.0], [1, 2], [1])
+
+    def test_optimal_strategy_is_all_optimal(self):
+        stats = aggregate_scenario(
+            "herad", [3.0, 4.0], [3.0, 4.0], [1, 1], [0, 0]
+        )
+        assert stats.percent_optimal == 100.0
+        assert stats.max_slowdown == 1.0

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.task import TaskChain
+from repro.core.types import Resources
+
+
+@pytest.fixture
+def simple_chain() -> TaskChain:
+    """Four tasks, one sequential, with distinct big/little weights."""
+    return TaskChain.from_weights(
+        weights_big=[4, 10, 3, 7],
+        weights_little=[9, 21, 8, 15],
+        replicable=[True, True, False, True],
+    )
+
+
+@pytest.fixture
+def simple_profile(simple_chain: TaskChain) -> ChainProfile:
+    return ChainProfile(simple_chain)
+
+
+@pytest.fixture
+def balanced_resources() -> Resources:
+    return Resources(big=2, little=2)
+
+
+def random_instance(rng: np.random.Generator, max_tasks: int = 8, max_cores: int = 4):
+    """Draw a random small scheduling instance (chain, resources)."""
+    n = int(rng.integers(1, max_tasks + 1))
+    wb = rng.integers(1, 40, n).astype(float)
+    wl = np.ceil(wb * rng.uniform(1.0, 5.0, n))
+    rep = rng.random(n) < rng.random()
+    chain = TaskChain.from_weights(wb, wl, rep)
+    big = int(rng.integers(0, max_cores + 1))
+    little = int(rng.integers(0, max_cores + 1))
+    if big + little == 0:
+        little = 1
+    return chain, Resources(big, little)

@@ -1,0 +1,121 @@
+"""Tests for repro.core.binary_search (the Schedule driver, Algo. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binary_search import schedule_by_binary_search
+from repro.core.bounds import search_epsilon
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import InvalidPlatformError
+from repro.core.fertac import fertac_compute_solution
+from repro.core.solution import Solution
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+
+
+def test_returns_valid_solution(simple_profile, balanced_resources):
+    outcome = schedule_by_binary_search(
+        simple_profile, balanced_resources, fertac_compute_solution
+    )
+    assert outcome.feasible
+    assert outcome.solution.is_valid(simple_profile, balanced_resources)
+    assert outcome.period == outcome.solution.period(simple_profile)
+
+
+def test_accepts_chain_directly(simple_chain, balanced_resources):
+    outcome = schedule_by_binary_search(
+        simple_chain, balanced_resources, fertac_compute_solution
+    )
+    assert outcome.feasible
+
+
+def test_probe_log_recorded(simple_profile, balanced_resources):
+    outcome = schedule_by_binary_search(
+        simple_profile, balanced_resources, fertac_compute_solution
+    )
+    assert outcome.iterations >= 1
+    assert len(outcome.probes) >= outcome.iterations
+    for target, feasible in outcome.probes:
+        assert isinstance(feasible, bool)
+        assert outcome.bounds.lower <= target <= outcome.bounds.upper + 1e-9
+
+
+def test_converges_within_epsilon_of_best_feasible(simple_profile):
+    resources = Resources(2, 2)
+    outcome = schedule_by_binary_search(
+        simple_profile, resources, fertac_compute_solution
+    )
+    eps = search_epsilon(resources)
+    # No feasible probe below best_period - eps was found: every failed
+    # probe is below the final period.
+    for target, feasible in outcome.probes:
+        if not feasible:
+            assert target <= outcome.period + eps
+
+
+def test_epsilon_override_tightens(simple_profile, balanced_resources):
+    coarse = schedule_by_binary_search(
+        simple_profile, balanced_resources, fertac_compute_solution, epsilon=10.0
+    )
+    fine = schedule_by_binary_search(
+        simple_profile, balanced_resources, fertac_compute_solution, epsilon=1e-6
+    )
+    assert fine.period <= coarse.period
+    assert fine.iterations >= coarse.iterations
+
+
+def test_invalid_epsilon_rejected(simple_profile, balanced_resources):
+    with pytest.raises(ValueError):
+        schedule_by_binary_search(
+            simple_profile,
+            balanced_resources,
+            fertac_compute_solution,
+            epsilon=0.0,
+        )
+
+
+def test_empty_budget_rejected(simple_profile):
+    with pytest.raises(InvalidPlatformError):
+        schedule_by_binary_search(
+            simple_profile, Resources(0, 0), fertac_compute_solution
+        )
+
+
+def test_single_task_chain_degenerate_bracket():
+    chain = TaskChain.from_weights([5], [10], [False])
+    outcome = schedule_by_binary_search(
+        chain, Resources(1, 0), fertac_compute_solution
+    )
+    assert outcome.feasible
+    assert outcome.period == 5.0
+
+
+def test_fallback_probe_rescues_stubborn_builder(simple_profile):
+    """A builder that only succeeds at very large periods still yields a
+    solution via the guaranteed fallback probes."""
+
+    threshold = simple_profile.total_weight(CoreType.BIG)
+
+    def picky(profile, resources, period):
+        if period < threshold:
+            return Solution.empty()
+        return Solution.single_stage(profile, 1, CoreType.BIG)
+
+    outcome = schedule_by_binary_search(
+        simple_profile, Resources(1, 1), picky
+    )
+    assert outcome.feasible
+    assert outcome.period == threshold
+
+
+def test_iteration_cap_respected(simple_profile, balanced_resources):
+    outcome = schedule_by_binary_search(
+        simple_profile,
+        balanced_resources,
+        fertac_compute_solution,
+        epsilon=1e-12,
+        max_iterations=5,
+    )
+    assert outcome.iterations <= 5
+    assert outcome.feasible

@@ -1,0 +1,87 @@
+"""Tests for repro.core.fertac (Algo. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.fertac import fertac, fertac_compute_solution
+from repro.core.herad import herad
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+from repro.workloads.synthetic import GeneratorConfig, random_chain
+
+
+class TestComputeSolution:
+    def test_prefers_little_cores(self):
+        # Both types can host everything: FERTAC must use little cores.
+        chain = TaskChain.from_weights([2, 2], [3, 3], [False, False])
+        profile = ChainProfile(chain)
+        sol = fertac_compute_solution(profile, Resources(2, 2), 10.0)
+        assert all(s.core_type is CoreType.LITTLE for s in sol)
+
+    def test_falls_back_to_big(self):
+        # Little cores are too slow for the target period.
+        chain = TaskChain.from_weights([2, 2], [30, 30], [False, False])
+        profile = ChainProfile(chain)
+        sol = fertac_compute_solution(profile, Resources(2, 2), 5.0)
+        assert not sol.is_empty
+        assert all(s.core_type is CoreType.BIG for s in sol)
+
+    def test_empty_when_infeasible(self):
+        chain = TaskChain.from_weights([50], [100], [False])
+        profile = ChainProfile(chain)
+        assert fertac_compute_solution(profile, Resources(1, 1), 10.0).is_empty
+
+    def test_respects_budget_across_stages(self):
+        chain = TaskChain.from_weights(
+            [5, 5, 5, 5], [6, 6, 6, 6], [False] * 4
+        )
+        profile = ChainProfile(chain)
+        sol = fertac_compute_solution(profile, Resources(2, 2), 6.0)
+        if not sol.is_empty:
+            usage = sol.core_usage()
+            assert usage.big <= 2 and usage.little <= 2
+
+    def test_no_little_cores_platform(self):
+        chain = TaskChain.from_weights([3, 3], [6, 6], [False, False])
+        profile = ChainProfile(chain)
+        sol = fertac_compute_solution(profile, Resources(2, 0), 3.0)
+        assert not sol.is_empty
+        assert all(s.core_type is CoreType.BIG for s in sol)
+
+
+class TestSchedule:
+    def test_valid_and_never_better_than_optimal(self, simple_profile):
+        resources = Resources(2, 2)
+        outcome = fertac(simple_profile, resources)
+        optimal = herad(simple_profile, resources)
+        assert outcome.solution.is_valid(simple_profile, resources)
+        assert outcome.period >= optimal.period - 1e-9
+
+    def test_deterministic(self, simple_profile, balanced_resources):
+        a = fertac(simple_profile, balanced_resources)
+        b = fertac(simple_profile, balanced_resources)
+        assert a.solution.render() == b.solution.render()
+        assert a.period == b.period
+
+    @pytest.mark.parametrize("sr", [0.2, 0.5, 0.8])
+    def test_near_optimal_on_paper_distribution(self, sr):
+        """Average slowdown stays in the ballpark the paper reports (<~1.1)."""
+        rng = np.random.default_rng(11)
+        resources = Resources(10, 10)
+        config = GeneratorConfig(num_tasks=12, stateless_ratio=sr)
+        ratios = []
+        for _ in range(25):
+            profile = ChainProfile(random_chain(rng, config))
+            f = fertac(profile, resources)
+            h = herad(profile, resources)
+            assert f.solution.is_valid(profile, resources)
+            ratios.append(f.period / h.period)
+        assert float(np.mean(ratios)) < 1.15
+
+    def test_single_core_platform(self, simple_profile):
+        outcome = fertac(simple_profile, Resources(0, 1))
+        assert outcome.feasible
+        assert outcome.period == simple_profile.total_weight(CoreType.LITTLE)

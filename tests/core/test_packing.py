@@ -1,0 +1,114 @@
+"""Tests for repro.core.packing (ComputeStage, Algo. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.packing import compute_stage, stage_fits
+from repro.core.task import TaskChain
+from repro.core.types import CoreType
+
+
+def profile_from(wb, rep, slowdown=2.0):
+    wl = [w * slowdown for w in wb]
+    return ChainProfile(TaskChain.from_weights(wb, wl, rep))
+
+
+class TestSingleCorePacking:
+    def test_packs_up_to_period(self):
+        p = profile_from([4, 4, 4, 100], [False] * 4)
+        plan = compute_stage(p, 0, 3, CoreType.BIG, 12.0)
+        assert plan.end == 2
+        assert plan.cores == 1
+
+    def test_final_stage_detected(self):
+        p = profile_from([1, 1, 1], [False] * 3)
+        plan = compute_stage(p, 0, 1, CoreType.BIG, 10.0)
+        assert plan.end == 2
+        assert plan.cores == 1
+
+
+class TestReplicableExtension:
+    def test_extends_replicable_run_and_counts_cores(self):
+        # tasks 0-3 replicable then one sequential; period 5.
+        p = profile_from([4, 4, 4, 4, 9], [True, True, True, True, False])
+        plan = compute_stage(p, 0, 8, CoreType.BIG, 5.0)
+        # Extended to the end of the replicable run (task 3, sum 16),
+        # requiring ceil(16/5) = 4 cores... minus the leave-one-core
+        # refinement if the tail fits with the sequential task.
+        assert plan.end in (2, 3)
+        weight = p.stage_weight(0, plan.end, plan.cores, CoreType.BIG)
+        assert weight <= 5.0
+
+    def test_reduces_when_not_enough_cores(self):
+        p = profile_from([4, 4, 4, 4, 9], [True, True, True, True, False])
+        plan = compute_stage(p, 0, 2, CoreType.BIG, 5.0)
+        assert plan.cores <= 2
+        assert p.stage_weight(0, plan.end, plan.cores, CoreType.BIG) <= 5.0
+
+    def test_leave_one_core_refinement(self):
+        # Replicable run 0..2 (sum 6, needs 2 cores at P=5); the leftover
+        # task 2 fits with the following sequential task 3 on one core
+        # (1 + 1 = 2 <= 5), so the stage gives one core back and shrinks
+        # to what a single core packs (tasks 0-1, sum 5).
+        p = profile_from([4, 1, 1, 1], [True, True, True, False])
+        plan = compute_stage(p, 0, 8, CoreType.BIG, 5.0)
+        assert plan.end == 1
+        assert plan.cores == 1
+
+    def test_refinement_skipped_when_shrunk_stage_invalid(self):
+        # One heavy replicable task needing 2 cores: shrinking to 1 core
+        # would violate the period; the refinement must not fire.
+        p = profile_from([10, 3], [True, False])
+        plan = compute_stage(p, 0, 4, CoreType.BIG, 6.0)
+        assert plan.end == 0
+        assert plan.cores == 2
+        assert stage_fits(p, 0, plan, 4, CoreType.BIG, 6.0)
+
+    def test_final_replicable_stage_not_extended_past_end(self):
+        p = profile_from([4, 4], [True, True])
+        plan = compute_stage(p, 0, 4, CoreType.BIG, 100.0)
+        assert plan.end == 1
+        assert plan.cores == 1
+
+
+class TestForcedAndInvalidStages:
+    def test_forced_overweight_stage_detected_by_fits(self):
+        p = profile_from([50, 1], [False, False])
+        plan = compute_stage(p, 0, 2, CoreType.BIG, 10.0)
+        assert plan.end == 0
+        assert not stage_fits(p, 0, plan, 2, CoreType.BIG, 10.0)
+
+    def test_zero_available_cores_invalid(self):
+        p = profile_from([5, 5], [True, True])
+        plan = compute_stage(p, 0, 0, CoreType.BIG, 100.0)
+        assert not stage_fits(p, 0, plan, 0, CoreType.BIG, 100.0)
+
+    def test_heavy_replicable_task_gets_multiple_cores(self):
+        p = profile_from([30, 1], [True, False])
+        plan = compute_stage(p, 0, 5, CoreType.BIG, 10.0)
+        assert plan.end == 0
+        assert plan.cores == 3
+        assert stage_fits(p, 0, plan, 5, CoreType.BIG, 10.0)
+
+
+class TestLittleCores:
+    def test_little_weights_drive_packing(self):
+        p = profile_from([4, 4, 4], [False] * 3, slowdown=3.0)
+        # Little weights are 12 each: period 24 packs two tasks.
+        plan = compute_stage(p, 0, 2, CoreType.LITTLE, 24.0)
+        assert plan.end == 1
+
+
+class TestStageFits:
+    def test_happy_path(self, simple_profile):
+        plan = compute_stage(simple_profile, 0, 2, CoreType.BIG, 7.0)
+        assert stage_fits(simple_profile, 0, plan, 2, CoreType.BIG, 7.0)
+
+    def test_rejects_over_budget(self, simple_profile):
+        plan = compute_stage(simple_profile, 0, 2, CoreType.BIG, 7.0)
+        if plan.cores > 1:
+            assert not stage_fits(
+                simple_profile, 0, plan, plan.cores - 1, CoreType.BIG, 7.0
+            )

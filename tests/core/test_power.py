@@ -1,0 +1,99 @@
+"""Tests for repro.core.power (power models and the Pareto helper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.herad import herad
+from repro.core.power import PowerModel, pareto_front, solution_power
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+
+
+@pytest.fixture
+def chain():
+    return TaskChain.from_weights(
+        [10, 10], [20, 20], [False, False]
+    )
+
+
+class TestPowerModel:
+    def test_defaults(self):
+        model = PowerModel()
+        assert model.active(CoreType.BIG) == 3.0
+        assert model.active(CoreType.LITTLE) == 1.0
+        assert model.idle(CoreType.BIG) == 0.3
+        assert model.idle(CoreType.LITTLE) == 0.1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(big_active=-1.0)
+
+
+class TestSolutionPower:
+    def test_fully_busy_single_stage(self, chain):
+        sol = Solution([Stage(0, 1, 1, CoreType.BIG)])
+        report = solution_power(sol, chain)
+        # One big core busy 100% of the time.
+        assert report.power == pytest.approx(3.0)
+        assert report.busy_fraction == pytest.approx(1.0)
+        assert report.period == 20.0
+
+    def test_idle_fraction_counted(self, chain):
+        # Two balanced big stages: each busy 10/10 = 1.0... use unbalanced.
+        unbalanced = TaskChain.from_weights(
+            [10, 5], [20, 10], [False, False]
+        )
+        sol = Solution(
+            [Stage(0, 0, 1, CoreType.BIG), Stage(1, 1, 1, CoreType.BIG)]
+        )
+        report = solution_power(sol, unbalanced)
+        # Stage 1: busy 1.0; stage 2: busy 0.5 (idle draws 0.3).
+        expected = 3.0 + (0.5 * 3.0 + 0.5 * 0.3)
+        assert report.power == pytest.approx(expected)
+        assert report.busy_fraction == pytest.approx(0.75)
+
+    def test_little_cores_cheaper(self, chain):
+        big = Solution([Stage(0, 1, 1, CoreType.BIG)])
+        little = Solution([Stage(0, 1, 1, CoreType.LITTLE)])
+        assert (
+            solution_power(little, chain).power
+            < solution_power(big, chain).power
+        )
+
+    def test_empty_rejected(self, chain):
+        with pytest.raises(ValueError):
+            solution_power(Solution.empty(), chain)
+
+    def test_custom_model(self, chain):
+        sol = Solution([Stage(0, 1, 1, CoreType.LITTLE)])
+        model = PowerModel(little_active=7.0)
+        assert solution_power(sol, chain, model).power == pytest.approx(7.0)
+
+
+class TestParetoFront:
+    def test_dominated_budget_removed(self):
+        chain = TaskChain.from_weights(
+            [8, 8, 8, 8], [16, 16, 16, 16], [True] * 4
+        )
+        candidates = [
+            (f"({big},{little})", herad(chain, Resources(big, little)).solution)
+            for big, little in [(1, 0), (2, 0), (4, 0), (0, 2)]
+        ]
+        front = pareto_front(candidates, chain)
+        labels = [label for label, _ in front]
+        # More big cores -> faster but hungrier: all big-only budgets are
+        # mutually non-dominated; the little-only budget has the lowest
+        # power.
+        assert "(4,0)" in labels  # fastest
+        assert "(0,2)" in labels  # cheapest
+        periods = [r.period for _, r in front]
+        assert periods == sorted(periods)
+
+    def test_duplicate_schedule_not_dominated_by_itself(self, chain):
+        sol = Solution([Stage(0, 1, 1, CoreType.BIG)])
+        front = pareto_front([("a", sol), ("b", sol)], chain)
+        # Equal candidates do not dominate each other (strictness).
+        assert len(front) == 2

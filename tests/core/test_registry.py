@@ -1,0 +1,79 @@
+"""Tests for repro.core.registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import (
+    PAPER_ORDER,
+    STRATEGIES,
+    get_info,
+    get_strategy,
+    run_strategies,
+    strategy_names,
+)
+from repro.core.types import Resources
+
+
+def test_paper_order_matches_table1():
+    assert PAPER_ORDER == ("herad", "2catac", "fertac", "otac_b", "otac_l")
+
+
+def test_all_paper_strategies_registered():
+    for name in PAPER_ORDER:
+        assert name in STRATEGIES
+
+
+@pytest.mark.parametrize(
+    "alias,canonical",
+    [
+        ("HeRAD", "herad"),
+        ("2CATAC", "2catac"),
+        ("twocatac", "2catac"),
+        ("OTAC (B)", "otac_b"),
+        ("otac-l", "otac_l"),
+        ("FERTAC", "fertac"),
+    ],
+)
+def test_aliases_resolve(alias, canonical):
+    assert get_info(alias).name == canonical
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(KeyError, match="available"):
+        get_strategy("does-not-exist")
+
+
+def test_every_strategy_runs(simple_chain, balanced_resources):
+    for name in strategy_names(paper_only=False):
+        outcome = get_strategy(name)(simple_chain, balanced_resources)
+        assert outcome.feasible, name
+        assert outcome.solution.is_valid(simple_chain, balanced_resources)
+
+
+def test_run_strategies_defaults(simple_chain, balanced_resources):
+    outcomes = run_strategies(simple_chain, balanced_resources)
+    assert set(outcomes) == set(PAPER_ORDER)
+    # HeRAD is optimal: nothing beats it.
+    best = outcomes["herad"].period
+    for name, outcome in outcomes.items():
+        assert outcome.period >= best - 1e-9, name
+
+
+def test_run_strategies_subset(simple_chain, balanced_resources):
+    outcomes = run_strategies(
+        simple_chain, balanced_resources, names=["FERTAC", "herad"]
+    )
+    assert set(outcomes) == {"fertac", "herad"}
+
+
+def test_metadata_flags():
+    assert STRATEGIES["herad"].optimal
+    assert not STRATEGIES["fertac"].optimal
+    assert STRATEGIES["fertac"].heterogeneous
+    assert not STRATEGIES["otac_b"].heterogeneous
+
+
+def test_extensions_excluded_from_paper_names():
+    assert "2catac_memo" not in strategy_names(paper_only=True)
+    assert "2catac_memo" in strategy_names(paper_only=False)

@@ -1,0 +1,133 @@
+"""Scale smoke tests and edge cases across the scheduling core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.fertac import fertac
+from repro.core.herad import herad
+from repro.core.otac import otac
+from repro.core.twocatac import twocatac
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+from repro.workloads.synthetic import GeneratorConfig, random_chain
+
+
+class TestScale:
+    """Paper-scale instances stay correct and tractable."""
+
+    def test_herad_sixty_tasks(self):
+        rng = np.random.default_rng(0)
+        chain = random_chain(
+            rng, GeneratorConfig(num_tasks=60, stateless_ratio=0.5)
+        )
+        profile = ChainProfile(chain)
+        resources = Resources(20, 20)
+        optimal = herad(profile, resources)
+        greedy = fertac(profile, resources)
+        assert optimal.solution.is_valid(profile, resources)
+        assert optimal.period <= greedy.period + 1e-9
+
+    def test_fertac_hundred_sixty_tasks(self):
+        rng = np.random.default_rng(1)
+        chain = random_chain(
+            rng, GeneratorConfig(num_tasks=160, stateless_ratio=0.5)
+        )
+        profile = ChainProfile(chain)
+        resources = Resources(100, 100)
+        outcome = fertac(profile, resources)
+        assert outcome.solution.is_valid(profile, resources)
+        # The binary search hits near the balance bound with ample cores.
+        lower = profile.total_weight(CoreType.BIG) / resources.total
+        assert outcome.period <= 3.0 * lower
+
+    def test_memoized_2catac_eighty_tasks(self):
+        rng = np.random.default_rng(2)
+        chain = random_chain(
+            rng, GeneratorConfig(num_tasks=80, stateless_ratio=0.5)
+        )
+        profile = ChainProfile(chain)
+        resources = Resources(20, 20)
+        outcome = twocatac(profile, resources, memoize=True)
+        assert outcome.solution.is_valid(profile, resources)
+
+
+class TestDegenerateShapes:
+    def test_single_task_every_strategy(self):
+        chain = TaskChain.from_weights([7], [9], [True])
+        resources = Resources(2, 2)
+        for strategy in (herad, fertac, twocatac):
+            outcome = strategy(chain, resources)
+            assert outcome.feasible
+            assert outcome.solution.num_stages == 1
+
+    def test_two_identical_core_types(self):
+        """w^B == w^L everywhere: the platform is effectively homogeneous;
+        HeRAD must match OTAC over the pooled cores and prefer little."""
+        chain = TaskChain.from_weights(
+            [6, 3, 9, 3], [6, 3, 9, 3], [True, False, True, True]
+        )
+        pooled = otac(chain, 6, CoreType.BIG, epsilon=1e-9)
+        split = herad(chain, Resources(3, 3))
+        assert split.period <= pooled.period + 1e-9
+        usage = split.solution.core_usage()
+        assert usage.little >= usage.big  # little preferred on ties
+
+    def test_all_weight_in_one_sequential_task(self):
+        chain = TaskChain.from_weights(
+            [1, 1000, 1], [2, 2000, 2], [True, False, True]
+        )
+        outcome = herad(chain, Resources(4, 4))
+        assert outcome.period == 1000.0
+
+    def test_extreme_weight_ratio(self):
+        chain = TaskChain.from_weights(
+            [1e-6, 1e6], [2e-6, 2e6], [True, True]
+        )
+        resources = Resources(2, 2)
+        outcome = herad(chain, resources)
+        assert outcome.solution.is_valid(chain, resources)
+        assert outcome.period == pytest.approx(1e6 / 2, rel=1e-9)
+
+    def test_many_tiny_tasks_one_core(self):
+        chain = TaskChain.from_weights([1] * 50, [2] * 50, [False] * 50)
+        outcome = herad(chain, Resources(1, 0))
+        assert outcome.period == 50.0
+        assert outcome.solution.num_stages == 1
+
+    def test_alternating_seq_rep_uses_separate_stages(self):
+        chain = TaskChain.from_weights(
+            [10, 10, 10, 10], [20, 20, 20, 20], [False, True, False, True]
+        )
+        outcome = herad(chain, Resources(4, 0))
+        profile = ChainProfile(chain)
+        # Perfect split: four one-task stages at period 10.
+        assert outcome.period == pytest.approx(10.0)
+        assert outcome.solution.covers(profile)
+
+
+class TestTieBreakDeterminism:
+    def test_identical_runs_identical_results(self):
+        rng = np.random.default_rng(5)
+        chain = random_chain(
+            rng, GeneratorConfig(num_tasks=15, stateless_ratio=0.5)
+        )
+        resources = Resources(5, 5)
+        renders = {
+            herad(chain, resources).solution.render() for _ in range(3)
+        }
+        assert len(renders) == 1
+
+    def test_profile_reuse_matches_fresh(self):
+        rng = np.random.default_rng(6)
+        chain = random_chain(
+            rng, GeneratorConfig(num_tasks=12, stateless_ratio=0.5)
+        )
+        profile = ChainProfile(chain)
+        resources = Resources(4, 4)
+        assert (
+            herad(profile, resources).period
+            == herad(chain, resources).period
+        )

@@ -1,0 +1,154 @@
+"""Tests for repro.core.stage and repro.core.solution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import InvalidChainError
+from repro.core.solution import CoreUsage, Solution
+from repro.core.stage import Stage, stage_weight_or_inf
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+
+
+class TestStage:
+    def test_num_tasks(self):
+        assert Stage(1, 3, 1, CoreType.BIG).num_tasks == 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(InvalidChainError):
+            Stage(3, 1, 1, CoreType.BIG)
+        with pytest.raises(InvalidChainError):
+            Stage(-1, 0, 1, CoreType.BIG)
+
+    def test_needs_a_core(self):
+        with pytest.raises(InvalidChainError):
+            Stage(0, 0, 0, CoreType.BIG)
+
+    def test_weight_and_latency_differ_under_replication(self, simple_profile):
+        stage = Stage(0, 1, 2, CoreType.BIG)
+        # Replicated: weight = 14/2, but each frame still takes 14.
+        assert stage.weight(simple_profile) == 7.0
+        assert stage.latency(simple_profile) == 14.0
+
+    def test_sequential_stage_weight_equals_latency(self, simple_profile):
+        stage = Stage(0, 2, 3, CoreType.BIG)
+        assert stage.weight(simple_profile) == stage.latency(simple_profile) == 17.0
+
+    def test_effective_cores(self, simple_profile):
+        assert Stage(0, 1, 2, CoreType.BIG).effective_cores(simple_profile) == 2
+        assert Stage(0, 2, 3, CoreType.BIG).effective_cores(simple_profile) == 1
+
+    def test_render(self):
+        assert Stage(0, 4, 3, CoreType.LITTLE).render() == "(5,3L)"
+        assert Stage(2, 2, 1, CoreType.BIG).render() == "(1,1B)"
+
+    def test_with_cores(self):
+        assert Stage(0, 1, 1, CoreType.BIG).with_cores(4).cores == 4
+
+    def test_stage_weight_or_inf(self, simple_profile):
+        assert stage_weight_or_inf(simple_profile, 0, 1, 0, CoreType.BIG) == float("inf")
+        assert stage_weight_or_inf(simple_profile, 0, 1, 2, CoreType.BIG) == 7.0
+
+
+class TestSolution:
+    def make(self) -> Solution:
+        return Solution.from_triplets(
+            [(0, 1, 2, "B"), (2, 2, 1, "L"), (3, 3, 1, "B")]
+        )
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(InvalidChainError):
+            Solution(
+                [Stage(0, 1, 1, CoreType.BIG), Stage(3, 3, 1, CoreType.BIG)]
+            )
+
+    def test_period_is_max_stage_weight(self, simple_profile):
+        sol = self.make()
+        # Weights: 14/2 = 7 (B), 8 (L seq), 7 (B).
+        assert sol.period(simple_profile) == 8.0
+
+    def test_empty_period_infinite(self, simple_profile):
+        assert Solution.empty().period(simple_profile) == float("inf")
+
+    def test_throughput_inverse(self, simple_profile):
+        sol = self.make()
+        assert sol.throughput(simple_profile) == pytest.approx(1 / 8.0)
+        assert Solution.empty().throughput(simple_profile) == 0.0
+
+    def test_latency_sums_stage_latencies(self, simple_profile):
+        sol = self.make()
+        # Stage latencies: 14 (B, full interval despite 2 replicas),
+        # 8 (task 2 on L), 7 (task 3 on B).
+        assert sol.latency(simple_profile) == 14 + 8 + 7
+
+    def test_latency_of_empty_solution(self, simple_profile):
+        assert Solution.empty().latency(simple_profile) == float("inf")
+
+    def test_latency_at_least_period(self, simple_profile):
+        sol = self.make()
+        assert sol.latency(simple_profile) >= sol.period(simple_profile)
+
+    def test_merging_reduces_latency_metric(self, simple_profile):
+        # Fewer stages -> the same tasks counted once, so latency can only
+        # shrink or stay equal under merging.
+        from repro.core.merge import merge_replicable_stages
+
+        sol = Solution.from_triplets(
+            [(0, 0, 1, "B"), (1, 1, 1, "B"), (2, 3, 1, "B")]
+        )
+        merged = merge_replicable_stages(sol, simple_profile)
+        assert merged.latency(simple_profile) <= sol.latency(simple_profile)
+
+    def test_bottleneck(self, simple_profile):
+        assert self.make().bottleneck(simple_profile).start == 2
+
+    def test_bottleneck_empty_raises(self, simple_profile):
+        with pytest.raises(InvalidChainError):
+            Solution.empty().bottleneck(simple_profile)
+
+    def test_core_usage(self):
+        usage = self.make().core_usage()
+        assert usage == CoreUsage(big=3, little=1)
+        assert usage.total == 4
+        assert tuple(usage) == (3, 1)
+
+    def test_covers(self, simple_profile):
+        assert self.make().covers(simple_profile)
+        partial = Solution([Stage(0, 2, 1, CoreType.BIG)])
+        assert not partial.covers(simple_profile)
+
+    def test_is_valid_full(self, simple_profile):
+        sol = self.make()
+        assert sol.is_valid(simple_profile, Resources(3, 1))
+        assert sol.is_valid(simple_profile, Resources(3, 1), period=8.0)
+        assert not sol.is_valid(simple_profile, Resources(3, 1), period=7.9)
+        assert not sol.is_valid(simple_profile, Resources(2, 1))
+        assert not sol.is_valid(simple_profile, Resources(3, 0))
+        assert not Solution.empty().is_valid(simple_profile, Resources(3, 1))
+
+    def test_is_valid_requires_coverage(self, simple_profile):
+        partial = Solution([Stage(0, 2, 1, CoreType.BIG)])
+        assert not partial.is_valid(simple_profile, Resources(4, 4))
+
+    def test_render(self):
+        assert self.make().render() == "(2,2B),(1,1L),(1,1B)"
+
+    def test_describe_contains_period(self, simple_profile):
+        assert "period" in self.make().describe(simple_profile)
+
+    def test_single_stage_constructor(self, simple_profile):
+        sol = Solution.single_stage(simple_profile, 2, CoreType.LITTLE)
+        assert sol.covers(simple_profile)
+        assert sol.num_stages == 1
+        assert sol[0].cores == 2
+
+    def test_container_protocol(self):
+        sol = self.make()
+        assert len(sol) == 3
+        assert sol[1].core_type is CoreType.LITTLE
+        assert [s.start for s in sol] == [0, 2, 3]
+
+    def test_period_accepts_chain_directly(self, simple_chain):
+        assert self.make().period(simple_chain) == 8.0

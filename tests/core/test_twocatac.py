@@ -1,0 +1,118 @@
+"""Tests for repro.core.twocatac (Algos. 5-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.fertac import fertac
+from repro.core.herad import herad
+from repro.core.task import TaskChain
+from repro.core.twocatac import (
+    _Partial,
+    choose_best,
+    twocatac,
+    twocatac_compute_solution,
+)
+from repro.core.types import Resources
+from repro.workloads.synthetic import GeneratorConfig, random_chain
+
+
+class TestChooseBest:
+    def p(self, big: int, little: int) -> _Partial:
+        return _Partial(stages=(), used_big=big, used_little=little)
+
+    def test_single_valid_branch(self):
+        only = self.p(1, 0)
+        assert choose_best(only, None) is only
+        assert choose_best(None, only) is only
+        assert choose_best(None, None) is None
+
+    def test_prefers_big_to_little_exchange(self):
+        # Branch B uses more little & fewer big than branch L: pick B.
+        branch_b = self.p(1, 3)
+        branch_l = self.p(2, 1)
+        assert choose_best(branch_b, branch_l) is branch_b
+
+    def test_prefers_little_branch_on_reverse_exchange(self):
+        branch_b = self.p(3, 1)
+        branch_l = self.p(1, 2)
+        assert choose_best(branch_b, branch_l) is branch_l
+
+    def test_fewer_total_cores_breaks_remaining_ties(self):
+        branch_b = self.p(2, 2)
+        branch_l = self.p(2, 3)
+        assert choose_best(branch_b, branch_l) is branch_b
+        assert choose_best(self.p(2, 3), self.p(2, 2)) is not None
+
+    def test_full_tie_prefers_little_branch(self):
+        branch_b = self.p(2, 2)
+        branch_l = self.p(2, 2)
+        assert choose_best(branch_b, branch_l) is branch_l
+
+
+class TestComputeSolution:
+    def test_explores_both_types(self):
+        # A chain where the best use of cores mixes types.
+        chain = TaskChain.from_weights(
+            [10, 1, 10], [11, 2, 30], [False, False, False]
+        )
+        profile = ChainProfile(chain)
+        sol = twocatac_compute_solution(profile, Resources(2, 1), 11.0)
+        assert not sol.is_empty
+        assert sol.period(profile) <= 11.0
+
+    def test_empty_when_infeasible(self):
+        chain = TaskChain.from_weights([50], [50], [False])
+        profile = ChainProfile(chain)
+        assert twocatac_compute_solution(
+            profile, Resources(1, 1), 10.0
+        ).is_empty
+
+    def test_memoized_matches_plain(self):
+        rng = np.random.default_rng(3)
+        config = GeneratorConfig(num_tasks=10, stateless_ratio=0.5)
+        for _ in range(20):
+            profile = ChainProfile(random_chain(rng, config))
+            resources = Resources(3, 3)
+            for period in (50.0, 120.0, 300.0):
+                plain = twocatac_compute_solution(profile, resources, period)
+                memo = twocatac_compute_solution(
+                    profile, resources, period, memoize=True
+                )
+                assert plain.is_empty == memo.is_empty
+                if not plain.is_empty:
+                    assert plain.period(profile) == memo.period(profile)
+                    assert plain.core_usage() == memo.core_usage()
+
+
+class TestSchedule:
+    def test_valid_and_bounded_by_optimal(self, simple_profile):
+        resources = Resources(2, 2)
+        outcome = twocatac(simple_profile, resources)
+        optimal = herad(simple_profile, resources)
+        assert outcome.solution.is_valid(simple_profile, resources)
+        assert outcome.period >= optimal.period - 1e-9
+
+    def test_at_least_as_good_as_fertac_on_average(self):
+        """The paper finds 2CATAC's schedules dominate FERTAC's on average."""
+        rng = np.random.default_rng(21)
+        config = GeneratorConfig(num_tasks=12, stateless_ratio=0.5)
+        resources = Resources(6, 6)
+        two, fer = [], []
+        for _ in range(25):
+            profile = ChainProfile(random_chain(rng, config))
+            two.append(twocatac(profile, resources).period)
+            fer.append(fertac(profile, resources).period)
+        assert float(np.mean(two)) <= float(np.mean(fer)) + 1e-9
+
+    def test_memoized_schedule_matches(self, simple_profile, balanced_resources):
+        plain = twocatac(simple_profile, balanced_resources)
+        memo = twocatac(simple_profile, balanced_resources, memoize=True)
+        assert plain.period == memo.period
+        assert plain.solution.core_usage() == memo.solution.core_usage()
+
+    def test_handles_single_type_budgets(self, simple_profile):
+        assert twocatac(simple_profile, Resources(2, 0)).feasible
+        assert twocatac(simple_profile, Resources(0, 2)).feasible

@@ -1,0 +1,94 @@
+"""Tests for repro.core.types (CoreType, Resources)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import INFINITY, CoreType, Resources
+
+
+class TestCoreType:
+    def test_two_members(self):
+        assert set(CoreType) == {CoreType.BIG, CoreType.LITTLE}
+
+    def test_other_flips(self):
+        assert CoreType.BIG.other is CoreType.LITTLE
+        assert CoreType.LITTLE.other is CoreType.BIG
+
+    def test_symbols(self):
+        assert CoreType.BIG.symbol == "B"
+        assert CoreType.LITTLE.symbol == "L"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("big", CoreType.BIG),
+            ("B", CoreType.BIG),
+            ("performance", CoreType.BIG),
+            ("little", CoreType.LITTLE),
+            ("l", CoreType.LITTLE),
+            ("Efficiency", CoreType.LITTLE),
+            (0, CoreType.BIG),
+            (1, CoreType.LITTLE),
+            (CoreType.BIG, CoreType.BIG),
+        ],
+    )
+    def test_parse_accepts(self, value, expected):
+        assert CoreType.parse(value) is expected
+
+    @pytest.mark.parametrize("value", ["medium", "", 3, None, 2.5])
+    def test_parse_rejects(self, value):
+        with pytest.raises((ValueError, KeyError)):
+            CoreType.parse(value)
+
+    def test_int_values_stable(self):
+        # The vectorized code indexes arrays with these values.
+        assert int(CoreType.BIG) == 0
+        assert int(CoreType.LITTLE) == 1
+
+
+class TestResources:
+    def test_total(self):
+        assert Resources(3, 5).total == 8
+
+    def test_count(self):
+        r = Resources(3, 5)
+        assert r.count(CoreType.BIG) == 3
+        assert r.count(CoreType.LITTLE) == 5
+
+    def test_minus_big(self):
+        assert Resources(3, 5).minus(CoreType.BIG, 2) == Resources(1, 5)
+
+    def test_minus_little(self):
+        assert Resources(3, 5).minus(CoreType.LITTLE, 5) == Resources(3, 0)
+
+    def test_minus_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            Resources(1, 1).minus(CoreType.BIG, 2)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Resources(-1, 2)
+
+    def test_empty_budget_allowed_and_exhausted(self):
+        assert Resources(0, 0).is_exhausted()
+        assert not Resources(1, 0).is_exhausted()
+
+    def test_fits(self):
+        r = Resources(2, 3)
+        assert r.fits(2, 3)
+        assert r.fits(0, 0)
+        assert not r.fits(3, 0)
+        assert not r.fits(0, 4)
+
+    def test_iter_unpacks(self):
+        b, l = Resources(4, 7)
+        assert (b, l) == (4, 7)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Resources(1, 1).big = 5  # type: ignore[misc]
+
+
+def test_infinity_is_float_inf():
+    assert INFINITY == float("inf")

@@ -1,0 +1,52 @@
+"""Tests for the ablation experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablation.run(
+        num_chains=6,
+        stateless_ratios=(0.5,),
+        dynamic_overheads=(0.0, 200.0),
+    )
+
+
+def test_replication_always_helps(result):
+    for ratio in result.replication_value.values():
+        assert ratio >= 1.0
+
+
+def test_memoization_equivalence(result):
+    _, _, equal = result.memoization
+    assert equal
+
+
+def test_dynamic_crossover(result):
+    assert result.dynamic_periods[0.0] <= result.static_period * 1.02
+    assert result.dynamic_periods[200.0] > result.static_period
+
+
+def test_placement_compact_at_least_as_good(result):
+    assert (
+        result.placement_periods["compact"]
+        <= result.placement_periods["scatter"] + 1e-9
+    )
+
+
+def test_render_mentions_all_sections(result):
+    text = ablation.render(result)
+    for needle in ("Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4"):
+        assert needle in text
+
+
+def test_cli_integration(capsys):
+    from repro.cli import main
+
+    assert main(["ablation", "--chains", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "value of replication" in out

@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.common (campaigns and timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Resources
+from repro.experiments.common import run_campaign, time_strategy
+
+
+class TestRunCampaign:
+    def test_records_all_paper_strategies(self):
+        campaign = run_campaign(Resources(3, 3), 0.5, num_chains=5, num_tasks=8)
+        assert set(campaign.records) == {
+            "herad",
+            "2catac",
+            "fertac",
+            "otac_b",
+            "otac_l",
+        }
+        for rec in campaign.records.values():
+            assert rec.periods.shape == (5,)
+            assert rec.big_used.shape == (5,)
+
+    def test_herad_always_included(self):
+        campaign = run_campaign(
+            Resources(2, 2), 0.5, num_chains=3, num_tasks=6,
+            strategies=["fertac"],
+        )
+        assert "herad" in campaign.records
+        assert "fertac" in campaign.records
+
+    def test_herad_is_lower_envelope(self):
+        campaign = run_campaign(Resources(3, 3), 0.5, num_chains=8, num_tasks=8)
+        opt = campaign.optimal_periods
+        for name, rec in campaign.records.items():
+            assert (rec.periods >= opt - 1e-9).all(), name
+
+    def test_deterministic_by_seed(self):
+        a = run_campaign(Resources(2, 2), 0.5, num_chains=4, num_tasks=6, seed=5)
+        b = run_campaign(Resources(2, 2), 0.5, num_chains=4, num_tasks=6, seed=5)
+        np.testing.assert_array_equal(
+            a.records["fertac"].periods, b.records["fertac"].periods
+        )
+
+    def test_usage_within_budget(self):
+        resources = Resources(3, 2)
+        campaign = run_campaign(resources, 0.5, num_chains=6, num_tasks=8)
+        for rec in campaign.records.values():
+            assert (rec.big_used <= resources.big).all()
+            assert (rec.little_used <= resources.little).all()
+
+
+class TestTimeStrategy:
+    def test_returns_positive_times(self):
+        point = time_strategy(
+            "fertac", Resources(4, 4), 0.5, num_tasks=10, num_chains=3
+        )
+        assert point.mean_seconds > 0
+        assert point.mean_microseconds == pytest.approx(
+            point.mean_seconds * 1e6
+        )
+        assert point.strategy == "fertac"
+        assert point.num_tasks == 10
+
+    def test_resolves_aliases(self):
+        point = time_strategy(
+            "OTAC (B)", Resources(4, 0), 0.5, num_tasks=8, num_chains=2
+        )
+        assert point.strategy == "otac_b"

@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.compare (paper-vs-reproduction deltas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Resources
+from repro.experiments import table1, table2
+from repro.experiments.compare import (
+    compare_table1,
+    compare_table2,
+    summarize_table2,
+)
+from repro.platform.presets import MAC_STUDIO
+
+
+class TestCompareTable1:
+    def test_matches_paper_cells(self):
+        result = table1.run(
+            num_chains=10,
+            budgets=[Resources(10, 10)],
+            stateless_ratios=[0.5],
+        )
+        rows = compare_table1(result)
+        # One row per paper strategy in the matched scenario.
+        assert len(rows) == 5
+        herad = next(r for r in rows if r.strategy == "herad")
+        assert herad.percent_optimal == 100.0
+        assert herad.paper_percent_optimal == 100.0
+        assert herad.percent_optimal_delta == 0.0
+        assert herad.avg_slowdown_delta == pytest.approx(0.0)
+
+    def test_unmatched_scenarios_skipped(self):
+        result = table1.run(
+            num_chains=5,
+            budgets=[Resources(7, 3)],  # not a paper budget
+            stateless_ratios=[0.5],
+        )
+        assert compare_table1(result) == []
+
+
+class TestCompareTable2:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        result = table2.run(
+            configurations=[(MAC_STUDIO, Resources(8, 2))],
+            num_frames=400,
+        )
+        return compare_table2(result)
+
+    def test_all_strategies_matched(self, comparisons):
+        assert len(comparisons) == 5
+
+    def test_periods_reproduce(self, comparisons):
+        for comparison in comparisons:
+            assert comparison.period_matches, comparison.strategy
+
+    def test_summary_text(self, comparisons):
+        text = summarize_table2(comparisons)
+        assert "5/5" in text
+        assert "%" in text
+
+    def test_empty_summary(self):
+        assert summarize_table2([]) == "no comparable rows"

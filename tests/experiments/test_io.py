@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.io (JSON round-tripping of results)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.types import CoreType, Resources
+from repro.experiments import table3
+from repro.experiments.common import run_campaign
+from repro.experiments.io import load_json, result_to_dict, save_json
+
+
+class TestResultToDict:
+    def test_scalars(self):
+        assert result_to_dict(5) == 5
+        assert result_to_dict(2.5) == 2.5
+        assert result_to_dict("x") == "x"
+        assert result_to_dict(True) is True
+        assert result_to_dict(None) is None
+
+    def test_non_finite_floats_stringified(self):
+        assert result_to_dict(float("inf")) == "inf"
+        assert result_to_dict(float("nan")) == "nan"
+
+    def test_numpy(self):
+        assert result_to_dict(np.int64(3)) == 3
+        assert result_to_dict(np.float64(1.5)) == 1.5
+        assert result_to_dict(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_domain_types(self):
+        assert result_to_dict(CoreType.BIG) == "BIG"
+        assert result_to_dict(Resources(2, 3)) == {"big": 2, "little": 3}
+        stage = Stage(0, 2, 2, CoreType.LITTLE)
+        assert result_to_dict(stage) == {
+            "start": 0,
+            "end": 2,
+            "cores": 2,
+            "core_type": "LITTLE",
+        }
+        sol = Solution([stage])
+        assert result_to_dict(sol) == {"stages": [result_to_dict(stage)]}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict(object())
+
+
+class TestRoundTrip:
+    def test_campaign_roundtrip(self, tmp_path):
+        campaign = run_campaign(
+            Resources(2, 2), 0.5, num_chains=3, num_tasks=6
+        )
+        path = save_json(campaign, tmp_path / "campaign.json")
+        data = load_json(path)
+        assert data["__type__"] == "CampaignResult"
+        assert data["resources"] == {"big": 2, "little": 2}
+        assert len(data["records"]["herad"]["periods"]) == 3
+
+    def test_table3_roundtrip(self, tmp_path):
+        result = table3.run()
+        data = load_json(save_json(result, tmp_path / "t3.json"))
+        assert data["__type__"] == "Table3Result"
+        assert data["paper_totals"][0] == pytest.approx(8530.8)
+        assert data["totals"][0] == pytest.approx(result.totals[0])
+
+    def test_nested_dirs_created(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()

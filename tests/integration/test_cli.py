@@ -1,0 +1,59 @@
+"""Tests for the CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_all_experiments():
+    parser = build_parser()
+    for name in (
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "all",
+    ):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table9"])
+
+
+def test_table3_runs(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "tau_19" in out
+
+
+def test_fig2_small_campaign(capsys):
+    assert main(["fig2", "--chains", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+
+
+def test_out_directory_written(tmp_path, capsys):
+    assert main(["table3", "--out", str(tmp_path)]) == 0
+    report = tmp_path / "table3.txt"
+    assert report.exists()
+    assert "Table III" in report.read_text()
+
+
+def test_seed_flag_changes_campaign(capsys):
+    main(["fig2", "--chains", "6", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["fig2", "--chains", "6", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first != second

@@ -1,0 +1,187 @@
+"""Validation against the paper's own published numbers.
+
+These tests tie the reproduction to the paper: with the Table III latencies
+as input, the schedulers must reproduce the Table II expected periods (the
+strongest end-to-end check available without the physical hardware).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fertac import fertac
+from repro.core.herad import herad
+from repro.core.otac import otac_big, otac_little
+from repro.core.twocatac import twocatac
+from repro.core.types import Resources
+from repro.sdr.dvbs2 import dvbs2_mac_studio_chain, dvbs2_x7ti_chain
+from repro.sdr.framing import fps_from_period_us, mbps_from_fps
+
+
+@pytest.fixture(scope="module")
+def mac_chain():
+    return dvbs2_mac_studio_chain()
+
+
+@pytest.fixture(scope="module")
+def x7_chain():
+    return dvbs2_x7ti_chain()
+
+
+class TestHeradExpectedPeriods:
+    """HeRAD is optimal: its periods must equal the paper's exactly
+    (the paper prints one decimal; S1's 1128.7 is 9031.0/8 = 1128.875
+    truncated)."""
+
+    def test_mac_half(self, mac_chain):
+        assert herad(mac_chain, Resources(8, 2)).period == pytest.approx(
+            1128.7, abs=0.2
+        )
+
+    def test_mac_full(self, mac_chain):
+        # Limited by the sequential Sync. Timing task: exactly 950.6 us.
+        assert herad(mac_chain, Resources(16, 4)).period == pytest.approx(
+            950.6, abs=0.05
+        )
+
+    def test_x7_half(self, x7_chain):
+        # Limited by the BCH decoder over 3 cores: 8166.2 / 3.
+        assert herad(x7_chain, Resources(3, 4)).period == pytest.approx(
+            8166.2 / 3, abs=0.05
+        )
+
+    def test_x7_full(self, x7_chain):
+        # Limited by the sequential Sync. Timing task: exactly 1341.9 us.
+        assert herad(x7_chain, Resources(6, 8)).period == pytest.approx(
+            1341.9, abs=0.05
+        )
+
+
+class TestHeuristicExpectedPeriods:
+    """The greedy strategies reproduce their paper periods too."""
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(8, 2), 1154.3), (Resources(16, 4), 950.6)],
+    )
+    def test_2catac_mac(self, mac_chain, resources, expected):
+        assert twocatac(mac_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(3, 4), 2722.1), (Resources(6, 8), 1341.9)],
+    )
+    def test_2catac_x7(self, x7_chain, resources, expected):
+        assert twocatac(x7_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(8, 2), 1265.6), (Resources(16, 4), 950.6)],
+    )
+    def test_fertac_mac(self, mac_chain, resources, expected):
+        assert fertac(mac_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(3, 4), 2867.0), (Resources(6, 8), 1552.3)],
+    )
+    def test_fertac_x7(self, x7_chain, resources, expected):
+        assert fertac(x7_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(8, 2), 1442.9), (Resources(16, 4), 950.6)],
+    )
+    def test_otac_b_mac(self, mac_chain, resources, expected):
+        assert otac_big(mac_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(3, 4), 6209.0), (Resources(6, 8), 2867.0)],
+    )
+    def test_otac_b_x7(self, x7_chain, resources, expected):
+        assert otac_big(x7_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(8, 2), 11440.0), (Resources(16, 4), 6470.9)],
+    )
+    def test_otac_l_mac(self, mac_chain, resources, expected):
+        assert otac_little(mac_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+    @pytest.mark.parametrize(
+        "resources,expected",
+        [(Resources(3, 4), 7490.3), (Resources(6, 8), 3745.1)],
+    )
+    def test_otac_l_x7(self, x7_chain, resources, expected):
+        assert otac_little(x7_chain, resources).period == pytest.approx(
+            expected, abs=0.5
+        )
+
+
+class TestThroughputConversions:
+    """Period -> FPS -> Mb/s reproduces the paper's Sim columns."""
+
+    @pytest.mark.parametrize(
+        "period,interframe,fps,mbps",
+        [
+            (1128.7, 4, 3544, 50.4),
+            (950.6, 4, 4208, 59.9),
+            (2722.1, 8, 2939, 41.8),
+            (1341.9, 8, 5962, 84.8),
+            (11440.0, 4, 350, 5.0),
+        ],
+    )
+    def test_sim_columns(self, period, interframe, fps, mbps):
+        got_fps = fps_from_period_us(period, interframe)
+        assert got_fps == pytest.approx(fps, abs=1.5)
+        assert mbps_from_fps(got_fps) == pytest.approx(mbps, abs=0.1)
+
+
+class TestScheduleShapes:
+    def test_mac_half_herad_matches_s1_exactly(self, mac_chain):
+        """HeRAD's (8B, 2L) decomposition reproduces S1 stage for stage."""
+        solution = herad(mac_chain, Resources(8, 2)).solution
+        assert (
+            solution.render()
+            == "(5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)"
+        )
+
+    def test_x7_full_herad_matches_s16_structure(self, x7_chain):
+        """The (6B, 8L) optimum has consecutive replicated stages on
+        different core types — the schedule shape that required the
+        StreamPU v1.6.0 extension."""
+        solution = herad(x7_chain, Resources(6, 8)).solution
+        profile_pairs = [
+            (s.core_type.symbol, s.cores, s.is_replicable(x7_chain))
+            for s in solution
+        ]
+        replicated = [
+            (sym, cores)
+            for sym, cores, rep in profile_pairs
+            if rep and cores > 1
+        ]
+        assert len(replicated) >= 2
+        assert len({sym for sym, _ in replicated}) == 2
+
+    def test_fertac_x7_half_matches_s13(self, x7_chain):
+        solution = fertac(x7_chain, Resources(3, 4)).solution
+        assert solution.render() == "(5,1L),(3,1L),(7,1L),(4,3B),(4,1L)"
+
+    def test_otac_b_x7_half_matches_s14(self, x7_chain):
+        solution = otac_big(x7_chain, Resources(3, 4)).solution
+        assert solution.render() == "(18,1B),(1,1B),(4,1B)"

@@ -1,0 +1,85 @@
+"""Tests for repro.platform (models and presets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidPlatformError
+from repro.core.types import CoreType, Resources
+from repro.platform.model import Platform
+from repro.platform.presets import (
+    MAC_STUDIO,
+    REAL_CONFIGURATIONS,
+    SIMULATION_BUDGETS,
+    X7_TI,
+    simulation_platform,
+)
+
+
+class TestPlatform:
+    def test_shortcuts(self):
+        p = Platform("p", Resources(2, 3))
+        assert p.big == 2
+        assert p.little == 3
+
+    def test_needs_cores(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform("p", Resources(0, 0))
+
+    def test_interframe_validated(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform("p", Resources(1, 1), interframe=0)
+
+    def test_halved(self):
+        half = MAC_STUDIO.halved()
+        assert (half.big, half.little) == (8, 2)
+        assert half.interframe == MAC_STUDIO.interframe
+        assert "half" in half.name
+
+    def test_halved_keeps_nonempty_pools(self):
+        p = Platform("p", Resources(1, 1)).halved()
+        assert (p.big, p.little) == (1, 1)
+
+    def test_halved_zero_pool_stays_zero(self):
+        p = Platform("p", Resources(4, 0)).halved()
+        assert (p.big, p.little) == (2, 0)
+
+    def test_with_resources(self):
+        p = MAC_STUDIO.with_resources(8, 2)
+        assert (p.big, p.little) == (8, 2)
+        assert p.name == MAC_STUDIO.name
+
+    def test_frequency(self):
+        assert MAC_STUDIO.frequency(CoreType.BIG) == 3.2
+        assert MAC_STUDIO.frequency(CoreType.LITTLE) == 2.0
+
+
+class TestPresets:
+    def test_mac_studio_matches_paper(self):
+        assert (MAC_STUDIO.big, MAC_STUDIO.little) == (16, 4)
+        assert MAC_STUDIO.interframe == 4
+
+    def test_x7ti_matches_paper(self):
+        assert (X7_TI.big, X7_TI.little) == (6, 8)
+        assert X7_TI.interframe == 8
+
+    def test_simulation_budgets(self):
+        assert SIMULATION_BUDGETS == (
+            Resources(16, 4),
+            Resources(10, 10),
+            Resources(4, 16),
+        )
+
+    def test_real_configurations_are_all_and_half(self):
+        budgets = [r for _, r in REAL_CONFIGURATIONS]
+        assert budgets == [
+            Resources(8, 2),
+            Resources(16, 4),
+            Resources(3, 4),
+            Resources(6, 8),
+        ]
+
+    def test_simulation_platform_builder(self):
+        p = simulation_platform(4, 16)
+        assert (p.big, p.little) == (4, 16)
+        assert p.interframe == 1

@@ -1,0 +1,80 @@
+"""Tests for repro.sdr.dvbs2 (the Table III dataset and chain builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import CoreType
+from repro.platform.model import Platform
+from repro.platform.presets import MAC_STUDIO, X7_TI
+from repro.core.types import Resources
+from repro.sdr.dvbs2 import (
+    DVBS2_TASK_TABLE,
+    SLOWEST_REPLICABLE,
+    SLOWEST_SEQUENTIAL,
+    dvbs2_chain,
+    dvbs2_mac_studio_chain,
+    dvbs2_x7ti_chain,
+)
+
+
+class TestDataset:
+    def test_23_tasks(self):
+        assert len(DVBS2_TASK_TABLE) == 23
+        assert [r.index for r in DVBS2_TASK_TABLE] == list(range(1, 24))
+
+    def test_totals_match_paper(self):
+        assert sum(r.mac_big for r in DVBS2_TASK_TABLE) == pytest.approx(8530.8, abs=0.5)
+        assert sum(r.mac_little for r in DVBS2_TASK_TABLE) == pytest.approx(19841.3, abs=0.5)
+        assert sum(r.x7_big for r in DVBS2_TASK_TABLE) == pytest.approx(12592.5, abs=0.5)
+        assert sum(r.x7_little for r in DVBS2_TASK_TABLE) == pytest.approx(22530.7, abs=0.5)
+
+    def test_replicable_split(self):
+        replicable = [r.index for r in DVBS2_TASK_TABLE if r.replicable]
+        assert replicable == [11, 13, 14, 15, 16, 17, 18, 19, 20, 23]
+
+    def test_little_always_slower(self):
+        for r in DVBS2_TASK_TABLE:
+            assert r.mac_little > r.mac_big
+            # On the X7 Ti little cores are slower too (tau_1 is nearly equal).
+            assert r.x7_little >= r.x7_big
+
+    def test_slowest_highlights(self):
+        seq = [r for r in DVBS2_TASK_TABLE if not r.replicable]
+        seq.sort(key=lambda r: r.mac_big, reverse=True)
+        assert tuple(r.index for r in seq[:2]) == SLOWEST_SEQUENTIAL
+        rep = [r for r in DVBS2_TASK_TABLE if r.replicable]
+        rep.sort(key=lambda r: r.mac_big, reverse=True)
+        assert tuple(r.index for r in rep[:2]) == SLOWEST_REPLICABLE
+
+
+class TestChainBuilders:
+    def test_mac_chain_weights(self):
+        chain = dvbs2_mac_studio_chain()
+        assert chain.n == 23
+        assert chain.weights(CoreType.BIG)[0] == 52.3
+        assert chain.weights(CoreType.LITTLE)[18] == 7303.5
+
+    def test_x7_chain_weights(self):
+        chain = dvbs2_x7ti_chain()
+        assert chain.weights(CoreType.BIG)[18] == 6209.0
+
+    def test_replicability_preserved(self):
+        chain = dvbs2_mac_studio_chain()
+        assert [t.replicable for t in chain] == [
+            r.replicable for r in DVBS2_TASK_TABLE
+        ]
+
+    def test_half_core_platform_shares_profile(self):
+        half = MAC_STUDIO.halved()
+        assert dvbs2_chain(half).weights(CoreType.BIG) == dvbs2_chain(
+            MAC_STUDIO
+        ).weights(CoreType.BIG)
+
+    def test_unknown_platform_rejected(self):
+        rogue = Platform("Raspberry Pi", Resources(2, 2))
+        with pytest.raises(ValueError, match="no DVB-S2 profile"):
+            dvbs2_chain(rogue)
+
+    def test_platform_dispatch(self):
+        assert dvbs2_chain(X7_TI).weights(CoreType.BIG)[0] == 131.7

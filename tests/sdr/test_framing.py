@@ -1,0 +1,60 @@
+"""Tests for repro.sdr.framing (throughput conversions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdr.framing import (
+    DVBS2_NORMAL_R8_9,
+    FrameFormat,
+    fps_from_period_us,
+    mbps_from_fps,
+)
+
+
+def test_paper_frame_format():
+    assert DVBS2_NORMAL_R8_9.info_bits == 14232
+    assert DVBS2_NORMAL_R8_9.ldpc_rate == "8/9"
+    assert DVBS2_NORMAL_R8_9.modcod == 2
+
+
+def test_fps_matches_table2_s1():
+    # S1: 1128.7 us with interframe 4 -> 3544 FPS.
+    assert fps_from_period_us(1128.7, 4) == pytest.approx(3544, abs=1)
+
+
+def test_fps_matches_table2_s11():
+    # S11: 2722.1 us with interframe 8 -> 2939 FPS.
+    assert fps_from_period_us(2722.1, 8) == pytest.approx(2939, abs=1)
+
+
+def test_mbps_matches_table2_s1():
+    fps = fps_from_period_us(1128.7, 4)
+    assert mbps_from_fps(fps) == pytest.approx(50.4, abs=0.1)
+
+
+def test_mbps_matches_table2_s16():
+    fps = fps_from_period_us(1341.9, 8)
+    assert mbps_from_fps(fps) == pytest.approx(84.8, abs=0.1)
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(ValueError):
+        fps_from_period_us(0.0, 4)
+    with pytest.raises(ValueError):
+        fps_from_period_us(-5.0, 4)
+
+
+def test_invalid_interframe_rejected():
+    with pytest.raises(ValueError):
+        fps_from_period_us(100.0, 0)
+
+
+def test_custom_frame_format():
+    fmt = FrameFormat(name="toy", info_bits=1000)
+    assert fmt.throughput_mbps(500.0) == pytest.approx(0.5)
+
+
+def test_frame_format_validates_bits():
+    with pytest.raises(ValueError):
+        FrameFormat(name="bad", info_bits=0)

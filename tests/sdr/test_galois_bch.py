@@ -1,0 +1,153 @@
+"""Tests for the GF(2^m) arithmetic and the BCH codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdr.bch import BchCodec
+from repro.sdr.galois import GaloisField
+
+
+class TestGaloisField:
+    @pytest.fixture(scope="class")
+    def gf16(self):
+        return GaloisField(4)
+
+    def test_size(self, gf16):
+        assert gf16.size == 16
+
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_group(self, gf16):
+        # alpha generates all non-zero elements.
+        elements = {gf16.pow_alpha(i) for i in range(15)}
+        assert elements == set(range(1, 16))
+
+    def test_mul_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_mul_commutative_associative(self, gf16):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b, c = rng.integers(0, 16, 3)
+            assert gf16.mul(a, b) == gf16.mul(b, a)
+            assert gf16.mul(gf16.mul(a, b), c) == gf16.mul(a, gf16.mul(b, c))
+
+    def test_distributive(self, gf16):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b, c = rng.integers(0, 16, 3)
+            assert gf16.mul(a, b ^ c) == gf16.mul(a, b) ^ gf16.mul(a, c)
+
+    def test_zero_division(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+        with pytest.raises(ValueError):
+            gf16.log_alpha(0)
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + 1 is not primitive.
+        with pytest.raises(ValueError):
+            GaloisField(4, primitive_poly=0b10001)
+
+    def test_unknown_degree_needs_poly(self):
+        with pytest.raises(ValueError):
+            GaloisField(11)
+
+    def test_minimal_polynomial_annihilates(self, gf16):
+        for element in (2, 3, 7):
+            poly = gf16.minimal_polynomial(element)
+            assert gf16.poly_eval(poly, element) == 0
+            assert all(c in (0, 1) for c in poly)
+
+    def test_bch_generator_roots(self, gf16):
+        gen = gf16.bch_generator(t=2)
+        # g(alpha^i) = 0 for i = 1..2t.
+        for i in range(1, 5):
+            assert gf16.poly_eval(gen, gf16.pow_alpha(i)) == 0
+
+
+class TestBchCodec:
+    @pytest.fixture(scope="class")
+    def codec(self):
+        return BchCodec(m=5, t=2)
+
+    def test_dimensions(self, codec):
+        assert codec.n == 31
+        assert codec.k == 21
+
+    def test_encode_is_systematic(self, codec):
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, codec.k).astype(np.uint8)
+        codeword = codec.encode(msg)
+        np.testing.assert_array_equal(codeword[codec.n - codec.k :], msg)
+
+    def test_codewords_have_zero_syndromes(self, codec):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            cw = codec.encode(rng.integers(0, 2, codec.k).astype(np.uint8))
+            assert not any(codec.syndromes(cw))
+
+    def test_error_free_roundtrip(self, codec):
+        rng = np.random.default_rng(4)
+        msg = rng.integers(0, 2, codec.k).astype(np.uint8)
+        decoded, corrected = codec.decode(codec.encode(msg))
+        assert corrected == 0
+        np.testing.assert_array_equal(decoded, msg)
+
+    @pytest.mark.parametrize("errors", [1, 2])
+    def test_corrects_up_to_t(self, codec, errors):
+        rng = np.random.default_rng(5 + errors)
+        for _ in range(20):
+            msg = rng.integers(0, 2, codec.k).astype(np.uint8)
+            cw = codec.encode(msg)
+            positions = rng.choice(codec.n, errors, replace=False)
+            cw[positions] ^= 1
+            decoded, corrected = codec.decode(cw)
+            assert corrected == errors
+            np.testing.assert_array_equal(decoded, msg)
+
+    def test_detects_overload(self, codec):
+        """With more than t errors the decoder reports failure (or worse,
+        miscorrects to another codeword — it must never crash)."""
+        rng = np.random.default_rng(9)
+        failures = 0
+        for _ in range(30):
+            msg = rng.integers(0, 2, codec.k).astype(np.uint8)
+            cw = codec.encode(msg)
+            positions = rng.choice(codec.n, 5, replace=False)
+            cw[positions] ^= 1
+            _, corrected = codec.decode(cw)
+            if corrected == -1:
+                failures += 1
+        assert failures > 0  # most 5-error patterns are detected
+
+    def test_input_validation(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros(codec.k - 1, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            codec.encode(np.full(codec.k, 2, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            codec.decode(np.zeros(codec.n + 1, dtype=np.uint8))
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = BchCodec(m=4, t=1)
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=codec.k, max_size=codec.k)
+        )
+        errors = data.draw(st.integers(0, 1))
+        position = data.draw(st.integers(0, codec.n - 1))
+        msg = np.array(bits, dtype=np.uint8)
+        cw = codec.encode(msg)
+        if errors:
+            cw[position] ^= 1
+        decoded, corrected = codec.decode(cw)
+        assert corrected == errors
+        np.testing.assert_array_equal(decoded, msg)

@@ -1,0 +1,130 @@
+"""Tests for the LDPC code and its normalized min-sum decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sdr.ldpc import LdpcCode, _gaussian_elimination_gf2
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        code = LdpcCode(n=128, rate=0.5)
+        assert code.n == 128
+        assert 0 < code.k <= 64 + 8  # rank deficiencies only help k
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            LdpcCode(n=64, rate=1.5)
+        with pytest.raises(ValueError):
+            LdpcCode(n=8)
+
+    def test_parity_matrix_column_weight(self):
+        code = LdpcCode(n=96, rate=0.5, column_weight=3)
+        assert (code.h.sum(axis=0) == 3).all()
+
+    def test_gaussian_elimination_identity_block(self):
+        rng = np.random.default_rng(0)
+        h = rng.integers(0, 2, (10, 30)).astype(np.uint8)
+        reduced, perm = _gaussian_elimination_gf2(h)
+        rank = reduced.shape[0]
+        np.testing.assert_array_equal(
+            reduced[:, :rank], np.eye(rank, dtype=np.uint8)
+        )
+        # Permutation is a bijection.
+        assert sorted(perm.tolist()) == list(range(30))
+
+
+class TestEncoding:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return LdpcCode(n=128, rate=0.5)
+
+    def test_encodings_are_codewords(self, code):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            assert code.is_codeword(cw)
+
+    def test_message_extraction(self, code):
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            code.extract_message(code.encode(msg)), msg
+        )
+
+    def test_linear_code(self, code):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2, code.k).astype(np.uint8)
+        b = rng.integers(0, 2, code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+        )
+
+    def test_size_validated(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+
+class TestDecoding:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return LdpcCode(n=128, rate=0.5)
+
+    def noisy_llr(self, code, cw, sigma, rng):
+        tx = 1.0 - 2.0 * cw.astype(float)
+        rx = tx + rng.normal(0.0, sigma, code.n)
+        return 2.0 * rx / sigma**2
+
+    def test_noiseless_decodes_first_iteration(self, code):
+        rng = np.random.default_rng(4)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        llr = 10.0 * (1.0 - 2.0 * cw.astype(float))
+        bits, iterations = code.decode(llr)
+        assert iterations == 1
+        np.testing.assert_array_equal(bits, cw)
+
+    def test_decodes_at_moderate_noise(self, code):
+        rng = np.random.default_rng(5)
+        successes = 0
+        for _ in range(15):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            bits, _ = code.decode(
+                self.noisy_llr(code, cw, 0.45, rng), max_iterations=20
+            )
+            successes += (bits == cw).all()
+        assert successes >= 13
+
+    def test_early_stop_reports_iterations(self, code):
+        rng = np.random.default_rng(6)
+        cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+        _, iterations = code.decode(
+            self.noisy_llr(code, cw, 0.3, rng), max_iterations=10
+        )
+        assert 1 <= iterations <= 10
+
+    def test_nonconvergence_flagged(self, code):
+        rng = np.random.default_rng(7)
+        # Pure noise cannot satisfy the checks.
+        llr = rng.normal(0.0, 1.0, code.n)
+        _, iterations = code.decode(llr, max_iterations=5)
+        assert iterations == 6
+
+    def test_llr_size_validated(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n - 1))
+
+    def test_decoder_beats_hard_slicing(self, code):
+        """The whole point of soft decoding: fewer errors than sign(LLR)."""
+        rng = np.random.default_rng(8)
+        soft_errors = 0
+        hard_errors = 0
+        for _ in range(10):
+            cw = code.encode(rng.integers(0, 2, code.k).astype(np.uint8))
+            llr = self.noisy_llr(code, cw, 0.55, rng)
+            hard = (llr < 0).astype(np.uint8)
+            decoded, _ = code.decode(llr, max_iterations=20)
+            hard_errors += int((hard != cw).sum())
+            soft_errors += int((decoded != cw).sum())
+        assert soft_errors < hard_errors

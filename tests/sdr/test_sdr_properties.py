@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) over the SDR signal blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdr.bch import BchCodec
+from repro.sdr.ldpc import LdpcCode
+from repro.sdr.modem import QpskModem
+from repro.sdr.plframe import apply_frequency_offset
+from repro.sdr.scrambler import BinaryScrambler, SymbolScrambler
+
+_BCH = BchCodec(m=5, t=2)
+_LDPC = LdpcCode(n=96, rate=0.5)
+_SCRAMBLER = BinaryScrambler(max_bits=2048)
+_SYMBOL_SCRAMBLER = SymbolScrambler(max_symbols=1024)
+_MODEM = QpskModem()
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=512))
+@settings(max_examples=50, deadline=None)
+def test_binary_scrambler_involution(bits):
+    data = np.array(bits, dtype=np.uint8)
+    np.testing.assert_array_equal(
+        _SCRAMBLER.descramble(_SCRAMBLER.scramble(data)), data
+    )
+
+
+@given(
+    st.lists(
+        st.floats(-3.0, 3.0, allow_nan=False), min_size=2, max_size=256
+    ).filter(lambda xs: len(xs) % 2 == 0)
+)
+@settings(max_examples=50, deadline=None)
+def test_symbol_scrambler_roundtrip(values):
+    symbols = np.array(values[0::2]) + 1j * np.array(values[1::2])
+    out = _SYMBOL_SCRAMBLER.descramble(_SYMBOL_SCRAMBLER.scramble(symbols))
+    np.testing.assert_allclose(out, symbols, atol=1e-12)
+
+
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=300).filter(lambda b: len(b) % 2 == 0))
+@settings(max_examples=50, deadline=None)
+def test_qpsk_hard_roundtrip(bits):
+    data = np.array(bits, dtype=np.uint8)
+    np.testing.assert_array_equal(
+        _MODEM.demodulate_hard(_MODEM.modulate(data)), data
+    )
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_bch_corrects_any_t_error_pattern(data):
+    msg = np.array(
+        data.draw(
+            st.lists(st.integers(0, 1), min_size=_BCH.k, max_size=_BCH.k)
+        ),
+        dtype=np.uint8,
+    )
+    num_errors = data.draw(st.integers(0, _BCH.t))
+    positions = data.draw(
+        st.lists(
+            st.integers(0, _BCH.n - 1),
+            min_size=num_errors,
+            max_size=num_errors,
+            unique=True,
+        )
+    )
+    codeword = _BCH.encode(msg)
+    for pos in positions:
+        codeword[pos] ^= 1
+    decoded, corrected = _BCH.decode(codeword)
+    assert corrected == num_errors
+    np.testing.assert_array_equal(decoded, msg)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_ldpc_encode_extract_roundtrip(data):
+    msg = np.array(
+        data.draw(
+            st.lists(st.integers(0, 1), min_size=_LDPC.k, max_size=_LDPC.k)
+        ),
+        dtype=np.uint8,
+    )
+    codeword = _LDPC.encode(msg)
+    assert _LDPC.is_codeword(codeword)
+    np.testing.assert_array_equal(_LDPC.extract_message(codeword), msg)
+
+
+@given(
+    st.floats(-0.02, 0.02, allow_nan=False),
+    st.floats(0.0, 6.0, allow_nan=False),
+    st.integers(2, 128),
+)
+@settings(max_examples=50, deadline=None)
+def test_frequency_offset_invertible(offset, phase, n):
+    rng = np.random.default_rng(abs(int(phase * 1000)) + n)
+    symbols = np.exp(1j * rng.uniform(0, 2 * np.pi, n))
+    rotated = apply_frequency_offset(symbols, offset, phase)
+    restored = apply_frequency_offset(rotated, -offset, -phase)
+    # Rotations are applied as exp(j(2 pi f n + phase)); composing with the
+    # negated parameters cancels both terms exactly.
+    np.testing.assert_allclose(restored, symbols, atol=1e-10)
+
+
+@given(st.integers(0, 2**15 - 1))
+@settings(max_examples=30, deadline=None)
+def test_binary_scrambler_any_nonzero_seed(seed_register):
+    if seed_register == 0:
+        return
+    scrambler = BinaryScrambler(max_bits=128, seed_register=seed_register)
+    bits = np.arange(128, dtype=np.uint8) % 2
+    np.testing.assert_array_equal(
+        scrambler.descramble(scrambler.scramble(bits)), bits
+    )

@@ -1,0 +1,215 @@
+"""Tests for scramblers, modem, filters, and PL framing/sync blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sdr.filters import MatchedFilter, PulseShaper, rrc_taps, split_filter
+from repro.sdr.modem import AwgnChannel, QpskModem, estimate_noise_sigma
+from repro.sdr.plframe import (
+    PlFramer,
+    apply_frequency_offset,
+    correlate_frame_start,
+    decision_directed_phase_track,
+    estimate_frequency_offset,
+)
+from repro.sdr.scrambler import BinaryScrambler, SymbolScrambler
+
+
+class TestScramblers:
+    def test_binary_scramble_is_involution(self):
+        scrambler = BinaryScrambler(max_bits=512)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        scrambled = scrambler.scramble(bits)
+        assert (scrambled != bits).any()  # actually does something
+        np.testing.assert_array_equal(scrambler.descramble(scrambled), bits)
+
+    def test_binary_keystream_is_balanced(self):
+        scrambler = BinaryScrambler(max_bits=4096)
+        zeros = scrambler.scramble(np.zeros(4096, dtype=np.uint8))
+        assert 0.4 < zeros.mean() < 0.6
+
+    def test_binary_frame_too_long(self):
+        scrambler = BinaryScrambler(max_bits=8)
+        with pytest.raises(ValueError):
+            scrambler.scramble(np.zeros(9, dtype=np.uint8))
+
+    def test_zero_register_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryScrambler(seed_register=0)
+
+    def test_symbol_scramble_roundtrip(self):
+        scrambler = SymbolScrambler(max_symbols=128)
+        rng = np.random.default_rng(1)
+        symbols = np.exp(1j * rng.uniform(0, 2 * np.pi, 100))
+        np.testing.assert_allclose(
+            scrambler.descramble(scrambler.scramble(symbols)), symbols
+        )
+
+    def test_symbol_scramble_preserves_magnitude(self):
+        scrambler = SymbolScrambler(max_symbols=64)
+        symbols = np.ones(64, dtype=complex)
+        np.testing.assert_allclose(
+            np.abs(scrambler.scramble(symbols)), np.ones(64)
+        )
+
+
+class TestModem:
+    def test_modulate_unit_energy(self):
+        modem = QpskModem()
+        symbols = modem.modulate(np.array([0, 0, 0, 1, 1, 0, 1, 1], dtype=np.uint8))
+        np.testing.assert_allclose(np.abs(symbols), np.ones(4))
+
+    def test_hard_roundtrip(self):
+        modem = QpskModem()
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        np.testing.assert_array_equal(
+            modem.demodulate_hard(modem.modulate(bits)), bits
+        )
+
+    def test_soft_signs_match_hard(self):
+        modem = QpskModem()
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        llr = modem.demodulate_soft(modem.modulate(bits), noise_sigma=0.3)
+        np.testing.assert_array_equal((llr < 0).astype(np.uint8), bits)
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QpskModem().modulate(np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            QpskModem().demodulate_soft(np.ones(4, dtype=complex), 0.0)
+
+    def test_awgn_statistics(self):
+        channel = AwgnChannel(snr_db=10.0, seed=4)
+        tx = np.ones(20000, dtype=complex)
+        noise = channel.transmit(tx) - tx
+        measured = np.concatenate([noise.real, noise.imag]).std()
+        assert measured == pytest.approx(channel.sigma, rel=0.05)
+
+    def test_noise_estimator_tracks_sigma(self):
+        modem = QpskModem()
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 4000).astype(np.uint8)
+        channel = AwgnChannel(snr_db=12.0, seed=6)
+        rx = channel.transmit(modem.modulate(bits))
+        estimate = estimate_noise_sigma(rx)
+        assert estimate == pytest.approx(channel.sigma, rel=0.25)
+
+    def test_noise_estimator_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_sigma(np.array([], dtype=complex))
+
+
+class TestFilters:
+    def test_rrc_unit_energy(self):
+        taps = rrc_taps(4, 8, 0.35)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_rrc_symmetric(self):
+        taps = rrc_taps(4, 8, 0.25)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-12)
+
+    def test_rrc_validation(self):
+        with pytest.raises(ValueError):
+            rrc_taps(0)
+        with pytest.raises(ValueError):
+            rrc_taps(4, 8, 0.0)
+
+    def test_shape_filter_downsample_roundtrip(self):
+        shaper = PulseShaper(4)
+        matched = MatchedFilter(4)
+        rng = np.random.default_rng(7)
+        symbols = np.exp(1j * (np.pi / 2 * rng.integers(0, 4, 64) + np.pi / 4))
+        recovered = matched.downsample(
+            matched.filter(shaper.shape(symbols)), symbols.size
+        )
+        # RRC + matched RRC is (approximately) Nyquist: low ISI.
+        error = np.abs(recovered - symbols)
+        assert error.max() < 0.1
+
+    def test_downsample_needs_enough_samples(self):
+        matched = MatchedFilter(4)
+        with pytest.raises(ValueError):
+            matched.downsample(np.zeros(10, dtype=complex), 100)
+
+    def test_split_filter_structure(self):
+        taps = rrc_taps(2, 4)
+        first, second = split_filter(taps)
+        np.testing.assert_array_equal(first, taps)
+        assert second[0] == 1.0 and not second[1:].any()
+
+
+class TestPlFraming:
+    def test_header_roundtrip(self):
+        framer = PlFramer(header_symbols=16)
+        payload = np.arange(10, dtype=complex)
+        framed = framer.add_header(payload)
+        assert framed.size == 26
+        np.testing.assert_array_equal(framer.remove_header(framed), payload)
+
+    def test_short_frame_rejected(self):
+        framer = PlFramer(header_symbols=16)
+        with pytest.raises(ValueError):
+            framer.remove_header(np.zeros(8, dtype=complex))
+        with pytest.raises(ValueError):
+            PlFramer(header_symbols=2)
+
+    def test_frame_sync_finds_offset(self):
+        framer = PlFramer(header_symbols=20)
+        rng = np.random.default_rng(8)
+        payload = np.exp(1j * rng.uniform(0, 2 * np.pi, 50))
+        stream = np.concatenate(
+            [
+                0.05 * rng.standard_normal(13) + 0j,
+                framer.add_header(payload),
+            ]
+        )
+        _, start = correlate_frame_start(stream, framer.header)
+        assert start == 13
+
+    def test_frame_sync_window_validated(self):
+        framer = PlFramer(header_symbols=20)
+        with pytest.raises(ValueError):
+            correlate_frame_start(np.zeros(5, dtype=complex), framer.header)
+
+    def test_frequency_offset_roundtrip(self):
+        rng = np.random.default_rng(9)
+        symbols = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+        shifted = apply_frequency_offset(symbols, 0.01)
+        restored = apply_frequency_offset(shifted, -0.01)
+        np.testing.assert_allclose(restored, symbols, atol=1e-12)
+
+    def test_frequency_estimator_accuracy(self):
+        framer = PlFramer(header_symbols=26)
+        true_offset = 0.004
+        received = apply_frequency_offset(framer.header, true_offset)
+        estimate = estimate_frequency_offset(received, framer.header)
+        assert estimate == pytest.approx(true_offset, abs=5e-4)
+
+    def test_frequency_estimator_validation(self):
+        framer = PlFramer()
+        with pytest.raises(ValueError):
+            estimate_frequency_offset(framer.header[:-1], framer.header)
+        with pytest.raises(ValueError):
+            estimate_frequency_offset(
+                np.ones(1, dtype=complex), np.ones(1, dtype=complex)
+            )
+
+    def test_phase_tracker_removes_residual_rotation(self):
+        rng = np.random.default_rng(10)
+        qpsk = np.exp(1j * (np.pi / 2 * rng.integers(0, 4, 256) + np.pi / 4))
+        rotated = apply_frequency_offset(qpsk, 0.0015)
+        tracked = decision_directed_phase_track(rotated)
+        # After convergence the symbols sit near the pi/4 grid again.
+        tail = tracked[64:]
+        angles = np.angle(tail)
+        grid_error = np.abs(
+            angles - (np.pi / 2 * np.round((angles - np.pi / 4) / (np.pi / 2)) + np.pi / 4)
+        )
+        assert np.median(grid_error) < 0.15

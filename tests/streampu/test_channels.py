@@ -1,0 +1,129 @@
+"""Tests for repro.streampu.channels (OrderedChannel adaptors)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.streampu.channels import ChannelClosedError, Frame, OrderedChannel
+
+
+class TestBasics:
+    def test_in_order_delivery(self):
+        ch = OrderedChannel(capacity=8)
+        for i in (2, 0, 1):
+            ch.put(Frame(i, f"p{i}"))
+        assert [ch.get().index for _ in range(3)] == [0, 1, 2]
+
+    def test_payloads_preserved(self):
+        ch = OrderedChannel(capacity=4)
+        ch.put(Frame(0, {"x": 1}))
+        assert ch.get().payload == {"x": 1}
+
+    def test_close_then_none(self):
+        ch = OrderedChannel(capacity=4)
+        ch.put(Frame(0, None))
+        ch.close()
+        assert ch.get().index == 0
+        assert ch.get() is None
+        assert ch.get() is None  # idempotent
+
+    def test_put_after_close_raises(self):
+        ch = OrderedChannel(capacity=4)
+        ch.close()
+        with pytest.raises(ChannelClosedError):
+            ch.put(Frame(0, None))
+
+    def test_len_reports_buffered(self):
+        ch = OrderedChannel(capacity=4)
+        ch.put(Frame(1, None))
+        assert len(ch) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            OrderedChannel(capacity=0)
+
+    def test_get_timeout(self):
+        ch = OrderedChannel(capacity=4)
+        with pytest.raises(TimeoutError):
+            ch.get(timeout=0.01)
+
+    def test_put_window_timeout(self):
+        ch = OrderedChannel(capacity=1)
+        ch.put(Frame(0, None))
+        with pytest.raises(TimeoutError):
+            ch.put(Frame(1, None), timeout=0.01)
+
+
+class TestFlowControlWindow:
+    def test_expected_frame_always_admissible(self):
+        """Index-window flow control: even with the buffer "full" of
+        out-of-order frames, the next expected frame can enter — the
+        reorder-deadlock guard."""
+        ch = OrderedChannel(capacity=3)
+        ch.put(Frame(1, None))
+        ch.put(Frame(2, None))
+        # Window is [0, 3): frame 0 must still be admissible.
+        ch.put(Frame(0, None), timeout=0.1)
+        assert ch.get().index == 0
+
+    def test_window_advances_with_consumption(self):
+        ch = OrderedChannel(capacity=2)
+        ch.put(Frame(0, None))
+        ch.put(Frame(1, None))
+        assert ch.get().index == 0
+        ch.put(Frame(2, None), timeout=0.1)  # window now [1, 3)
+
+
+class TestThreaded:
+    def test_producer_consumer(self):
+        ch = OrderedChannel(capacity=4)
+        received = []
+
+        def consumer():
+            while True:
+                frame = ch.get(timeout=5.0)
+                if frame is None:
+                    return
+                received.append(frame.index)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for i in range(50):
+            ch.put(Frame(i, None), timeout=5.0)
+        ch.close()
+        t.join(timeout=5.0)
+        assert received == list(range(50))
+
+    def test_out_of_order_producers(self):
+        ch = OrderedChannel(capacity=8)
+        received = []
+        done = threading.Event()
+
+        def consumer():
+            while True:
+                frame = ch.get(timeout=5.0)
+                if frame is None:
+                    done.set()
+                    return
+                received.append(frame.index)
+
+        threading.Thread(target=consumer).start()
+
+        def producer(indices):
+            for i in indices:
+                ch.put(Frame(i, None), timeout=5.0)
+
+        a = threading.Thread(target=producer, args=([0, 2, 4, 6, 8],))
+        b = threading.Thread(target=producer, args=([1, 3, 5, 7, 9],))
+        a.start(), b.start()
+        a.join(timeout=5.0), b.join(timeout=5.0)
+        ch.close()
+        assert done.wait(timeout=5.0)
+        assert received == list(range(10))
+
+
+def test_frame_ordering_operator():
+    assert Frame(1, None) < Frame(2, None)
+    assert not Frame(3, None) < Frame(2, None)

@@ -1,0 +1,130 @@
+"""Tests for the communication-cost extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.herad import herad
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+from repro.streampu.communication import (
+    CommunicationModel,
+    boundary_costs,
+    simulate_with_communication,
+)
+from repro.streampu.pipeline import PipelineSpec
+from repro.streampu.simulator import simulate_pipeline
+
+
+@pytest.fixture
+def two_stage_spec():
+    chain = TaskChain.from_weights([10, 10], [20, 20], [False, False])
+    sol = Solution(
+        [Stage(0, 0, 1, CoreType.BIG), Stage(1, 1, 1, CoreType.LITTLE)]
+    )
+    return PipelineSpec.from_solution(sol, chain), chain
+
+
+class TestModel:
+    def test_base_cost(self):
+        model = CommunicationModel(base_cost=2.0)
+        assert model.boundary_cost(CoreType.BIG, CoreType.BIG) == 2.0
+
+    def test_bandwidth_term(self):
+        model = CommunicationModel(bytes_per_frame=100.0, bandwidth=50.0)
+        assert model.boundary_cost(CoreType.BIG, CoreType.BIG) == 2.0
+
+    def test_cross_cluster_factor(self):
+        model = CommunicationModel(base_cost=2.0, cross_cluster_factor=3.0)
+        assert model.boundary_cost(CoreType.BIG, CoreType.LITTLE) == 6.0
+        assert model.boundary_cost(CoreType.BIG, CoreType.BIG) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(base_cost=-1.0)
+        with pytest.raises(ValueError):
+            CommunicationModel(cross_cluster_factor=0.5)
+
+
+class TestBoundaryCosts:
+    def test_per_boundary_vector(self, two_stage_spec):
+        spec, _ = two_stage_spec
+        model = CommunicationModel(base_cost=1.0, cross_cluster_factor=2.0)
+        costs = boundary_costs(spec, model)
+        # One boundary, B -> L: cross-cluster doubled.
+        np.testing.assert_allclose(costs, [2.0])
+
+    def test_single_stage_has_no_boundaries(self):
+        chain = TaskChain.from_weights([5], [9], [False])
+        spec = PipelineSpec.from_solution(
+            Solution([Stage(0, 0, 1, CoreType.BIG)]), chain
+        )
+        assert boundary_costs(spec, CommunicationModel(base_cost=1.0)).size == 0
+
+
+class TestSimulation:
+    def test_zero_cost_matches_plain_simulator(self, two_stage_spec):
+        spec, _ = two_stage_spec
+        plain = simulate_pipeline(spec, num_frames=300)
+        comm = simulate_with_communication(
+            spec, CommunicationModel(), num_frames=300
+        )
+        assert comm.report.measured_period == pytest.approx(
+            plain.report.measured_period
+        )
+
+    def test_transfer_adds_latency_not_period(self, two_stage_spec):
+        """A transfer occupying the boundary delays frames but does not
+        change the steady-state period of a compute-bound pipeline."""
+        spec, _ = two_stage_spec
+        model = CommunicationModel(base_cost=3.0)
+        plain = simulate_pipeline(spec, num_frames=300)
+        comm = simulate_with_communication(spec, model, num_frames=300)
+        assert comm.report.fill_latency > plain.report.fill_latency
+        assert comm.report.measured_period == pytest.approx(
+            plain.report.measured_period, rel=0.02
+        )
+
+    def test_cross_type_schedules_pay_more(self):
+        """Between two equal-period schedules, the one with more cross-type
+        boundaries loses more latency to transfers."""
+        chain = TaskChain.from_weights(
+            [10, 10, 10], [10, 10, 10], [False] * 3
+        )
+        all_big = Solution([Stage(i, i, 1, CoreType.BIG) for i in range(3)])
+        mixed = Solution(
+            [
+                Stage(0, 0, 1, CoreType.BIG),
+                Stage(1, 1, 1, CoreType.LITTLE),
+                Stage(2, 2, 1, CoreType.BIG),
+            ]
+        )
+        model = CommunicationModel(base_cost=1.0, cross_cluster_factor=5.0)
+        lat_big = simulate_with_communication(
+            PipelineSpec.from_solution(all_big, chain), model, num_frames=100
+        ).report.fill_latency
+        lat_mixed = simulate_with_communication(
+            PipelineSpec.from_solution(mixed, chain), model, num_frames=100
+        ).report.fill_latency
+        assert lat_mixed > lat_big
+
+    def test_dvbs2_schedule_with_transfers(self):
+        from repro.sdr.dvbs2 import dvbs2_mac_studio_chain
+
+        chain = dvbs2_mac_studio_chain()
+        outcome = herad(chain, Resources(8, 2))
+        spec = PipelineSpec.from_solution(outcome.solution, chain)
+        model = CommunicationModel(base_cost=5.0, cross_cluster_factor=2.0)
+        result = simulate_with_communication(spec, model, num_frames=400)
+        # Small per-boundary costs leave the sequential bottleneck dominant.
+        assert result.report.measured_period == pytest.approx(
+            outcome.period, rel=0.05
+        )
+
+    def test_frame_count_validated(self, two_stage_spec):
+        spec, _ = two_stage_spec
+        with pytest.raises(ValueError):
+            simulate_with_communication(spec, CommunicationModel(), num_frames=1)

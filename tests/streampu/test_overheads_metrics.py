@@ -1,0 +1,128 @@
+"""Tests for overhead models and throughput metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import CoreType
+from repro.streampu.metrics import ThroughputReport, steady_state_period
+from repro.streampu.overheads import (
+    CalibratedOverhead,
+    ConstantSyncOverhead,
+    NoOverhead,
+)
+
+
+class TestOverheadModels:
+    def args(self, **kw):
+        base = dict(
+            base_latency=100.0,
+            stage_index=0,
+            num_stages=3,
+            replicas=1,
+            core_type=CoreType.BIG,
+            frame=0,
+        )
+        base.update(kw)
+        return base
+
+    def test_no_overhead_identity(self):
+        assert NoOverhead().effective_latency(**self.args()) == 100.0
+
+    def test_constant_sync_adds(self):
+        model = ConstantSyncOverhead(cost=3.0)
+        assert model.effective_latency(**self.args()) == 103.0
+
+    def test_constant_sync_validates(self):
+        with pytest.raises(ValueError):
+            ConstantSyncOverhead(cost=-1.0)
+
+    def test_calibrated_base_fraction(self):
+        model = CalibratedOverhead(
+            sync_fraction=0.05, little_replication_penalty=0.1, jitter_fraction=0.0
+        )
+        assert model.effective_latency(**self.args()) == pytest.approx(105.0)
+
+    def test_calibrated_little_replication_penalty(self):
+        model = CalibratedOverhead(
+            sync_fraction=0.05, little_replication_penalty=0.1, jitter_fraction=0.0
+        )
+        big_rep = model.effective_latency(
+            **self.args(replicas=4, core_type=CoreType.BIG)
+        )
+        little_rep = model.effective_latency(
+            **self.args(replicas=4, core_type=CoreType.LITTLE)
+        )
+        little_solo = model.effective_latency(
+            **self.args(replicas=1, core_type=CoreType.LITTLE)
+        )
+        assert little_rep == pytest.approx(115.0)
+        assert big_rep == pytest.approx(105.0)
+        assert little_solo == pytest.approx(105.0)
+
+    def test_jitter_is_deterministic(self):
+        a = CalibratedOverhead(seed=1)
+        b = CalibratedOverhead(seed=1)
+        for frame in range(10):
+            assert a.effective_latency(
+                **self.args(frame=frame)
+            ) == b.effective_latency(**self.args(frame=frame))
+
+    def test_jitter_mean_preserving_scale(self):
+        model = CalibratedOverhead(
+            sync_fraction=0.0, little_replication_penalty=0.0, jitter_fraction=0.05
+        )
+        values = [
+            model.effective_latency(**self.args(frame=f)) for f in range(500)
+        ]
+        assert 95.0 <= float(np.mean(values)) <= 105.0
+        assert min(values) >= 95.0 - 1e-9
+        assert max(values) <= 105.0 + 1e-9
+
+    def test_negative_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            CalibratedOverhead(sync_fraction=-0.1)
+
+
+class TestSteadyStatePeriod:
+    def test_exact_periodic(self):
+        times = np.arange(1, 101, dtype=float) * 2.5
+        assert steady_state_period(times) == pytest.approx(2.5)
+
+    def test_warmup_excluded(self):
+        # Slow fill then steady state at 1.0.
+        times = np.concatenate([np.array([50.0]), 50.0 + np.arange(1, 100)])
+        assert steady_state_period(times, warmup_fraction=0.3) == pytest.approx(1.0)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            steady_state_period(np.array([1.0]))
+        with pytest.raises(ValueError):
+            steady_state_period(np.arange(10.0), warmup_fraction=1.0)
+
+
+class TestThroughputReport:
+    def report(self, measured=200.0):
+        return ThroughputReport(
+            analytic_period=180.0,
+            measured_period=measured,
+            num_frames=100,
+            makespan=20000.0,
+            fill_latency=500.0,
+        )
+
+    def test_efficiency(self):
+        assert self.report().efficiency == pytest.approx(0.9)
+        assert self.report(measured=0.0).efficiency == 0.0
+
+    def test_fps_microsecond_unit(self):
+        # 200 us period, interframe 4 -> 20000 FPS.
+        assert self.report().fps(interframe=4) == pytest.approx(20000.0)
+
+    def test_fps_generic_unit(self):
+        assert self.report().fps(time_unit_us=False) == pytest.approx(1 / 200.0)
+
+    def test_mbps(self):
+        # 20000 FPS * 14232 bits = 284.64 Mb/s.
+        assert self.report().mbps(14232, interframe=4) == pytest.approx(284.64)

@@ -1,0 +1,62 @@
+"""Tests for repro.streampu.pipeline (PipelineSpec construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidChainError
+from repro.core.herad import herad
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.types import CoreType, Resources
+from repro.streampu.pipeline import PipelineSpec
+
+
+def test_from_solution(simple_chain, balanced_resources):
+    outcome = herad(simple_chain, balanced_resources)
+    spec = PipelineSpec.from_solution(outcome.solution, simple_chain)
+    assert spec.num_stages == outcome.solution.num_stages
+    assert spec.analytic_period == pytest.approx(outcome.period)
+    assert spec.total_cores == outcome.solution.core_usage().total
+
+
+def test_stage_latency_vs_weight(simple_chain):
+    sol = Solution([Stage(0, 1, 2, CoreType.BIG), Stage(2, 3, 1, CoreType.LITTLE)])
+    spec = PipelineSpec.from_solution(sol, simple_chain)
+    first = spec.stages[0]
+    assert first.latency == 14.0  # full per-frame time
+    assert first.weight == 7.0  # period contribution with 2 replicas
+    second = spec.stages[1]
+    assert second.latency == second.weight == 23.0
+
+
+def test_sequential_stage_weight_ignores_replicas(simple_chain):
+    # A stage containing the sequential task keeps its full weight.
+    sol = Solution([Stage(0, 2, 1, CoreType.BIG), Stage(3, 3, 2, CoreType.BIG)])
+    spec = PipelineSpec.from_solution(sol, simple_chain)
+    assert not spec.stages[0].replicable
+    assert spec.stages[0].weight == spec.stages[0].latency
+
+
+def test_rejects_partial_solution(simple_chain):
+    partial = Solution([Stage(0, 1, 1, CoreType.BIG)])
+    with pytest.raises(InvalidChainError):
+        PipelineSpec.from_solution(partial, simple_chain)
+
+
+def test_rejects_empty_solution(simple_chain):
+    with pytest.raises(InvalidChainError):
+        PipelineSpec.from_solution(Solution.empty(), simple_chain)
+
+
+def test_queue_capacity_validated(simple_chain, balanced_resources):
+    sol = herad(simple_chain, balanced_resources).solution
+    with pytest.raises(InvalidChainError):
+        PipelineSpec.from_solution(sol, simple_chain, queue_capacity=0)
+
+
+def test_describe_lists_stages(simple_chain, balanced_resources):
+    sol = herad(simple_chain, balanced_resources).solution
+    text = PipelineSpec.from_solution(sol, simple_chain).describe()
+    assert "analytic period" in text
+    assert text.count("stage") >= sol.num_stages

@@ -1,0 +1,161 @@
+"""Tests for thread-placement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidPlatformError
+from repro.core.herad import herad
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+from repro.platform.model import Platform
+from repro.streampu.pipeline import PipelineSpec
+from repro.streampu.placement import (
+    PlacementOverhead,
+    compact_placement,
+    platform_cores,
+    scatter_placement,
+)
+from repro.streampu.simulator import simulate_pipeline
+
+
+@pytest.fixture
+def platform():
+    return Platform("test", Resources(8, 8))
+
+
+@pytest.fixture
+def spec_and_chain():
+    chain = TaskChain.from_weights(
+        [10, 40, 10, 40], [20, 80, 20, 80], [False, True, False, True]
+    )
+    solution = Solution(
+        [
+            Stage(0, 0, 1, CoreType.BIG),
+            Stage(1, 1, 4, CoreType.BIG),
+            Stage(2, 2, 1, CoreType.LITTLE),
+            Stage(3, 3, 4, CoreType.LITTLE),
+        ]
+    )
+    return PipelineSpec.from_solution(solution, chain), chain
+
+
+class TestPlatformCores:
+    def test_counts_and_types(self, platform):
+        cores = platform_cores(platform, cluster_size=4)
+        assert len(cores) == 16
+        assert sum(c.core_type is CoreType.BIG for c in cores) == 8
+        assert [c.core_id for c in cores] == list(range(16))
+
+    def test_clusters_never_mix_types(self, platform):
+        cores = platform_cores(platform, cluster_size=4)
+        by_cluster: dict[int, set] = {}
+        for core in cores:
+            by_cluster.setdefault(core.cluster, set()).add(core.core_type)
+        for types in by_cluster.values():
+            assert len(types) == 1
+
+    def test_cluster_size_validated(self, platform):
+        with pytest.raises(InvalidPlatformError):
+            platform_cores(platform, cluster_size=0)
+
+
+class TestPolicies:
+    def test_compact_uses_adjacent_ids(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        placement = compact_placement(spec, platform_cores(platform))
+        placement.validate(spec)
+        big_ids = [c.core_id for c in placement.cores_of(1)]
+        assert big_ids == sorted(big_ids)
+        assert max(big_ids) - min(big_ids) == len(big_ids) - 1
+
+    def test_scatter_spreads_clusters(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        cores = platform_cores(platform, cluster_size=2)
+        placement = scatter_placement(spec, cores)
+        placement.validate(spec)
+        clusters = {c.cluster for c in placement.cores_of(1)}
+        assert len(clusters) >= 2  # replicas spread across clusters
+
+    def test_insufficient_cores_rejected(self, spec_and_chain):
+        spec, _ = spec_and_chain
+        small = Platform("small", Resources(2, 8))
+        with pytest.raises(InvalidPlatformError):
+            compact_placement(spec, platform_cores(small))
+
+    def test_validate_catches_type_mismatch(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        placement = compact_placement(spec, platform_cores(platform))
+        swapped = placement.assignments[:2] + (
+            placement.assignments[3],
+            placement.assignments[2],
+        )
+        from repro.streampu.placement import Placement
+
+        with pytest.raises(InvalidPlatformError):
+            Placement(swapped).validate(spec)
+
+    def test_cluster_crossings_counted(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        compact = compact_placement(spec, platform_cores(platform, 4))
+        scatter = scatter_placement(spec, platform_cores(platform, 2))
+        assert compact.cluster_crossings() <= scatter.cluster_crossings()
+
+
+class TestPlacementOverhead:
+    def test_compact_beats_scatter_on_simulator(self, platform, spec_and_chain):
+        spec, chain = spec_and_chain
+        cores = platform_cores(platform, cluster_size=2)
+        compact = PlacementOverhead(
+            spec, compact_placement(spec, cores), cross_cluster_fraction=0.1
+        )
+        scatter = PlacementOverhead(
+            spec,
+            scatter_placement(spec, platform_cores(platform, 2)),
+            cross_cluster_fraction=0.1,
+        )
+        t_compact = simulate_pipeline(
+            spec, num_frames=300, overhead=compact
+        ).report.measured_period
+        t_scatter = simulate_pipeline(
+            spec, num_frames=300, overhead=scatter
+        ).report.measured_period
+        assert t_compact <= t_scatter + 1e-9
+
+    def test_zero_fraction_is_ideal(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        overhead = PlacementOverhead(
+            spec,
+            compact_placement(spec, platform_cores(platform)),
+            cross_cluster_fraction=0.0,
+        )
+        ideal = simulate_pipeline(spec, num_frames=200)
+        placed = simulate_pipeline(spec, num_frames=200, overhead=overhead)
+        assert placed.report.measured_period == pytest.approx(
+            ideal.report.measured_period
+        )
+
+    def test_negative_fraction_rejected(self, platform, spec_and_chain):
+        spec, _ = spec_and_chain
+        with pytest.raises(ValueError):
+            PlacementOverhead(
+                spec,
+                compact_placement(spec, platform_cores(platform)),
+                cross_cluster_fraction=-0.1,
+            )
+
+    def test_works_on_dvbs2_schedule(self):
+        from repro.platform.presets import MAC_STUDIO
+        from repro.sdr.dvbs2 import dvbs2_mac_studio_chain
+
+        chain = dvbs2_mac_studio_chain()
+        outcome = herad(chain, Resources(8, 2))
+        spec = PipelineSpec.from_solution(outcome.solution, chain)
+        cores = platform_cores(MAC_STUDIO, cluster_size=4)
+        placement = compact_placement(spec, cores)
+        placement.validate(spec)
+        overhead = PlacementOverhead(spec, placement)
+        result = simulate_pipeline(spec, num_frames=300, overhead=overhead)
+        assert result.report.measured_period >= outcome.period - 1e-9

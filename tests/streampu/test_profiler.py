@@ -1,0 +1,77 @@
+"""Tests for repro.streampu.profiler (the profile -> schedule loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.herad import herad
+from repro.core.types import CoreType, Resources
+from repro.streampu.module import CallableTask, SyntheticSleepTask
+from repro.streampu.profiler import profile_chain, profile_executor
+
+
+class TestProfileExecutor:
+    def test_measures_sleep_duration(self):
+        executor = SyntheticSleepTask(weight=200.0, time_scale=1e-5)  # 2 ms
+        measured = profile_executor(executor, repetitions=3, warmup=1)
+        assert measured >= 0.002
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError):
+            profile_executor(SyntheticSleepTask(weight=1.0), repetitions=0)
+
+    def test_payload_forwarded(self):
+        seen = []
+        executor = CallableTask(1.0, lambda p: seen.append(p) or p)
+        profile_executor(executor, payload="x", repetitions=2, warmup=1)
+        assert seen == ["x", "x", "x"]
+
+
+class TestProfileChain:
+    def make_executors(self, weights, scale):
+        return [
+            SyntheticSleepTask(weight=w, time_scale=scale, name=f"t{i}")
+            for i, w in enumerate(weights)
+        ]
+
+    def test_chain_reflects_speeds(self):
+        # Little "cores" are 2x slower.
+        big = self.make_executors([100, 200], scale=1e-5)
+        little = self.make_executors([200, 400], scale=1e-5)
+        chain, profiles = profile_chain(
+            big, little, [True, False], repetitions=2, time_unit=1e-5
+        )
+        assert chain.n == 2
+        assert len(profiles) == 2
+        for task in chain:
+            assert task.weight_little > task.weight_big
+        # Sleep durations measured within ~50% of nominal.
+        assert chain[0].weight(CoreType.BIG) == pytest.approx(100, rel=0.8)
+
+    def test_profiled_chain_is_schedulable(self):
+        big = self.make_executors([50, 100, 50], scale=1e-6)
+        little = self.make_executors([100, 200, 100], scale=1e-6)
+        chain, _ = profile_chain(
+            big, little, [False, True, True], repetitions=2
+        )
+        outcome = herad(chain, Resources(2, 2))
+        assert outcome.feasible
+        assert outcome.solution.covers(chain)
+
+    def test_length_mismatch_rejected(self):
+        big = self.make_executors([1], scale=1e-9)
+        with pytest.raises(ValueError):
+            profile_chain(big, [], [True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_chain([], [], [])
+
+    def test_replicability_passthrough(self):
+        big = self.make_executors([1, 1], scale=1e-9)
+        little = self.make_executors([1, 1], scale=1e-9)
+        chain, profiles = profile_chain(
+            big, little, [True, False], repetitions=1
+        )
+        assert [t.replicable for t in chain] == [True, False]
+        assert [p.replicable for p in profiles] == [True, False]

@@ -1,0 +1,134 @@
+"""Tests for repro.streampu.simulator (discrete-event pipeline execution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.herad import herad
+from repro.core.solution import Solution
+from repro.core.stage import Stage
+from repro.core.task import TaskChain
+from repro.core.types import CoreType, Resources
+from repro.streampu.overheads import ConstantSyncOverhead, NoOverhead
+from repro.streampu.pipeline import PipelineSpec
+from repro.streampu.simulator import simulate_pipeline
+
+
+def spec_for(chain, resources, capacity=16):
+    solution = herad(chain, resources).solution
+    return PipelineSpec.from_solution(solution, chain, queue_capacity=capacity)
+
+
+class TestIdealConvergence:
+    def test_single_stage_single_core(self):
+        chain = TaskChain.from_weights([5], [9], [False])
+        spec = spec_for(chain, Resources(1, 0))
+        result = simulate_pipeline(spec, num_frames=100)
+        assert result.report.measured_period == pytest.approx(5.0)
+
+    def test_converges_to_analytic_period(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        result = simulate_pipeline(spec, num_frames=800)
+        # Replicated stages complete frames in bursts, so the endpoint
+        # estimator converges at O(replicas / window).
+        assert result.report.measured_period == pytest.approx(
+            spec.analytic_period, rel=0.02
+        )
+
+    def test_replicated_stage_throughput(self):
+        # One replicable task, 3 replicas: period = latency / 3.
+        chain = TaskChain.from_weights([9], [18], [True])
+        spec = spec_for(chain, Resources(3, 0))
+        result = simulate_pipeline(spec, num_frames=600)
+        assert result.report.measured_period == pytest.approx(3.0, rel=0.02)
+
+    @given(
+        weights=st.lists(st.integers(1, 20), min_size=1, max_size=6),
+        rep=st.lists(st.booleans(), min_size=1, max_size=6),
+        big=st.integers(1, 3),
+        little=st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ideal_simulation_matches_model(self, weights, rep, big, little):
+        """Property: with no overhead, the simulator's steady-state period
+        equals the schedule's analytic period (Eq. (2))."""
+        n = len(weights)
+        rep = (rep * n)[:n]
+        chain = TaskChain.from_weights(
+            weights, [w * 2 for w in weights], rep
+        )
+        spec = spec_for(chain, Resources(big, little))
+        result = simulate_pipeline(spec, num_frames=600)
+        assert result.report.measured_period == pytest.approx(
+            spec.analytic_period, rel=0.02
+        )
+
+
+class TestSemantics:
+    def test_completions_monotone_and_ordered(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        result = simulate_pipeline(spec, num_frames=200)
+        diffs = np.diff(result.completion_times)
+        assert (diffs >= -1e-12).all()
+
+    def test_fill_latency_at_least_chain_latency(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        result = simulate_pipeline(spec, num_frames=50)
+        total_latency = sum(s.latency for s in spec.stages)
+        assert result.report.fill_latency >= total_latency - 1e-9
+
+    def test_backpressure_slows_nothing_when_capacity_large(self):
+        chain = TaskChain.from_weights([3, 7, 2], [6, 14, 4], [False] * 3)
+        sol = herad(chain, Resources(3, 0)).solution
+        wide = PipelineSpec.from_solution(sol, chain, queue_capacity=64)
+        narrow = PipelineSpec.from_solution(sol, chain, queue_capacity=1)
+        fast = simulate_pipeline(wide, num_frames=400)
+        slow = simulate_pipeline(narrow, num_frames=400)
+        # The bottleneck stage dominates either way in a feed-forward chain.
+        assert slow.report.measured_period >= fast.report.measured_period - 1e-9
+
+    def test_makespan_grows_with_frames(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        a = simulate_pipeline(spec, num_frames=50).report.makespan
+        b = simulate_pipeline(spec, num_frames=100).report.makespan
+        assert b > a
+
+    def test_needs_two_frames(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        with pytest.raises(ValueError):
+            simulate_pipeline(spec, num_frames=1)
+
+
+class TestOverheads:
+    def test_constant_sync_shifts_period(self):
+        chain = TaskChain.from_weights([5, 5], [9, 9], [False, False])
+        sol = Solution(
+            [Stage(0, 0, 1, CoreType.BIG), Stage(1, 1, 1, CoreType.BIG)]
+        )
+        spec = PipelineSpec.from_solution(sol, chain)
+        result = simulate_pipeline(
+            spec, num_frames=400, overhead=ConstantSyncOverhead(cost=2.0)
+        )
+        assert result.report.measured_period == pytest.approx(7.0, rel=0.02)
+
+    def test_overhead_never_speeds_up(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        ideal = simulate_pipeline(spec, num_frames=300, overhead=NoOverhead())
+        loaded = simulate_pipeline(
+            spec, num_frames=300, overhead=ConstantSyncOverhead(cost=1.0)
+        )
+        assert (
+            loaded.report.measured_period
+            >= ideal.report.measured_period - 1e-9
+        )
+
+    def test_efficiency_metric(self, simple_chain, balanced_resources):
+        spec = spec_for(simple_chain, balanced_resources)
+        result = simulate_pipeline(
+            spec, num_frames=300, overhead=ConstantSyncOverhead(cost=1.0)
+        )
+        assert 0.0 < result.report.efficiency < 1.0

@@ -1,0 +1,106 @@
+"""Tests for repro.workloads.synthetic (the paper's chain distribution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidChainError
+from repro.core.types import CoreType
+from repro.workloads.synthetic import (
+    DEFAULT_CONFIG,
+    GeneratorConfig,
+    chain_batch,
+    random_chain,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_CONFIG.num_tasks == 20
+        assert DEFAULT_CONFIG.weight_low == 1
+        assert DEFAULT_CONFIG.weight_high == 100
+        assert DEFAULT_CONFIG.slowdown_low == 1.0
+        assert DEFAULT_CONFIG.slowdown_high == 5.0
+
+    @pytest.mark.parametrize("sr,expected", [(0.2, 4), (0.5, 10), (0.8, 16)])
+    def test_num_replicable(self, sr, expected):
+        config = GeneratorConfig(stateless_ratio=sr)
+        assert config.num_replicable == expected
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": 0},
+            {"weight_low": 0},
+            {"weight_low": 10, "weight_high": 5},
+            {"slowdown_low": 0.5},
+            {"slowdown_low": 3.0, "slowdown_high": 2.0},
+            {"stateless_ratio": 1.5},
+            {"stateless_ratio": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(InvalidChainError):
+            GeneratorConfig(**kwargs)
+
+
+class TestRandomChain:
+    def test_shape_and_ranges(self):
+        rng = np.random.default_rng(0)
+        config = GeneratorConfig(stateless_ratio=0.5)
+        for _ in range(20):
+            chain = random_chain(rng, config)
+            assert chain.n == 20
+            for task in chain:
+                assert 1 <= task.weight_big <= 100
+                assert task.weight_big == int(task.weight_big)
+                # ceil(w * slowdown) with slowdown in [1, 5].
+                assert task.weight_big <= task.weight_little <= 5 * task.weight_big
+                assert task.weight_little == int(task.weight_little)
+
+    def test_exact_replicable_count(self):
+        rng = np.random.default_rng(1)
+        for sr in (0.2, 0.5, 0.8):
+            chain = random_chain(rng, GeneratorConfig(stateless_ratio=sr))
+            assert len(chain.replicable_indices) == round(sr * 20)
+
+    def test_little_weights_use_ceiling(self):
+        rng = np.random.default_rng(2)
+        chain = random_chain(rng)
+        for task in chain:
+            assert float(task.weight_little).is_integer()
+
+    def test_replicable_positions_vary(self):
+        rng = np.random.default_rng(3)
+        config = GeneratorConfig(stateless_ratio=0.5)
+        positions = {
+            tuple(random_chain(rng, config).replicable_indices)
+            for _ in range(10)
+        }
+        assert len(positions) > 1
+
+
+class TestChainBatch:
+    def test_deterministic_for_seed(self):
+        a = [c.weights(CoreType.BIG) for c in chain_batch(5, seed=42)]
+        b = [c.weights(CoreType.BIG) for c in chain_batch(5, seed=42)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [c.weights(CoreType.BIG) for c in chain_batch(5, seed=1)]
+        b = [c.weights(CoreType.BIG) for c in chain_batch(5, seed=2)]
+        assert a != b
+
+    def test_count(self):
+        assert len(list(chain_batch(7))) == 7
+        assert list(chain_batch(0)) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(chain_batch(-1))
+
+    def test_chains_within_batch_differ(self):
+        chains = list(chain_batch(5, seed=0))
+        weights = {tuple(c.weights(CoreType.BIG)) for c in chains}
+        assert len(weights) == 5
