@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Engine performance trajectory: serial vs parallel vs memoized replay.
+
+Runs the Table I campaign scenario (default 200 chains x 5 strategies,
+budget ``(10B, 10L)``) through the three engine execution tiers and writes
+``BENCH_engine.json`` with wall times, per-strategy solve latencies, and a
+bitwise engine-vs-serial parity verdict (non-zero exit on mismatch, so CI
+can gate on it).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--chains 200]
+        [--jobs 8] [--out BENCH_engine.json]
+
+Notes on reading the numbers: the parallel speedup is bounded by the
+machine's core count (reported as ``cpu_count``); the memoized-replay tier
+is what the figure drivers hit when they revisit a campaign and is
+hardware-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.chain_stats import ChainProfile  # noqa: E402
+from repro.core.registry import PAPER_ORDER  # noqa: E402
+from repro.core.types import Resources  # noqa: E402
+from repro.engine import CampaignEngine  # noqa: E402
+from repro.workloads.synthetic import GeneratorConfig, chain_batch  # noqa: E402
+
+TABLE1_BUDGET = Resources(10, 10)
+TABLE1_BUDGETS = (Resources(16, 4), Resources(10, 10), Resources(4, 16))
+
+
+def _time(fn, repeats: int = 1) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _arrays_match(a, b) -> bool:
+    return set(a) == set(b) and all(
+        np.array_equal(a[n].periods, b[n].periods)
+        and np.array_equal(a[n].big_used, b[n].big_used)
+        and np.array_equal(a[n].little_used, b[n].little_used)
+        for n in a
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=200)
+    parser.add_argument("--tasks", type=int, default=20)
+    parser.add_argument("--stateless-ratio", type=float, default=0.5)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel tier worker count (default: all cores)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--latency-chains", type=int, default=20,
+                        help="chains averaged per strategy latency point")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or os.cpu_count() or 1
+    config = GeneratorConfig(
+        num_tasks=args.tasks, stateless_ratio=args.stateless_ratio
+    )
+    chains = list(chain_batch(args.chains, config, seed=args.seed))
+    print(
+        f"campaign: {len(chains)} chains x {len(PAPER_ORDER)} strategies, "
+        f"budget ({TABLE1_BUDGET.big}B,{TABLE1_BUDGET.little}L), "
+        f"jobs={jobs}, cpu_count={os.cpu_count()}"
+    )
+
+    # Tier 1: serial, no cache (the pre-engine baseline path).
+    serial_engine = CampaignEngine(jobs=1, backend="serial", memo=False)
+    serial_s, serial_arrays = _time(
+        lambda: serial_engine.solve_instances(chains, TABLE1_BUDGET, PAPER_ORDER)
+    )
+    print(f"  serial          {serial_s:8.2f}s")
+
+    # Tier 2: process pool, no cache.
+    pool_engine = CampaignEngine(jobs=jobs, backend="process", memo=False)
+    parallel_s, parallel_arrays = _time(
+        lambda: pool_engine.solve_instances(
+            chains, TABLE1_BUDGET, PAPER_ORDER, jobs=jobs
+        )
+    )
+    print(f"  process (j={jobs:2d})  {parallel_s:8.2f}s")
+
+    # Tier 3: memoized replay (warm cache — the figure drivers' case).
+    memo_engine = CampaignEngine(jobs=1, memo=True)
+    memo_engine.solve_instances(chains, TABLE1_BUDGET, PAPER_ORDER)
+    replay_s, replay_arrays = _time(
+        lambda: memo_engine.solve_instances(chains, TABLE1_BUDGET, PAPER_ORDER),
+        repeats=3,
+    )
+    print(f"  memo replay     {replay_s:8.2f}s")
+
+    mismatch = not (
+        _arrays_match(serial_arrays, parallel_arrays)
+        and _arrays_match(serial_arrays, replay_arrays)
+    )
+
+    # Per-strategy single-instance solve latency (microseconds).
+    latency_profiles = [
+        ChainProfile(c)
+        for c in chain_batch(args.latency_chains, config, seed=args.seed + 1)
+    ]
+    latencies_us = {}
+    for budget in TABLE1_BUDGETS:
+        key = f"({budget.big}B,{budget.little}L)"
+        latencies_us[key] = {
+            name: round(
+                serial_engine.measure_latency(name, latency_profiles, budget)
+                * 1e6,
+                1,
+            )
+            for name in PAPER_ORDER
+        }
+
+    report = {
+        "benchmark": "campaign engine trajectory",
+        "scenario": {
+            "chains": len(chains),
+            "num_tasks": args.tasks,
+            "stateless_ratio": args.stateless_ratio,
+            "strategies": list(PAPER_ORDER),
+            "budget": [TABLE1_BUDGET.big, TABLE1_BUDGET.little],
+            "seed": args.seed,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "campaign_wall_s": {
+            "serial": round(serial_s, 3),
+            f"process_jobs{jobs}": round(parallel_s, 3),
+            "memo_replay": round(replay_s, 3),
+        },
+        "speedup_vs_serial": {
+            f"process_jobs{jobs}": round(serial_s / parallel_s, 2),
+            "memo_replay": round(serial_s / replay_s, 2),
+        },
+        "memo": {
+            "hit_rate": round(memo_engine.memo.stats.hit_rate, 4),
+            "entries": memo_engine.memo.stats.size,
+        },
+        "strategy_latency_us": latencies_us,
+        "engine_vs_serial_mismatch": mismatch,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if mismatch:
+        print("ERROR: engine-vs-serial mismatch", file=sys.stderr)
+        return 1
+    print(
+        f"speedups vs serial: process x{serial_s / parallel_s:.2f}, "
+        f"memo replay x{serial_s / replay_s:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

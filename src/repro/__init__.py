@@ -59,6 +59,7 @@ from .core import (
     strategy_names,
     twocatac,
 )
+from .engine import CampaignEngine, MemoCache, default_engine
 
 __version__ = "1.0.0"
 
@@ -98,4 +99,7 @@ __all__ = [
     "InvalidChainError",
     "InvalidPlatformError",
     "InfeasibleScheduleError",
+    "CampaignEngine",
+    "MemoCache",
+    "default_engine",
 ]

@@ -36,6 +36,13 @@ _EXPERIMENTS = (
 )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser."""
     parser = argparse.ArgumentParser(
@@ -75,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="base random seed for campaigns"
     )
     parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for the campaign engine (default: all cores, "
+            "i.e. os.cpu_count()); results are identical for any value"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -84,16 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(name: str, args: argparse.Namespace) -> str:
+    jobs = args.jobs
     if name == "table1":
-        return table1.render(table1.run(num_chains=args.chains, seed=args.seed))
+        return table1.render(
+            table1.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+        )
     if name == "table2":
         return table2.render(table2.run(num_frames=args.frames))
     if name == "table3":
         return table3.render(table3.run())
     if name == "fig1":
-        return fig1.render(fig1.run(num_chains=args.chains, seed=args.seed))
+        return fig1.render(
+            fig1.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+        )
     if name == "fig2":
-        return fig2.render(fig2.run(num_chains=args.chains, seed=args.seed))
+        return fig2.render(
+            fig2.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+        )
     if name == "fig3":
         return fig3.render(fig3.run(num_chains=args.timing_chains, seed=args.seed))
     if name == "fig4":
@@ -106,7 +129,7 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         )
     if name == "fig6":
         return fig6.render(
-            fig6.run(num_chains=min(args.chains, 200), seed=args.seed)
+            fig6.run(num_chains=min(args.chains, 200), seed=args.seed, jobs=jobs)
         )
     raise ValueError(f"unknown experiment {name!r}")
 

@@ -100,6 +100,12 @@ class ChainProfile:
         """Sum of all weights on ``core_type``."""
         return self._total[int(core_type)]
 
+    @property
+    def fingerprint(self) -> str:
+        """The profiled chain's stable content hash (see
+        :attr:`repro.core.task.TaskChain.fingerprint`)."""
+        return self.chain.fingerprint
+
     def max_weight(self, core_type: CoreType) -> float:
         """Largest single-task weight on ``core_type`` (``w_max``)."""
         return self._max_weight[int(core_type)]

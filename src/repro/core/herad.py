@@ -116,12 +116,17 @@ def _update_plane(
         np.copyto(cur[name][region], value, where=better)
 
 
-def _neighbor_sweep(cur: dict[str, np.ndarray], big: int, little: int) -> None:
-    """Propagate solutions needing one core fewer (Algo. 9, lines 2-3).
+#: Plane size (cells) below which the scalar sweep beats the vectorized one.
+_SWEEP_SCALAR_CUTOFF = 30
 
-    A single ascending sweep over the ``(b, l)`` plane suffices: each cell
-    compares against already-final lower neighbors, so the result is the
-    lexicographic key minimum over each cell's lower-left quadrant.
+
+def _neighbor_sweep_small(
+    cur: dict[str, np.ndarray], big: int, little: int
+) -> None:
+    """Scalar ascending sweep — fastest for tiny ``(b, l)`` planes.
+
+    Each cell compares against already-final lower neighbors, so the result
+    is the lexicographic key minimum over each cell's lower-left quadrant.
     """
     p = cur["period"]
     ab = cur["acc_b"]
@@ -145,6 +150,63 @@ def _neighbor_sweep(cur: dict[str, np.ndarray], big: int, little: int) -> None:
                     f[bb, ll] = f[src]
 
 
+def _neighbor_sweep(cur: dict[str, np.ndarray], big: int, little: int) -> None:
+    """Propagate solutions needing one core fewer (Algo. 9, lines 2-3).
+
+    Each cell must end up holding the lexicographic key minimum over its
+    lower-left quadrant (budgets ``(b', l') <= (b, l)``), with the winning
+    cell's companion fields carried along.  Instead of the naive
+    ``O(b * l)`` scalar double loop, run two vectorized lexicographic
+    prefix-minimum passes — one per axis, each a Hillis-Steele doubling
+    scan (``O(log)`` whole-plane steps) — tracking the flat *source* index
+    of each running minimum, then gather the winners' rows once at the end.
+    Prefix minima compose across the two axes because the lexicographic
+    minimum is associative and commutative; strict comparisons keep the
+    incumbent cell on ties, exactly like the scalar sweep.
+
+    The two integer tie-breakers ``(acc_b, acc_l)`` are packed into one
+    ``int64`` (order-preserving — both are non-negative and fit in 32
+    bits), so each step is a single ``(period, combo)`` lexicographic test.
+    Tiny planes fall back to the scalar sweep, which has lower constant
+    overhead (see ``benchmarks/bench_engine.py``).
+    """
+    if (big + 1) * (little + 1) <= _SWEEP_SCALAR_CUTOFF:
+        _neighbor_sweep_small(cur, big, little)
+        return
+
+    kp = cur["period"].copy()
+    combo = (cur["acc_b"].astype(np.int64) << 32) | cur["acc_l"].astype(np.int64)
+    own = np.arange(kp.size, dtype=np.intp).reshape(kp.shape)
+    src = own.copy()
+
+    for axis, size in ((1, little), (0, big)):
+        step = 1
+        while step <= size:
+            if axis == 1:
+                prev_p = kp[:, :-step].copy()
+                prev_c = combo[:, :-step].copy()
+                prev_s = src[:, :-step].copy()
+                cur_p, cur_c, cur_s = kp[:, step:], combo[:, step:], src[:, step:]
+            else:
+                prev_p = kp[:-step].copy()
+                prev_c = combo[:-step].copy()
+                prev_s = src[:-step].copy()
+                cur_p, cur_c, cur_s = kp[step:], combo[step:], src[step:]
+            better = (prev_p < cur_p) | ((prev_p == cur_p) & (prev_c < cur_c))
+            if better.any():
+                np.copyto(cur_p, prev_p, where=better)
+                np.copyto(cur_c, prev_c, where=better)
+                np.copyto(cur_s, prev_s, where=better)
+            step <<= 1
+
+    changed = src != own
+    if not changed.any():
+        return
+    for plane in cur.values():
+        winners = plane.ravel()[src]
+        np.copyto(plane, winners, where=changed)
+
+
 def _fill_tables(profile: ChainProfile, big: int, little: int) -> _Tables:
     """Run the DP over all planes and return the filled solution matrix."""
     n = profile.n
@@ -154,19 +216,53 @@ def _fill_tables(profile: ChainProfile, big: int, little: int) -> _Tables:
     bb_grid = np.arange(big + 1, dtype=np.int32)[:, None]
     ll_grid = np.arange(little + 1, dtype=np.int32)[None, :]
 
+    # The working plane: one buffer per field, allocated once and reset per
+    # prefix length ``j`` (the previous hot-loop body rebuilt all seven
+    # arrays ``n`` times per solve).
+    shape = (big + 1, little + 1)
+    cur = {
+        "period": np.empty(shape, dtype=np.float64),
+        "acc_b": np.empty(shape, dtype=np.int32),
+        "acc_l": np.empty(shape, dtype=np.int32),
+        "prev_b": np.empty(shape, dtype=np.int32),
+        "prev_l": np.empty(shape, dtype=np.int32),
+        "vtype": np.empty(shape, dtype=np.int8),
+        "start": np.empty(shape, dtype=np.int32),
+    }
+
+    # Everything below except ``starts``/``stage_w`` is independent of the
+    # prefix length ``j`` — precompute per ``(core_type, u)`` so the hot
+    # loop allocates nothing but the candidate tensors.  ``_update_plane``
+    # broadcasts, so the half-open grids can be passed unexpanded.
+    group: dict[tuple[CoreType, int], tuple] = {}
+    for u in range(1, big + 1):
+        pred = (slice(0, big + 1 - u), slice(None))
+        region = (slice(u, big + 1), slice(None))
+        fields = {
+            "prev_b": bb_grid[u:] - u,
+            "prev_l": ll_grid,
+            "vtype": np.int8(int(CoreType.BIG)),
+        }
+        group[CoreType.BIG, u] = (pred, region, fields, u, 0)
+    for u in range(1, little + 1):
+        pred = (slice(None), slice(0, little + 1 - u))
+        region = (slice(None), slice(u, little + 1))
+        fields = {
+            "prev_b": bb_grid,
+            "prev_l": ll_grid[:, u:] - u,
+            "vtype": np.int8(int(CoreType.LITTLE)),
+        }
+        group[CoreType.LITTLE, u] = (pred, region, fields, 0, u)
+
     for j in range(1, n + 1):
         end = j - 1
-        cur = {
-            "period": np.full((big + 1, little + 1), np.inf),
-            "acc_b": np.zeros((big + 1, little + 1), dtype=np.int32),
-            "acc_l": np.zeros((big + 1, little + 1), dtype=np.int32),
-            "prev_b": np.zeros((big + 1, little + 1), dtype=np.int32),
-            "prev_l": np.zeros((big + 1, little + 1), dtype=np.int32),
-            "vtype": np.full(
-                (big + 1, little + 1), int(CoreType.LITTLE), dtype=np.int8
-            ),
-            "start": np.zeros((big + 1, little + 1), dtype=np.int32),
-        }
+        cur["period"].fill(np.inf)
+        cur["acc_b"].fill(0)
+        cur["acc_l"].fill(0)
+        cur["prev_b"].fill(0)
+        cur["prev_l"].fill(0)
+        cur["vtype"].fill(int(CoreType.LITTLE))
+        cur["start"].fill(0)
 
         rep_idx = np.flatnonzero(profile.replicable_to(end)).astype(np.int64)
         all_idx = np.arange(j, dtype=np.int64)
@@ -181,7 +277,6 @@ def _fill_tables(profile: ChainProfile, big: int, little: int) -> _Tables:
                 if u == 1:
                     starts = all_idx
                     stage_w = weights
-                    added = np.ones(j, dtype=np.int32)
                 else:
                     # Sequential stages gain nothing from extra cores
                     # (Section V optimization): only replicable starts.
@@ -189,38 +284,24 @@ def _fill_tables(profile: ChainProfile, big: int, little: int) -> _Tables:
                         break
                     starts = rep_idx
                     stage_w = weights[rep_idx] / u
-                    added = np.full(rep_idx.size, u, dtype=np.int32)
 
-                if core_type is CoreType.BIG:
-                    pred = (starts, slice(0, big + 1 - u), slice(None))
-                    region = (slice(u, big + 1), slice(None))
-                    new_fields = {
-                        "prev_b": (bb_grid[u:] - u),
-                        "prev_l": ll_grid + np.zeros_like(bb_grid[u:]),
-                        "vtype": np.int8(int(CoreType.BIG)),
-                    }
-                    acc_b_extra = added[:, None, None]
-                    acc_l_extra = 0
-                else:
-                    pred = (starts, slice(None), slice(0, little + 1 - u))
-                    region = (slice(None), slice(u, little + 1))
-                    new_fields = {
-                        "prev_b": bb_grid + np.zeros_like(ll_grid[:, u:]),
-                        "prev_l": (ll_grid[:, u:] - u),
-                        "vtype": np.int8(int(CoreType.LITTLE)),
-                    }
-                    acc_b_extra = 0
-                    acc_l_extra = added[:, None, None]
+                pred_grid, region, fields, add_b, add_l = group[core_type, u]
+                pred = (starts, *pred_grid)
 
                 cand_p = np.maximum(
                     tables.period[pred], stage_w[:, None, None]
                 )
-                cand_b = tables.acc_b[pred] + acc_b_extra
-                cand_l = tables.acc_l[pred] + acc_l_extra
+                cand_b = tables.acc_b[pred]
+                cand_l = tables.acc_l[pred]
+                if add_b:
+                    cand_b = cand_b + np.int32(add_b)
+                if add_l:
+                    cand_l = cand_l + np.int32(add_l)
 
                 p_min, b_min, l_min, winner = _reduce_candidates(
                     cand_p, cand_b, cand_l
                 )
+                new_fields = dict(fields)
                 new_fields["start"] = starts[winner].astype(np.int32)
                 _update_plane(
                     cur, region, p_min, b_min, l_min, new_fields

@@ -19,7 +19,9 @@ pairs, matching the paper's ``[tau_c, tau_e]`` notation.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -163,6 +165,35 @@ class TaskChain:
     def n(self) -> int:
         """Number of tasks in the chain (``n`` in the paper)."""
         return len(self.tasks)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the chain's scheduling-relevant data.
+
+        Hashes the per-task ``(w^B, w^L, replicable)`` triples — nothing
+        else.  Two chains with equal weight tables and replicability flags
+        share a fingerprint regardless of task or chain *names*; any
+        perturbation of a weight or a flag changes it.  Schedules depend on
+        exactly this data, so the fingerprint is a sound memoization key for
+        ``(chain, resources, strategy) -> outcome`` caches
+        (see :mod:`repro.engine.memo`).
+
+        The value is a 32-character hex digest (128-bit BLAKE2b), computed
+        once per chain and cached.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(struct.pack("<q", len(self.tasks)))
+            for task in self.tasks:
+                digest.update(
+                    struct.pack(
+                        "<dd?", task.weight_big, task.weight_little, task.replicable
+                    )
+                )
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def weights(self, core_type: CoreType) -> list[float]:
         """Per-task weights on the given core type, in chain order."""

@@ -1,0 +1,44 @@
+"""Campaign execution engine: parallel fan-out + memoized scheduling.
+
+Public API:
+
+* :class:`~repro.engine.executor.CampaignEngine` — solve batches of
+  ``(chain, budget, strategy)`` instances over a serial / thread / process
+  backend, deterministically.
+* :func:`~repro.engine.executor.default_engine` — the process-wide engine
+  with a shared memo cache (what ``run_campaign`` uses).
+* :class:`~repro.engine.memo.MemoCache` — the instance-result cache keyed by
+  chain fingerprint + budget + strategy.
+
+See DESIGN.md §7 for the architecture and the determinism guarantee.
+"""
+
+from .batch import PendingInstance, WorkUnit, chunk_pending, solve_instance, solve_unit
+from .executor import (
+    BACKENDS,
+    CampaignEngine,
+    StrategyArrays,
+    default_engine,
+    reset_default_engine,
+    resolve_jobs,
+)
+from .memo import DEFAULT_MAXSIZE, InstanceResult, MemoCache, MemoStats, make_key
+
+__all__ = [
+    "BACKENDS",
+    "CampaignEngine",
+    "StrategyArrays",
+    "default_engine",
+    "reset_default_engine",
+    "resolve_jobs",
+    "PendingInstance",
+    "WorkUnit",
+    "chunk_pending",
+    "solve_instance",
+    "solve_unit",
+    "DEFAULT_MAXSIZE",
+    "InstanceResult",
+    "MemoCache",
+    "MemoStats",
+    "make_key",
+]

@@ -1,0 +1,104 @@
+"""Chunked work units for the campaign engine.
+
+The unit of distribution is a *chunk* of scheduling instances, not a single
+instance: one chain costs milliseconds to schedule, so per-instance dispatch
+would drown in executor overhead.  A :class:`WorkUnit` carries a slice of the
+campaign — ``(chain index, chain, strategies still to run)`` triples plus the
+shared budget — and :func:`solve_unit` resolves it into indexed
+:class:`~repro.engine.memo.InstanceResult` rows.
+
+Everything here is picklable with module-level functions only, so the same
+code path runs in-process (serial / thread tiers) and in worker processes
+(process tier).  Results are keyed by chain index, which makes assembly
+order-independent: however the executor interleaves chunks, the final arrays
+are bitwise identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.chain_stats import ChainProfile
+from ..core.registry import get_info
+from ..core.task import TaskChain
+from ..core.types import Resources
+from .memo import InstanceResult
+
+__all__ = ["PendingInstance", "WorkUnit", "UnitResult", "solve_instance", "solve_unit", "chunk_pending"]
+
+
+@dataclass(frozen=True, slots=True)
+class PendingInstance:
+    """One chain still needing one or more strategy solves.
+
+    Attributes:
+        index: the chain's position in its campaign (result-array row).
+        chain: the chain itself (small: tens of tasks).
+        strategies: canonical names of the strategies left to run on it.
+    """
+
+    index: int
+    chain: TaskChain
+    strategies: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """A chunk of pending instances sharing one platform budget."""
+
+    pending: tuple[PendingInstance, ...]
+    resources: Resources
+
+
+#: ``(chain index, {strategy: result})`` rows produced by one unit.
+UnitResult = list[tuple[int, dict[str, InstanceResult]]]
+
+
+def solve_instance(
+    profile: ChainProfile, resources: Resources, strategies: Iterable[str]
+) -> dict[str, InstanceResult]:
+    """Run the given strategies on one profiled chain.
+
+    The single authoritative "solve one campaign cell" routine — the serial
+    path, the thread tier, and the process workers all funnel through it, so
+    an instance's result cannot depend on where it was computed.
+    """
+    results: dict[str, InstanceResult] = {}
+    for name in strategies:
+        outcome = get_info(name).func(profile, resources)
+        usage = outcome.solution.core_usage()
+        results[name] = InstanceResult(
+            period=outcome.period,
+            big_used=usage.big,
+            little_used=usage.little,
+        )
+    return results
+
+
+def solve_unit(unit: WorkUnit) -> UnitResult:
+    """Resolve one work unit (the process-pool entry point).
+
+    Profiles each chain once, then runs every requested strategy on it.
+    """
+    rows: UnitResult = []
+    for item in unit.pending:
+        profile = ChainProfile(item.chain)
+        rows.append(
+            (item.index, solve_instance(profile, unit.resources, item.strategies))
+        )
+    return rows
+
+
+def chunk_pending(
+    pending: Sequence[PendingInstance],
+    resources: Resources,
+    chunk_size: int,
+) -> list[WorkUnit]:
+    """Split pending instances into work units of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        WorkUnit(pending=tuple(pending[i : i + chunk_size]), resources=resources)
+        for i in range(0, len(pending), chunk_size)
+    ]

@@ -1,0 +1,252 @@
+"""The campaign execution engine: pluggable fan-out + memoized solves.
+
+The paper's evaluation protocol is embarrassingly parallel — every
+``(chain, budget, strategy)`` instance is independent — yet the original
+driver solved them in one Python loop.  :class:`CampaignEngine` fans the
+instances out over an execution *backend*:
+
+* ``serial`` — in-process loop (also the ``jobs=1`` fast path: zero
+  executor overhead);
+* ``thread`` — ``ThreadPoolExecutor``; useful when solves release the GIL
+  or for IO-adjacent workloads, cheap to spin up;
+* ``process`` — ``ProcessPoolExecutor`` with chunked work units; the tier
+  that actually scales CPU-bound pure-Python solves across cores.
+
+Backends receive :class:`~repro.engine.batch.WorkUnit` chunks and return
+index-keyed rows, so assembly is order-independent and the engine's output
+is **bitwise identical for every backend and every job count** — a
+regression-tested guarantee (``tests/engine/test_engine.py``).
+
+A :class:`~repro.engine.memo.MemoCache` sits in front of the fan-out:
+instances whose ``(chain fingerprint, budget, strategy)`` key was already
+solved are replayed from cache without touching the backend.  The default
+process-wide engine shares one cache, which makes figure drivers that
+re-run the Table I campaign (Fig. 1, ablations, ``repro all``) nearly free
+after the first pass.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+from ..core.chain_stats import ChainProfile, profile_of
+from ..core.registry import get_info
+from ..core.task import TaskChain
+from ..core.types import Resources
+from .batch import PendingInstance, WorkUnit, chunk_pending, solve_unit
+from .memo import InstanceResult, MemoCache, make_key
+
+__all__ = [
+    "BACKENDS",
+    "resolve_jobs",
+    "StrategyArrays",
+    "CampaignEngine",
+    "default_engine",
+    "reset_default_engine",
+]
+
+#: Recognized backend names (``auto`` picks serial for 1 job, else process).
+BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None`` means all available cores."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+class StrategyArrays(NamedTuple):
+    """Per-strategy campaign outcome columns (one row per chain)."""
+
+    periods: np.ndarray
+    big_used: np.ndarray
+    little_used: np.ndarray
+
+
+def _pool_factory(backend: str, jobs: int) -> "type[Executor] | None":
+    """Map a backend name + job count to an executor class (None = serial)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+    if jobs <= 1 or backend == "serial":
+        return None
+    if backend == "thread":
+        return ThreadPoolExecutor
+    return ProcessPoolExecutor  # "process" and "auto" with jobs > 1
+
+
+class CampaignEngine:
+    """Executes campaigns of scheduling instances with fan-out + memoization.
+
+    Args:
+        jobs: default worker count (``None``: ``os.cpu_count()``).  Overridable
+            per call.
+        backend: one of :data:`BACKENDS`.
+        memo: a shared :class:`MemoCache`, ``True`` for a private cache, or
+            ``False``/``None`` to disable memoization.
+        chunk_size: instances per work unit; default splits the pending work
+            into ~4 units per worker, balancing dispatch overhead against
+            load imbalance.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        backend: str = "auto",
+        memo: "MemoCache | bool | None" = True,
+        chunk_size: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = resolve_jobs(jobs)
+        self.backend = backend
+        self.chunk_size = chunk_size
+        if memo is True:
+            self.memo: MemoCache | None = MemoCache()
+        elif memo is False or memo is None:
+            self.memo = None
+        else:
+            self.memo = memo
+
+    # -- campaign execution --------------------------------------------------
+
+    def solve_instances(
+        self,
+        chains: Sequence[TaskChain],
+        resources: Resources,
+        strategies: Iterable[str],
+        jobs: int | None = None,
+    ) -> dict[str, StrategyArrays]:
+        """Solve every ``(chain, strategy)`` instance at one budget.
+
+        Returns one :class:`StrategyArrays` per canonical strategy name, with
+        row ``i`` holding chain ``i``'s outcome — independent of backend, job
+        count, and cache state.
+        """
+        chains = list(chains)
+        names = [get_info(name).name for name in strategies]
+        count = len(chains)
+        arrays = {
+            name: StrategyArrays(
+                periods=np.empty(count),
+                big_used=np.empty(count, dtype=np.int64),
+                little_used=np.empty(count, dtype=np.int64),
+            )
+            for name in names
+        }
+
+        pending = self._fill_from_memo(chains, resources, names, arrays)
+        if pending:
+            effective_jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+            for index, results in self._execute(pending, resources, effective_jobs):
+                chain = chains[index]
+                for name, result in results.items():
+                    self._store(arrays, index, name, result)
+                    if self.memo is not None:
+                        self.memo.put(make_key(chain, resources, name), result)
+        return arrays
+
+    def _fill_from_memo(
+        self,
+        chains: Sequence[TaskChain],
+        resources: Resources,
+        names: Sequence[str],
+        arrays: dict[str, StrategyArrays],
+    ) -> list[PendingInstance]:
+        """Replay cached instances into ``arrays``; return what's left."""
+        pending: list[PendingInstance] = []
+        for index, chain in enumerate(chains):
+            missing: list[str] = []
+            for name in names:
+                cached = (
+                    self.memo.get(make_key(chain, resources, name))
+                    if self.memo is not None
+                    else None
+                )
+                if cached is None:
+                    missing.append(name)
+                else:
+                    self._store(arrays, index, name, cached)
+            if missing:
+                pending.append(
+                    PendingInstance(
+                        index=index, chain=chain, strategies=tuple(missing)
+                    )
+                )
+        return pending
+
+    @staticmethod
+    def _store(
+        arrays: dict[str, StrategyArrays],
+        index: int,
+        name: str,
+        result: InstanceResult,
+    ) -> None:
+        columns = arrays[name]
+        columns.periods[index] = result.period
+        columns.big_used[index] = result.big_used
+        columns.little_used[index] = result.little_used
+
+    def _execute(
+        self, pending: list[PendingInstance], resources: Resources, jobs: int
+    ) -> "Iterable[tuple[int, dict[str, InstanceResult]]]":
+        """Run the pending instances on the configured backend."""
+        pool_cls = _pool_factory(self.backend, jobs)
+        if pool_cls is None:
+            unit = WorkUnit(pending=tuple(pending), resources=resources)
+            yield from solve_unit(unit)
+            return
+
+        size = self.chunk_size or max(1, -(-len(pending) // (jobs * 4)))
+        units = chunk_pending(pending, resources, size)
+        workers = min(jobs, len(units))
+        with pool_cls(max_workers=workers) as pool:
+            for rows in pool.map(solve_unit, units):
+                yield from rows
+
+    # -- latency measurement ---------------------------------------------------
+
+    def measure_latency(
+        self,
+        strategy: str,
+        profiles: Sequence[ChainProfile],
+        resources: Resources,
+    ) -> float:
+        """Mean wall seconds per solve of ``strategy`` over ``profiles``.
+
+        Always serial and never memoized: this is the engine's measurement
+        path (Figs. 3/4 protocol), where replaying a cache hit would report
+        lookup time instead of scheduling time.
+        """
+        func = get_info(strategy).func
+        start = time.perf_counter()
+        for profile in profiles:
+            func(profile, resources)
+        elapsed = time.perf_counter() - start
+        return elapsed / len(profiles)
+
+
+_DEFAULT_ENGINE: CampaignEngine | None = None
+
+
+def default_engine() -> CampaignEngine:
+    """The process-wide engine (shared memo cache, all-cores default)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = CampaignEngine()
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide engine (tests; frees its memo cache)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None

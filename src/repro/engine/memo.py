@@ -1,0 +1,148 @@
+"""Memoization cache for scheduling-instance results.
+
+A scheduling *instance* is fully determined by the chain's content
+(weights + replicability — captured by
+:attr:`repro.core.task.TaskChain.fingerprint`), the platform budget, and the
+strategy.  Every strategy in the registry is a pure function of exactly that
+data, so its ``(period, core usage)`` outcome can be cached and replayed
+bitwise-identically.
+
+The cache pays off whenever campaigns repeat instances: the figure drivers
+re-run the Table I campaign verbatim (Fig. 1 uses the same nine scenarios),
+ablations re-schedule the same populations, and ``repro all`` chains several
+such drivers in one process.  With the cache, each distinct instance is
+computed once per process.
+
+Thread-safe; eviction is LRU.  The cache stores only the scalar outcome
+triple (period, big cores, little cores) — a few dozen bytes per instance —
+not solutions, so a million entries fit comfortably in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..core.chain_stats import ChainProfile
+from ..core.task import TaskChain
+from ..core.types import Resources
+
+__all__ = [
+    "InstanceResult",
+    "MemoKey",
+    "MemoStats",
+    "MemoCache",
+    "make_key",
+    "DEFAULT_MAXSIZE",
+]
+
+#: Default cache capacity (instances); ~100 full paper campaigns.
+DEFAULT_MAXSIZE: int = 500_000
+
+
+class InstanceResult(NamedTuple):
+    """The campaign-relevant outcome of one scheduling instance."""
+
+    period: float
+    big_used: int
+    little_used: int
+
+
+#: ``(chain fingerprint, big budget, little budget, strategy name)``.
+MemoKey = tuple[str, int, int, str]
+
+
+def make_key(
+    chain: "TaskChain | ChainProfile", resources: Resources, strategy: str
+) -> MemoKey:
+    """Build the memo key of one scheduling instance.
+
+    ``strategy`` must already be a canonical registry name (the engine
+    resolves aliases before keying).
+    """
+    return (chain.fingerprint, resources.big, resources.little, strategy)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoStats:
+    """Cache counters snapshot.
+
+    Attributes:
+        hits: lookups answered from the cache.
+        misses: lookups that required a solve.
+        size: entries currently stored.
+        maxsize: capacity before LRU eviction.
+        evictions: entries dropped to respect ``maxsize``.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MemoCache:
+    """A bounded, thread-safe LRU cache of :class:`InstanceResult`.
+
+    One instance is shared by the default campaign engine for the whole
+    process; independent engines can carry private caches (or none).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[MemoKey, InstanceResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: MemoKey) -> InstanceResult | None:
+        """Return the cached result, or None (counted as a miss)."""
+        with self._lock:
+            result = self._data.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def put(self, key: MemoKey, result: InstanceResult) -> None:
+        """Insert (or refresh) one result, evicting LRU entries if full."""
+        with self._lock:
+            self._data[key] = result
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def stats(self) -> MemoStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return MemoStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                maxsize=self.maxsize,
+                evictions=self._evictions,
+            )

@@ -3,15 +3,17 @@
 The synthetic experiments (Table I, Figs. 1-2) all run the same *campaign*:
 draw N chains from the paper's distribution at a given stateless ratio,
 schedule each with every strategy on a given budget, and record periods and
-core usages.  :func:`run_campaign` does that once; the per-table drivers
-aggregate its raw output.
+core usages.  :func:`run_campaign` does that once, delegating the instance
+solves to the campaign engine (:mod:`repro.engine`): instances fan out over
+``jobs`` workers and previously-solved instances replay from the shared memo
+cache, with bitwise-identical results for every job count.
 
-The execution-time experiments (Figs. 3-4) share :func:`time_strategy`.
+The execution-time experiments (Figs. 3-4) share :func:`time_strategy`,
+which routes through the engine's (serial, never memoized) measurement path.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -20,6 +22,7 @@ import numpy as np
 from ..core.chain_stats import ChainProfile
 from ..core.registry import PAPER_ORDER, get_info
 from ..core.types import Resources
+from ..engine import CampaignEngine, default_engine
 from ..workloads.synthetic import GeneratorConfig, chain_batch
 
 __all__ = [
@@ -87,6 +90,8 @@ def run_campaign(
     num_tasks: int = 20,
     strategies: Sequence[str] | None = None,
     seed: int = 0,
+    jobs: int | None = None,
+    engine: CampaignEngine | None = None,
 ) -> CampaignResult:
     """Run one synthetic campaign (Section VI-A-1 protocol).
 
@@ -98,6 +103,11 @@ def run_campaign(
         strategies: strategy names; defaults to the paper's five, and always
             includes ``herad`` (needed as the optimal reference).
         seed: base seed of the chain stream.
+        jobs: worker count for the instance fan-out (``None``: the engine's
+            default, itself ``os.cpu_count()``).  Any value yields the same
+            arrays bit for bit.
+        engine: campaign engine override; defaults to the process-wide
+            engine with its shared memo cache.
 
     Returns:
         The raw campaign outcomes.
@@ -105,30 +115,22 @@ def run_campaign(
     names = list(strategies) if strategies is not None else list(PAPER_ORDER)
     if "herad" not in names:
         names.insert(0, "herad")
-    infos = [get_info(name) for name in names]
-
-    periods = {info.name: np.empty(num_chains) for info in infos}
-    big = {info.name: np.empty(num_chains, dtype=np.int64) for info in infos}
-    little = {info.name: np.empty(num_chains, dtype=np.int64) for info in infos}
+    canonical = [get_info(name).name for name in names]
 
     config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=stateless_ratio)
-    for index, chain in enumerate(chain_batch(num_chains, config, seed=seed)):
-        profile = ChainProfile(chain)
-        for info in infos:
-            outcome = info.func(profile, resources)
-            usage = outcome.solution.core_usage()
-            periods[info.name][index] = outcome.period
-            big[info.name][index] = usage.big
-            little[info.name][index] = usage.little
+    chains = list(chain_batch(num_chains, config, seed=seed))
+
+    eng = engine if engine is not None else default_engine()
+    arrays = eng.solve_instances(chains, resources, canonical, jobs=jobs)
 
     records = {
-        info.name: StrategyRecord(
-            strategy=info.name,
-            periods=periods[info.name],
-            big_used=big[info.name],
-            little_used=little[info.name],
+        name: StrategyRecord(
+            strategy=name,
+            periods=arrays[name].periods,
+            big_used=arrays[name].big_used,
+            little_used=arrays[name].little_used,
         )
-        for info in infos
+        for name in canonical
     }
     return CampaignResult(
         resources=resources,
@@ -172,12 +174,15 @@ def time_strategy(
     num_tasks: int,
     num_chains: int = 50,
     seed: int = 0,
+    engine: CampaignEngine | None = None,
 ) -> TimingPoint:
     """Measure a strategy's mean scheduling time (Fig. 3/4 protocol).
 
     Profiles are precomputed outside the timed region — the paper's C++
     implementation likewise excludes input parsing; only ``Schedule`` /
-    ``HeRAD`` proper is measured.
+    ``HeRAD`` proper is measured.  Measurement goes through the engine's
+    latency path, which is always serial and bypasses the memo cache (a
+    cache replay would time a dict lookup, not the scheduler).
     """
     info = get_info(strategy)
     config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=stateless_ratio)
@@ -185,15 +190,13 @@ def time_strategy(
         ChainProfile(chain)
         for chain in chain_batch(num_chains, config, seed=seed)
     ]
-    start = time.perf_counter()
-    for profile in profiles:
-        info.func(profile, resources)
-    elapsed = time.perf_counter() - start
+    eng = engine if engine is not None else default_engine()
+    mean_seconds = eng.measure_latency(info.name, profiles, resources)
     return TimingPoint(
         strategy=info.name,
         num_tasks=num_tasks,
         resources=resources,
         stateless_ratio=stateless_ratio,
-        mean_seconds=elapsed / num_chains,
+        mean_seconds=mean_seconds,
         num_chains=num_chains,
     )

@@ -43,12 +43,19 @@ def run(
     budgets: Sequence[Resources] = SIMULATION_BUDGETS,
     stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> Fig1Result:
-    """Compute the slowdown CDFs for every scenario."""
+    """Compute the slowdown CDFs for every scenario.
+
+    Campaigns identical to Table I's (same seeds) replay from the engine's
+    memo cache when both drivers run in one process (e.g. ``repro all``).
+    """
     scenarios = []
     for resources in budgets:
         for sr in stateless_ratios:
-            campaign = run_campaign(resources, sr, num_chains=num_chains, seed=seed)
+            campaign = run_campaign(
+                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs
+            )
             optimal = campaign.optimal_periods
             cdfs = {
                 name: slowdown_cdf(slowdown_ratios(rec.periods, optimal))

@@ -39,6 +39,7 @@ def run(
     stateless_ratio: float = 0.5,
     strategy: str = "fertac",
     seed: int = 0,
+    jobs: int | None = None,
 ) -> Fig2Result:
     """Compute the Fig. 2 heatmaps.
 
@@ -48,6 +49,7 @@ def run(
         stateless_ratio: scenario SR (paper: 0.5).
         strategy: strategy compared against HeRAD (paper: FERTAC).
         seed: campaign seed.
+        jobs: campaign-engine worker count (None: all cores).
     """
     campaign = run_campaign(
         resources,
@@ -55,6 +57,7 @@ def run(
         num_chains=num_chains,
         strategies=["herad", strategy],
         seed=seed,
+        jobs=jobs,
     )
     rec = campaign.records[strategy]
     opt = campaign.records["herad"]

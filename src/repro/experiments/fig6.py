@@ -56,6 +56,7 @@ def run(
     table2: Table2Result | None = None,
     strategies: Sequence[str] = PAPER_ORDER,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> Fig6Result:
     """Compute the summary axes.
 
@@ -73,7 +74,7 @@ def run(
         for sr in stateless_ratios:
             campaign = run_campaign(
                 resources, sr, num_chains=num_chains, seed=seed,
-                strategies=list(strategies),
+                strategies=list(strategies), jobs=jobs,
             )
             opt = campaign.records["herad"]
             for name in strategies:

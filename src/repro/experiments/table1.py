@@ -45,6 +45,7 @@ def run(
     budgets: Sequence[Resources] = SIMULATION_BUDGETS,
     stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> Table1Result:
     """Run the Table I campaign.
 
@@ -56,12 +57,13 @@ def run(
         seed: base seed (each scenario uses the same chain weights stream,
             re-labelled for its SR, exactly like regenerating the paper's
             population).
+        jobs: campaign-engine worker count (None: all cores).
     """
     scenarios = []
     for resources in budgets:
         for sr in stateless_ratios:
             campaign = run_campaign(
-                resources, sr, num_chains=num_chains, seed=seed
+                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs
             )
             stats = {
                 name: aggregate_scenario(

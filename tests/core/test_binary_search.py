@@ -109,6 +109,100 @@ def test_fallback_probe_rescues_stubborn_builder(simple_profile):
     assert outcome.period == threshold
 
 
+class TestFallbackPath:
+    """The post-loop rescue probes (binary_search.py, fallback block).
+
+    Covers the branches the paper's strategies never hit: degenerate
+    starting brackets and adversarial builders that defeat the theoretical
+    feasibility of the upper bound.
+    """
+
+    def test_degenerate_bracket_skips_main_loop(self):
+        # A single sequential task with fractional weight: the bracket width
+        # is w / max(b, l) = 0.005, below eps = 1 / (b + l) = 0.25, so the
+        # main loop never runs and only the fallback probes execute.
+        chain = TaskChain.from_weights([0.01], [0.01], [False])
+        outcome = schedule_by_binary_search(
+            chain, Resources(2, 2), fertac_compute_solution
+        )
+        assert outcome.bounds.width < search_epsilon(Resources(2, 2))
+        assert outcome.iterations == 0
+        assert outcome.feasible
+        assert outcome.period == pytest.approx(0.01)
+        # The first rescue probe is the bracket's upper bound.
+        assert outcome.probes[0][0] == pytest.approx(outcome.bounds.upper)
+        assert outcome.probes[0][1] is True
+
+    def test_degenerate_bracket_replicable_task(self):
+        chain = TaskChain.from_weights([0.01], [0.01], [True])
+        resources = Resources(2, 2)
+        outcome = schedule_by_binary_search(
+            chain, resources, fertac_compute_solution
+        )
+        assert outcome.iterations == 0
+        assert outcome.feasible
+        assert outcome.solution.is_valid(ChainProfile(chain), resources)
+
+    def test_upper_bound_defeated_falls_back_to_one_core_period(self):
+        """A builder that fails even at ``bounds.upper`` is rescued by the
+        always-feasible whole-chain-on-one-core probe."""
+        chain = TaskChain.from_weights([4, 4, 4, 4], [4, 4, 4, 4], [True] * 4)
+        profile = ChainProfile(chain)
+        whole = profile.total_weight(CoreType.BIG)  # 16
+
+        def stubborn(profile, resources, period):
+            if period < whole:
+                return Solution.empty()
+            return Solution.single_stage(profile, 1, CoreType.BIG)
+
+        outcome = schedule_by_binary_search(profile, Resources(2, 2), stubborn)
+        # bounds.upper = 16/2 + 4 = 12 < 16, so the first rescue probe fails
+        # and the second (the one-core period) succeeds.
+        assert outcome.bounds.upper == pytest.approx(12.0)
+        assert outcome.feasible
+        assert outcome.period == pytest.approx(whole)
+        assert len(outcome.probes) == outcome.iterations + 2
+        upper_probe, final_probe = outcome.probes[-2], outcome.probes[-1]
+        assert upper_probe == (pytest.approx(12.0), False)
+        assert final_probe == (pytest.approx(whole), True)
+
+    def test_fallback_uses_cheapest_usable_core_type(self):
+        """The one-core rescue period is the *minimum* whole-chain weight
+        over usable types only — a little-only budget must use the little
+        weights even when big weights are smaller."""
+        chain = TaskChain.from_weights([3, 3], [6, 6], [False, False])
+        seen: list[float] = []
+
+        def record_and_refuse_until(profile, resources, period):
+            seen.append(period)
+            if period < 12.0:
+                return Solution.empty()
+            return Solution.single_stage(profile, 1, CoreType.LITTLE)
+
+        outcome = schedule_by_binary_search(
+            chain, Resources(0, 2), record_and_refuse_until
+        )
+        assert outcome.feasible
+        assert outcome.period == pytest.approx(12.0)
+        assert seen[-1] == pytest.approx(12.0)  # little total, not big's 6
+
+    def test_never_feasible_builder_yields_empty_outcome(self):
+        def hopeless(profile, resources, period):
+            return Solution.empty()
+
+        outcome = schedule_by_binary_search(
+            TaskChain.from_weights([2, 3], [4, 6], [True, False]),
+            Resources(1, 1),
+            hopeless,
+        )
+        assert not outcome.feasible
+        assert outcome.solution.is_empty
+        assert outcome.period == float("inf")
+        # Both rescue probes were attempted and recorded as failures.
+        assert len(outcome.probes) == outcome.iterations + 2
+        assert all(feasible is False for _, feasible in outcome.probes)
+
+
 def test_iteration_cap_respected(simple_profile, balanced_resources):
     outcome = schedule_by_binary_search(
         simple_profile,

@@ -1,0 +1,81 @@
+"""Tests for the TaskChain content fingerprint (the memo-cache key)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.task import TaskChain
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chain(wb, wl, rep, name="chain"):
+    return TaskChain.from_weights(wb, wl, rep, name=name)
+
+
+class TestFingerprint:
+    def test_equal_chains_collide(self):
+        a = _chain([1, 2, 3], [2, 4, 6], [True, False, True])
+        b = _chain([1, 2, 3], [2, 4, 6], [True, False, True])
+        assert a is not b
+        assert a.fingerprint == b.fingerprint
+
+    def test_name_does_not_matter(self):
+        a = _chain([1, 2], [3, 4], [True, False], name="alpha")
+        b = _chain([1, 2], [3, 4], [True, False], name="beta")
+        assert a.fingerprint == b.fingerprint
+
+    def test_big_weight_perturbation_changes_it(self):
+        a = _chain([1, 2, 3], [2, 4, 6], [True, False, True])
+        b = _chain([1, 2.0000001, 3], [2, 4, 6], [True, False, True])
+        assert a.fingerprint != b.fingerprint
+
+    def test_little_weight_perturbation_changes_it(self):
+        a = _chain([1, 2], [2, 4], [True, False])
+        b = _chain([1, 2], [2, 5], [True, False])
+        assert a.fingerprint != b.fingerprint
+
+    def test_replicability_flip_changes_it(self):
+        a = _chain([1, 2], [2, 4], [True, False])
+        b = _chain([1, 2], [2, 4], [True, True])
+        assert a.fingerprint != b.fingerprint
+
+    def test_task_order_matters(self):
+        a = _chain([1, 2], [2, 4], [True, True])
+        b = _chain([2, 1], [4, 2], [True, True])
+        assert a.fingerprint != b.fingerprint
+
+    def test_length_extension_distinct(self):
+        # A 2-task chain and a 3-task chain sharing a prefix must differ.
+        a = _chain([1, 2], [1, 2], [True, True])
+        b = _chain([1, 2, 3], [1, 2, 3], [True, True, True])
+        assert a.fingerprint != b.fingerprint
+
+    def test_stable_format_and_cached(self):
+        chain = _chain([1], [2], [False])
+        fp = chain.fingerprint
+        assert isinstance(fp, str) and len(fp) == 32
+        int(fp, 16)  # hex digest
+        assert chain.fingerprint is fp  # computed once, then cached
+
+    def test_profile_delegates_to_chain(self):
+        chain = _chain([1, 2, 3], [2, 4, 6], [True, False, True])
+        assert ChainProfile(chain).fingerprint == chain.fingerprint
+
+    def test_random_population_has_no_collisions(self):
+        config = GeneratorConfig(num_tasks=12, stateless_ratio=0.5)
+        prints = [c.fingerprint for c in chain_batch(200, config, seed=3)]
+        assert len(set(prints)) == len(prints)
+
+    def test_same_seed_same_fingerprints(self):
+        config = GeneratorConfig(num_tasks=8, stateless_ratio=0.2)
+        a = [c.fingerprint for c in chain_batch(20, config, seed=7)]
+        b = [c.fingerprint for c in chain_batch(20, config, seed=7)]
+        assert a == b
+
+    def test_numpy_scalar_inputs_hash_like_floats(self):
+        a = _chain(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0]), np.array([True, False])
+        )
+        b = _chain([1.0, 2.0], [2.0, 4.0], [True, False])
+        assert a.fingerprint == b.fingerprint

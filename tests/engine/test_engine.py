@@ -1,0 +1,201 @@
+"""Tests for the campaign execution engine (fan-out + determinism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import PAPER_ORDER
+from repro.core.types import Resources
+from repro.engine import (
+    BACKENDS,
+    CampaignEngine,
+    MemoCache,
+    chunk_pending,
+    default_engine,
+    reset_default_engine,
+    resolve_jobs,
+    solve_unit,
+)
+from repro.engine.batch import PendingInstance, WorkUnit
+from repro.experiments.common import run_campaign
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chains(count=6, num_tasks=8, sr=0.5, seed=0):
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=sr)
+    return list(chain_batch(count, config, seed=seed))
+
+
+def _assert_same_arrays(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name].periods, b[name].periods)
+        np.testing.assert_array_equal(a[name].big_used, b[name].big_used)
+        np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
+
+
+class TestResolveJobs:
+    def test_none_is_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestBatch:
+    def test_chunking_covers_everything_in_order(self):
+        chains = _chains(5)
+        pending = [
+            PendingInstance(index=i, chain=c, strategies=("fertac",))
+            for i, c in enumerate(chains)
+        ]
+        units = chunk_pending(pending, Resources(2, 2), 2)
+        assert [len(u.pending) for u in units] == [2, 2, 1]
+        flat = [item.index for u in units for item in u.pending]
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_solve_unit_rows_are_indexed(self):
+        chains = _chains(3)
+        unit = WorkUnit(
+            pending=tuple(
+                PendingInstance(index=i, chain=c, strategies=("fertac", "otac_b"))
+                for i, c in enumerate(chains)
+            ),
+            resources=Resources(2, 2),
+        )
+        rows = solve_unit(unit)
+        assert [index for index, _ in rows] == [0, 1, 2]
+        for _, results in rows:
+            assert set(results) == {"fertac", "otac_b"}
+            for result in results.values():
+                assert np.isfinite(result.period)
+
+
+class TestDeterminism:
+    """jobs=1 and jobs=N must produce bitwise-identical arrays."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_matches_serial_bitwise(self, backend):
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        serial = CampaignEngine(jobs=1, backend="serial", memo=False)
+        parallel = CampaignEngine(jobs=2, backend=backend, memo=False, chunk_size=2)
+        _assert_same_arrays(
+            serial.solve_instances(chains, resources, PAPER_ORDER),
+            parallel.solve_instances(chains, resources, PAPER_ORDER),
+        )
+
+    def test_chunk_size_does_not_matter(self):
+        chains = _chains(5)
+        resources = Resources(2, 3)
+        a = CampaignEngine(jobs=2, backend="process", memo=False, chunk_size=1)
+        b = CampaignEngine(jobs=2, backend="process", memo=False, chunk_size=4)
+        _assert_same_arrays(
+            a.solve_instances(chains, resources, ("herad", "fertac")),
+            b.solve_instances(chains, resources, ("herad", "fertac")),
+        )
+
+    def test_memo_replay_is_bitwise_identical(self):
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        engine = CampaignEngine(jobs=1, memo=True)
+        first = engine.solve_instances(chains, resources, PAPER_ORDER)
+        second = engine.solve_instances(chains, resources, PAPER_ORDER)
+        _assert_same_arrays(first, second)
+        stats = engine.memo.stats
+        assert stats.hits == len(chains) * len(PAPER_ORDER)
+
+    def test_run_campaign_jobs_parity(self):
+        kwargs = dict(num_chains=5, num_tasks=8, seed=11)
+        resources = Resources(3, 2)
+        a = run_campaign(
+            resources, 0.5, jobs=1,
+            engine=CampaignEngine(memo=False), **kwargs,
+        )
+        b = run_campaign(
+            resources, 0.5, jobs=2,
+            engine=CampaignEngine(memo=False, backend="process"), **kwargs,
+        )
+        for name in a.records:
+            np.testing.assert_array_equal(
+                a.records[name].periods, b.records[name].periods
+            )
+            np.testing.assert_array_equal(
+                a.records[name].big_used, b.records[name].big_used
+            )
+            np.testing.assert_array_equal(
+                a.records[name].little_used, b.records[name].little_used
+            )
+
+
+class TestMemoIntegration:
+    def test_partial_hits_only_solve_the_rest(self):
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        memo = MemoCache()
+        engine = CampaignEngine(jobs=1, memo=memo)
+        engine.solve_instances(chains, resources, ("fertac",))
+        assert memo.stats.size == 4
+        engine.solve_instances(chains, resources, ("fertac", "otac_b"))
+        stats = memo.stats
+        assert stats.hits == 4  # fertac replayed
+        assert stats.size == 8  # otac_b added
+
+    def test_different_budgets_do_not_collide(self):
+        chains = _chains(3)
+        engine = CampaignEngine(jobs=1, memo=True)
+        a = engine.solve_instances(chains, Resources(1, 1), ("fertac",))
+        b = engine.solve_instances(chains, Resources(4, 4), ("fertac",))
+        # More cores can only improve (or preserve) the greedy's period.
+        assert (b["fertac"].periods <= a["fertac"].periods + 1e-9).all()
+
+    def test_memo_disabled_always_solves(self):
+        chains = _chains(3)
+        engine = CampaignEngine(jobs=1, memo=False)
+        assert engine.memo is None
+        first = engine.solve_instances(chains, Resources(2, 2), ("fertac",))
+        second = engine.solve_instances(chains, Resources(2, 2), ("fertac",))
+        _assert_same_arrays(first, second)
+
+    def test_shared_cache_across_engines(self):
+        chains = _chains(3)
+        memo = MemoCache()
+        CampaignEngine(jobs=1, memo=memo).solve_instances(
+            chains, Resources(2, 2), ("fertac",)
+        )
+        CampaignEngine(jobs=1, memo=memo).solve_instances(
+            chains, Resources(2, 2), ("fertac",)
+        )
+        assert memo.stats.hits == 3
+
+
+class TestEngineConfig:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            CampaignEngine(backend="gpu")
+        assert "serial" in BACKENDS
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            CampaignEngine(chunk_size=0)
+
+    def test_default_engine_is_a_singleton_until_reset(self):
+        reset_default_engine()
+        a = default_engine()
+        assert default_engine() is a
+        reset_default_engine()
+        assert default_engine() is not a
+
+    def test_measure_latency_positive_and_unmemoized(self):
+        from repro.core.chain_stats import ChainProfile
+
+        profiles = [ChainProfile(c) for c in _chains(3)]
+        engine = CampaignEngine(jobs=1, memo=True)
+        latency = engine.measure_latency("fertac", profiles, Resources(2, 2))
+        assert latency > 0
+        assert engine.memo.stats.size == 0  # measurement never populates

@@ -1,0 +1,89 @@
+"""Tests for the instance-result memo cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.types import Resources
+from repro.engine.memo import InstanceResult, MemoCache, make_key
+from repro.core.task import TaskChain
+
+
+def _chain(seed=0):
+    return TaskChain.from_weights([1 + seed, 2], [2, 4], [True, False])
+
+
+class TestMakeKey:
+    def test_key_components(self):
+        chain = _chain()
+        key = make_key(chain, Resources(3, 5), "herad")
+        assert key == (chain.fingerprint, 3, 5, "herad")
+
+    def test_same_content_same_key(self):
+        a = TaskChain.from_weights([1, 2], [2, 4], [True, False], name="a")
+        b = TaskChain.from_weights([1, 2], [2, 4], [True, False], name="b")
+        assert make_key(a, Resources(1, 1), "fertac") == make_key(
+            b, Resources(1, 1), "fertac"
+        )
+
+    def test_resources_and_strategy_distinguish(self):
+        chain = _chain()
+        base = make_key(chain, Resources(1, 1), "fertac")
+        assert make_key(chain, Resources(1, 2), "fertac") != base
+        assert make_key(chain, Resources(1, 1), "herad") != base
+
+
+class TestMemoCache:
+    def test_roundtrip_and_counters(self):
+        cache = MemoCache(maxsize=10)
+        key = make_key(_chain(), Resources(1, 1), "fertac")
+        assert cache.get(key) is None
+        cache.put(key, InstanceResult(2.5, 1, 0))
+        assert cache.get(key) == InstanceResult(2.5, 1, 0)
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = MemoCache(maxsize=2)
+        keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(3)]
+        cache.put(keys[0], InstanceResult(1.0, 0, 0))
+        cache.put(keys[1], InstanceResult(2.0, 0, 0))
+        assert cache.get(keys[0]) is not None  # refresh 0 -> 1 becomes LRU
+        cache.put(keys[2], InstanceResult(3.0, 0, 0))
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_clear_keeps_counters(self):
+        cache = MemoCache(maxsize=4)
+        key = make_key(_chain(), Resources(1, 1), "fertac")
+        cache.put(key, InstanceResult(1.0, 1, 1))
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            MemoCache(maxsize=0)
+
+    def test_thread_safety_smoke(self):
+        cache = MemoCache(maxsize=64)
+        keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(8)]
+
+        def worker():
+            for _ in range(200):
+                for i, key in enumerate(keys):
+                    cache.put(key, InstanceResult(float(i), i, i))
+                    assert cache.get(key) == InstanceResult(float(i), i, i)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == len(keys)
