@@ -27,11 +27,14 @@ from .core import (
     INFINITY,
     PAPER_ORDER,
     STRATEGIES,
+    CertificateReport,
+    CertificationError,
     ChainProfile,
     CoreType,
     CoreUsage,
     InfeasibleScheduleError,
     InvalidChainError,
+    InvalidParameterError,
     InvalidPlatformError,
     PowerModel,
     PowerReport,
@@ -43,7 +46,11 @@ from .core import (
     StrategyInfo,
     Task,
     TaskChain,
+    UnknownStrategyError,
+    audit_solution,
     brute_force_optimal,
+    certify_outcome,
+    certify_solution,
     fertac,
     get_strategy,
     herad,
@@ -98,7 +105,14 @@ __all__ = [
     "SchedulingError",
     "InvalidChainError",
     "InvalidPlatformError",
+    "InvalidParameterError",
     "InfeasibleScheduleError",
+    "UnknownStrategyError",
+    "CertificationError",
+    "CertificateReport",
+    "audit_solution",
+    "certify_solution",
+    "certify_outcome",
     "CampaignEngine",
     "MemoCache",
     "default_engine",

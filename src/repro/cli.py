@@ -6,8 +6,10 @@ Usage (after ``pip install -e .``)::
     repro fig2
     repro table2 --frames 5000
     repro all --chains 100 --out results/
+    repro table1 --certify          # audit every solution while running
+    repro lint                      # project-specific static analysis
 
-or equivalently ``python -m repro <experiment> [options]``.
+or equivalently ``python -m repro <command> [options]``.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from pathlib import Path
 
 from .core.types import Resources
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
+from .lint.cli import add_lint_arguments, run_lint
 
 __all__ = ["main", "build_parser"]
 
@@ -43,21 +46,10 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduce the evaluation of 'Scheduling Strategies for "
-            "Partially-Replicable Task Chains on Two Types of Resources'."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=(*_EXPERIMENTS, "all"),
-        help="which table/figure to regenerate ('all' runs everything)",
-    )
-    parser.add_argument(
+def _experiment_options() -> argparse.ArgumentParser:
+    """Parent parser holding the options shared by every experiment."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--chains",
         type=int,
         default=200,
@@ -66,22 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
             "a laptop run in minutes)"
         ),
     )
-    parser.add_argument(
+    parent.add_argument(
         "--timing-chains",
         type=int,
         default=20,
         help="chains averaged per execution-time point (paper: 50)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--frames",
         type=int,
         default=2000,
         help="frames streamed per throughput measurement (table2/fig5)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--seed", type=int, default=0, help="base random seed for campaigns"
     )
-    parser.add_argument(
+    parent.add_argument(
         "--jobs",
         type=_positive_int,
         default=None,
@@ -90,20 +82,68 @@ def build_parser() -> argparse.ArgumentParser:
             "i.e. os.cpu_count()); results are identical for any value"
         ),
     )
-    parser.add_argument(
+    parent.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "audit every solution with the independent certificate checker "
+            "(repro.core.certify) while the campaign runs; fails loudly on "
+            "the first violation (disables memo-cache replay)"
+        ),
+    )
+    parent.add_argument(
         "--out",
         type=Path,
         default=None,
         help="directory to also write each report as <experiment>.txt",
     )
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (one subcommand per experiment + lint)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Scheduling Strategies for "
+            "Partially-Replicable Task Chains on Two Types of Resources'."
+        ),
+    )
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="command",
+        help="experiment to regenerate ('all' runs everything), or 'lint'",
+    )
+    options = _experiment_options()
+    for name in (*_EXPERIMENTS, "all"):
+        subparsers.add_parser(
+            name,
+            parents=[options],
+            help=f"regenerate {name}" if name != "all" else "run every experiment",
+        )
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project-specific static analysis (repro.lint)",
+        description=(
+            "Project lint: AST rules guarding float-comparison discipline, "
+            "value-object immutability, the core error hierarchy, engine "
+            "determinism, numpy scalar containment, strict public typing, "
+            "stdout hygiene, and worker picklability."
+        ),
+    )
+    add_lint_arguments(lint_parser)
     return parser
 
 
 def _run_one(name: str, args: argparse.Namespace) -> str:
     jobs = args.jobs
+    certify = args.certify
     if name == "table1":
         return table1.render(
-            table1.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+            table1.run(
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+            )
         )
     if name == "table2":
         return table2.render(table2.run(num_frames=args.frames))
@@ -111,11 +151,15 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return table3.render(table3.run())
     if name == "fig1":
         return fig1.render(
-            fig1.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+            fig1.run(
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+            )
         )
     if name == "fig2":
         return fig2.render(
-            fig2.run(num_chains=args.chains, seed=args.seed, jobs=jobs)
+            fig2.run(
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+            )
         )
     if name == "fig3":
         return fig3.render(fig3.run(num_chains=args.timing_chains, seed=args.seed))
@@ -129,7 +173,12 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         )
     if name == "fig6":
         return fig6.render(
-            fig6.run(num_chains=min(args.chains, 200), seed=args.seed, jobs=jobs)
+            fig6.run(
+                num_chains=min(args.chains, 200),
+                seed=args.seed,
+                jobs=jobs,
+                certify=certify,
+            )
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -137,6 +186,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "lint":
+        return run_lint(args)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)

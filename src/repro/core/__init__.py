@@ -22,12 +22,23 @@ from .binary_search import (
 )
 from .bounds import PeriodBounds, period_bounds, search_epsilon
 from .bruteforce import brute_force_optimal, brute_force_period
+from .certify import (
+    CertificateReport,
+    CertificateViolation,
+    audit_solution,
+    certify_outcome,
+    certify_solution,
+    optimality_bracket,
+)
 from .chain_stats import ChainProfile, profile_of
 from .errors import (
+    CertificationError,
     InfeasibleScheduleError,
     InvalidChainError,
+    InvalidParameterError,
     InvalidPlatformError,
     SchedulingError,
+    UnknownStrategyError,
 )
 from .fertac import fertac, fertac_compute_solution
 from .herad import herad, herad_solution
@@ -102,9 +113,19 @@ __all__ = [
     "get_info",
     "run_strategies",
     "strategy_names",
+    # certificates
+    "CertificateReport",
+    "CertificateViolation",
+    "audit_solution",
+    "certify_solution",
+    "certify_outcome",
+    "optimality_bracket",
     # errors
     "SchedulingError",
     "InvalidChainError",
     "InvalidPlatformError",
+    "InvalidParameterError",
     "InfeasibleScheduleError",
+    "UnknownStrategyError",
+    "CertificationError",
 ]

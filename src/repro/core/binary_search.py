@@ -19,7 +19,7 @@ from typing import Protocol
 
 from .bounds import PeriodBounds, period_bounds, search_epsilon
 from .chain_stats import ChainProfile, profile_of
-from .errors import InvalidPlatformError
+from .errors import InvalidParameterError, InvalidPlatformError
 from .solution import Solution
 from .task import TaskChain
 from .types import CoreType, Resources
@@ -102,7 +102,7 @@ def schedule_by_binary_search(
     bounds = period_bounds(profile, resources)
     eps = search_epsilon(resources) if epsilon is None else float(epsilon)
     if eps <= 0:
-        raise ValueError(f"epsilon must be positive, got {eps}")
+        raise InvalidParameterError(f"epsilon must be positive, got {eps}")
 
     best = Solution.empty()
     best_period = float("inf")

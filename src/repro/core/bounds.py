@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .chain_stats import ChainProfile
-from .errors import InvalidPlatformError
+from .errors import InvalidParameterError, InvalidPlatformError
 from .types import CoreType, Resources
 
 __all__ = ["PeriodBounds", "period_bounds", "search_epsilon"]
@@ -42,7 +42,7 @@ class PeriodBounds:
 
     def __post_init__(self) -> None:
         if not (0 <= self.lower <= self.upper):
-            raise ValueError(f"invalid period bounds: {self}")
+            raise InvalidParameterError(f"invalid period bounds: {self}")
 
     @property
     def width(self) -> float:

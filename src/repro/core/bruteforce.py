@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from itertools import product
+from typing import Iterator
 
 from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidPlatformError, SchedulingError
@@ -29,7 +30,7 @@ __all__ = ["brute_force_optimal", "brute_force_period"]
 _MAX_TASKS = 14
 
 
-def _partitions(n: int):
+def _partitions(n: int) -> "Iterator[list[tuple[int, int]]]":
     """Yield every partition of ``0..n-1`` into contiguous intervals."""
     for mask in range(1 << (n - 1)):
         cuts = [i + 1 for i in range(n - 1) if mask >> i & 1]

@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from .errors import InvalidChainError
+from .errors import InvalidChainError, InvalidParameterError
 from .task import TaskChain
 from .types import INFINITY, CoreType
 
@@ -180,7 +180,9 @@ class ChainProfile:
         stage-weight validation).
         """
         if period <= 0 or not math.isfinite(period):
-            raise ValueError(f"target period must be positive and finite: {period}")
+            raise InvalidParameterError(
+                f"target period must be positive and finite: {period}"
+            )
         w = self.interval_weight(start, end, core_type)
         return max(1, math.ceil(w / period))
 
@@ -248,7 +250,7 @@ def profile_of(chain: "TaskChain | ChainProfile") -> ChainProfile:
     if isinstance(chain, ChainProfile):
         return chain
     if not isinstance(chain, TaskChain):
-        raise TypeError(
+        raise InvalidChainError(
             f"expected a TaskChain or ChainProfile, got {type(chain).__name__}"
         )
     return ChainProfile(chain)

@@ -2,8 +2,12 @@
 
 All library-specific failures derive from :class:`SchedulingError` so callers
 can catch one type.  Input validation failures raise the more specific
-subclasses below (which also derive from :class:`ValueError` so that sloppy
-callers using ``except ValueError`` still work).
+subclasses below (which also derive from :class:`ValueError` — or
+:class:`KeyError` for lookups — so that sloppy callers using
+``except ValueError`` / ``except KeyError`` still work).
+
+The ``error-hierarchy`` lint rule (REP103, :mod:`repro.lint.rules`) enforces
+that core modules raise only these types.
 """
 
 from __future__ import annotations
@@ -12,7 +16,10 @@ __all__ = [
     "SchedulingError",
     "InvalidChainError",
     "InvalidPlatformError",
+    "InvalidParameterError",
     "InfeasibleScheduleError",
+    "UnknownStrategyError",
+    "CertificationError",
 ]
 
 
@@ -28,6 +35,11 @@ class InvalidPlatformError(SchedulingError, ValueError):
     """The platform description is malformed (no cores, negative counts...)."""
 
 
+class InvalidParameterError(SchedulingError, ValueError):
+    """A scalar argument is out of its domain (non-positive period,
+    non-positive epsilon, negative power draw...)."""
+
+
 class InfeasibleScheduleError(SchedulingError):
     """No valid schedule exists for the requested chain/platform/period.
 
@@ -36,4 +48,18 @@ class InfeasibleScheduleError(SchedulingError):
     fallback), so seeing this exception generally indicates an internal
     inconsistency or an explicitly constrained call (e.g. a fixed target
     period that is too small).
+    """
+
+
+class UnknownStrategyError(SchedulingError, KeyError):
+    """A strategy name is not in the registry (see ``repro.core.registry``)."""
+
+
+class CertificationError(SchedulingError):
+    """A solution failed its independent certificate audit.
+
+    Raised by :mod:`repro.core.certify` when the re-derived stage weights,
+    period, validity, or core accounting of a solution contradict what the
+    solver claimed — i.e. the solver (or the surrounding pipeline) is wrong,
+    not the input.  The exception message lists every violated certificate.
     """

@@ -75,7 +75,9 @@ def _reduce_candidates(
     Returns the winning ``(period, acc_b, acc_l, index)`` planes.
     """
     p_min = cand_period.min(axis=0)
-    mask = cand_period == p_min
+    # Exact DP tie-break: p_min comes from the very array it is compared to,
+    # so equal values are bitwise-identical by construction.
+    mask = cand_period == p_min  # lint: ignore[float-equality]
     b_masked = np.where(mask, cand_acc_b, _INT_SENTINEL)
     b_min = b_masked.min(axis=0)
     mask &= cand_acc_b == b_min
@@ -103,8 +105,11 @@ def _update_plane(
     cur_p = cur["period"][region]
     cur_b = cur["acc_b"][region]
     cur_l = cur["acc_l"][region]
+    # Lexicographic DP key: both planes hold values produced by the identical
+    # max/divide pipeline, so equal keys really are bitwise-equal; isclose
+    # here would merge distinct optima.
     better = (new_period < cur_p) | (
-        (new_period == cur_p)
+        (new_period == cur_p)  # lint: ignore[float-equality]
         & ((new_acc_b < cur_b) | ((new_acc_b == cur_b) & (new_acc_l < cur_l)))
     )
     if not better.any():

@@ -60,10 +60,13 @@ def _compare_cells(current: _Cell, new: _Cell) -> _Cell:
     """Paper's ``CompareCells`` (Algo. 10)."""
     c_b, c_l = current.acc_b, current.acc_l
     n_b, n_l = new.acc_b, new.acc_l
+    # Literal transcription of the paper's pseudocode, equality included:
+    # both cells' pbest values flow from the same table, so exact comparison
+    # is the intended (bitwise) tie-break.
     if (
         current.pbest > new.pbest
-        or (current.pbest == new.pbest and c_l < n_l and c_b > n_b)
-        or (current.pbest == new.pbest and c_l >= n_l and c_b >= n_b)
+        or (current.pbest == new.pbest and c_l < n_l and c_b > n_b)  # lint: ignore[float-equality]
+        or (current.pbest == new.pbest and c_l >= n_l and c_b >= n_b)  # lint: ignore[float-equality]
     ):
         return new
     return current

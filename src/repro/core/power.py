@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from .chain_stats import ChainProfile, profile_of
+from .errors import InvalidParameterError
 from .solution import Solution
 from .task import TaskChain
 from .types import CoreType
@@ -55,7 +56,9 @@ class PowerModel:
             ("little_idle", self.little_idle),
         ):
             if v < 0:
-                raise ValueError(f"{label} must be non-negative, got {v}")
+                raise InvalidParameterError(
+                    f"{label} must be non-negative, got {v}"
+                )
 
     def active(self, core_type: CoreType) -> float:
         """Active draw for one core of ``core_type``."""
@@ -99,10 +102,12 @@ def solution_power(
         model: power model; defaults to a 3:1 big:little active draw.
 
     Raises:
-        ValueError: for an empty solution.
+        InvalidParameterError: for an empty solution.
     """
     if solution.is_empty:
-        raise ValueError("cannot estimate the power of an empty solution")
+        raise InvalidParameterError(
+            "cannot estimate the power of an empty solution"
+        )
     profile = profile_of(chain)
     m = model if model is not None else PowerModel()
     period = solution.period(profile)

@@ -16,6 +16,7 @@ from typing import Callable, Iterable
 
 from .binary_search import ScheduleOutcome
 from .chain_stats import ChainProfile
+from .errors import UnknownStrategyError
 from .fertac import fertac
 from .herad import herad
 from .otac import otac_big, otac_little
@@ -48,11 +49,15 @@ class StrategyInfo:
     description: str
 
 
-def _twocatac_memo(chain, resources):  # pragma: no cover - thin wrapper
+def _twocatac_memo(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> ScheduleOutcome:  # pragma: no cover - thin wrapper
     return twocatac(chain, resources, memoize=True)
 
 
-def _norep(chain, resources):  # pragma: no cover - thin wrapper
+def _norep(
+    chain: "TaskChain | ChainProfile", resources: Resources
+) -> ScheduleOutcome:  # pragma: no cover - thin wrapper
     from .norep import norep_optimal
 
     return norep_optimal(chain, resources)
@@ -166,7 +171,7 @@ def get_info(name: str) -> StrategyInfo:
     try:
         return STRATEGIES[key]
     except KeyError:
-        raise KeyError(
+        raise UnknownStrategyError(
             f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
 

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+from .errors import InvalidParameterError, InvalidPlatformError
+
 __all__ = ["CoreType", "Resources", "INFINITY"]
 
 #: Sentinel weight/period for infeasible configurations (Eq. (1), r = 0 case).
@@ -50,7 +52,7 @@ class CoreType(enum.IntEnum):
         ``"big"``/``"little"`` or ``"B"``/``"L"`` (case-insensitive).
 
         Raises:
-            ValueError: if the value cannot be interpreted.
+            InvalidParameterError: if the value cannot be interpreted.
         """
         if isinstance(value, cls):
             return value
@@ -62,7 +64,7 @@ class CoreType(enum.IntEnum):
                 return cls.BIG
             if v in ("l", "little", "e", "efficiency", "efficient"):
                 return cls.LITTLE
-        raise ValueError(f"cannot interpret {value!r} as a CoreType")
+        raise InvalidParameterError(f"cannot interpret {value!r} as a CoreType")
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,7 +86,7 @@ class Resources:
 
     def __post_init__(self) -> None:
         if self.big < 0 or self.little < 0:
-            raise ValueError(f"negative core counts are invalid: {self}")
+            raise InvalidPlatformError(f"negative core counts are invalid: {self}")
 
     @property
     def total(self) -> int:

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..core.certify import certify_outcome
 from ..core.chain_stats import ChainProfile
+from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
@@ -45,10 +47,18 @@ class PendingInstance:
 
 @dataclass(frozen=True, slots=True)
 class WorkUnit:
-    """A chunk of pending instances sharing one platform budget."""
+    """A chunk of pending instances sharing one platform budget.
+
+    Attributes:
+        pending: the instances in this chunk.
+        resources: the shared platform budget.
+        certify: audit every solution with the independent certificate
+            checker (:mod:`repro.core.certify`) as it is produced.
+    """
 
     pending: tuple[PendingInstance, ...]
     resources: Resources
+    certify: bool = False
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
@@ -56,17 +66,35 @@ UnitResult = list[tuple[int, dict[str, InstanceResult]]]
 
 
 def solve_instance(
-    profile: ChainProfile, resources: Resources, strategies: Iterable[str]
+    profile: ChainProfile,
+    resources: Resources,
+    strategies: Iterable[str],
+    certify: bool = False,
 ) -> dict[str, InstanceResult]:
     """Run the given strategies on one profiled chain.
 
     The single authoritative "solve one campaign cell" routine — the serial
     path, the thread tier, and the process workers all funnel through it, so
     an instance's result cannot depend on where it was computed.
+
+    With ``certify=True`` each outcome is audited by the independent
+    certificate checker before the result row is recorded (raising
+    :class:`~repro.core.errors.CertificationError` on any violation);
+    registry-optimal strategies additionally get the optimality-bracket
+    certificate.
     """
     results: dict[str, InstanceResult] = {}
     for name in strategies:
-        outcome = get_info(name).func(profile, resources)
+        info = get_info(name)
+        outcome = info.func(profile, resources)
+        if certify:
+            certify_outcome(
+                outcome,
+                profile,
+                resources,
+                optimal=info.optimal,
+                context=name,
+            )
         usage = outcome.solution.core_usage()
         results[name] = InstanceResult(
             period=outcome.period,
@@ -85,7 +113,12 @@ def solve_unit(unit: WorkUnit) -> UnitResult:
     for item in unit.pending:
         profile = ChainProfile(item.chain)
         rows.append(
-            (item.index, solve_instance(profile, unit.resources, item.strategies))
+            (
+                item.index,
+                solve_instance(
+                    profile, unit.resources, item.strategies, certify=unit.certify
+                ),
+            )
         )
     return rows
 
@@ -94,11 +127,16 @@ def chunk_pending(
     pending: Sequence[PendingInstance],
     resources: Resources,
     chunk_size: int,
+    certify: bool = False,
 ) -> list[WorkUnit]:
     """Split pending instances into work units of at most ``chunk_size``."""
     if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
     return [
-        WorkUnit(pending=tuple(pending[i : i + chunk_size]), resources=resources)
+        WorkUnit(
+            pending=tuple(pending[i : i + chunk_size]),
+            resources=resources,
+            certify=certify,
+        )
         for i in range(0, len(pending), chunk_size)
     ]

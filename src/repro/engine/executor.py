@@ -35,6 +35,7 @@ from typing import Iterable, NamedTuple, Sequence
 import numpy as np
 
 from ..core.chain_stats import ChainProfile, profile_of
+from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
@@ -59,7 +60,7 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs is None:
         return os.cpu_count() or 1
     if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
     return jobs
 
 
@@ -74,7 +75,9 @@ class StrategyArrays(NamedTuple):
 def _pool_factory(backend: str, jobs: int) -> "type[Executor] | None":
     """Map a backend name + job count to an executor class (None = serial)."""
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; available: {BACKENDS}"
+        )
     if jobs <= 1 or backend == "serial":
         return None
     if backend == "thread":
@@ -104,9 +107,13 @@ class CampaignEngine:
         chunk_size: int | None = None,
     ) -> None:
         if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; available: {BACKENDS}"
+            )
         if chunk_size is not None and chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
         self.jobs = resolve_jobs(jobs)
         self.backend = backend
         self.chunk_size = chunk_size
@@ -125,12 +132,19 @@ class CampaignEngine:
         resources: Resources,
         strategies: Iterable[str],
         jobs: int | None = None,
+        certify: bool = False,
     ) -> dict[str, StrategyArrays]:
         """Solve every ``(chain, strategy)`` instance at one budget.
 
         Returns one :class:`StrategyArrays` per canonical strategy name, with
         row ``i`` holding chain ``i``'s outcome — independent of backend, job
         count, and cache state.
+
+        With ``certify=True`` every solution is audited by the independent
+        certificate checker (:mod:`repro.core.certify`) as it is produced.
+        The memo cache stores only result scalars, not solutions, so a cache
+        hit cannot be re-audited — certification therefore bypasses the cache
+        and solves every instance fresh (results still feed the cache).
         """
         chains = list(chains)
         names = [get_info(name).name for name in strategies]
@@ -144,10 +158,18 @@ class CampaignEngine:
             for name in names
         }
 
-        pending = self._fill_from_memo(chains, resources, names, arrays)
+        if certify:
+            pending = [
+                PendingInstance(index=i, chain=chain, strategies=tuple(names))
+                for i, chain in enumerate(chains)
+            ]
+        else:
+            pending = self._fill_from_memo(chains, resources, names, arrays)
         if pending:
             effective_jobs = self.jobs if jobs is None else resolve_jobs(jobs)
-            for index, results in self._execute(pending, resources, effective_jobs):
+            for index, results in self._execute(
+                pending, resources, effective_jobs, certify=certify
+            ):
                 chain = chains[index]
                 for name, result in results.items():
                     self._store(arrays, index, name, result)
@@ -197,17 +219,23 @@ class CampaignEngine:
         columns.little_used[index] = result.little_used
 
     def _execute(
-        self, pending: list[PendingInstance], resources: Resources, jobs: int
+        self,
+        pending: list[PendingInstance],
+        resources: Resources,
+        jobs: int,
+        certify: bool = False,
     ) -> "Iterable[tuple[int, dict[str, InstanceResult]]]":
         """Run the pending instances on the configured backend."""
         pool_cls = _pool_factory(self.backend, jobs)
         if pool_cls is None:
-            unit = WorkUnit(pending=tuple(pending), resources=resources)
+            unit = WorkUnit(
+                pending=tuple(pending), resources=resources, certify=certify
+            )
             yield from solve_unit(unit)
             return
 
         size = self.chunk_size or max(1, -(-len(pending) // (jobs * 4)))
-        units = chunk_pending(pending, resources, size)
+        units = chunk_pending(pending, resources, size, certify=certify)
         workers = min(jobs, len(units))
         with pool_cls(max_workers=workers) as pool:
             for rows in pool.map(solve_unit, units):

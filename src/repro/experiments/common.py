@@ -92,6 +92,7 @@ def run_campaign(
     seed: int = 0,
     jobs: int | None = None,
     engine: CampaignEngine | None = None,
+    certify: bool = False,
 ) -> CampaignResult:
     """Run one synthetic campaign (Section VI-A-1 protocol).
 
@@ -108,6 +109,11 @@ def run_campaign(
             arrays bit for bit.
         engine: campaign engine override; defaults to the process-wide
             engine with its shared memo cache.
+        certify: audit every solution with the independent certificate
+            checker (:mod:`repro.core.certify`); raises
+            :class:`~repro.core.errors.CertificationError` on any violation.
+            Bypasses the memo cache (cached entries hold no solution to
+            audit).
 
     Returns:
         The raw campaign outcomes.
@@ -121,7 +127,9 @@ def run_campaign(
     chains = list(chain_batch(num_chains, config, seed=seed))
 
     eng = engine if engine is not None else default_engine()
-    arrays = eng.solve_instances(chains, resources, canonical, jobs=jobs)
+    arrays = eng.solve_instances(
+        chains, resources, canonical, jobs=jobs, certify=certify
+    )
 
     records = {
         name: StrategyRecord(

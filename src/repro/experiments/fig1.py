@@ -44,6 +44,7 @@ def run(
     stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
     seed: int = 0,
     jobs: int | None = None,
+    certify: bool = False,
 ) -> Fig1Result:
     """Compute the slowdown CDFs for every scenario.
 
@@ -54,7 +55,8 @@ def run(
     for resources in budgets:
         for sr in stateless_ratios:
             campaign = run_campaign(
-                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs
+                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs,
+                certify=certify,
             )
             optimal = campaign.optimal_periods
             cdfs = {

@@ -40,6 +40,7 @@ def run(
     strategy: str = "fertac",
     seed: int = 0,
     jobs: int | None = None,
+    certify: bool = False,
 ) -> Fig2Result:
     """Compute the Fig. 2 heatmaps.
 
@@ -50,6 +51,7 @@ def run(
         strategy: strategy compared against HeRAD (paper: FERTAC).
         seed: campaign seed.
         jobs: campaign-engine worker count (None: all cores).
+        certify: audit every solution with the certificate checker.
     """
     campaign = run_campaign(
         resources,
@@ -58,6 +60,7 @@ def run(
         strategies=["herad", strategy],
         seed=seed,
         jobs=jobs,
+        certify=certify,
     )
     rec = campaign.records[strategy]
     opt = campaign.records["herad"]

@@ -57,6 +57,7 @@ def run(
     strategies: Sequence[str] = PAPER_ORDER,
     seed: int = 0,
     jobs: int | None = None,
+    certify: bool = False,
 ) -> Fig6Result:
     """Compute the summary axes.
 
@@ -67,6 +68,7 @@ def run(
         table2: reuse an existing Table II result (recomputed otherwise).
         strategies: strategies to summarize.
         seed: campaign seed.
+        certify: audit every solution with the certificate checker.
     """
     slowdowns = {name: [] for name in strategies}
     extra = {name: [] for name in strategies}
@@ -74,7 +76,7 @@ def run(
         for sr in stateless_ratios:
             campaign = run_campaign(
                 resources, sr, num_chains=num_chains, seed=seed,
-                strategies=list(strategies), jobs=jobs,
+                strategies=list(strategies), jobs=jobs, certify=certify,
             )
             opt = campaign.records["herad"]
             for name in strategies:

@@ -46,6 +46,7 @@ def run(
     stateless_ratios: Sequence[float] = PAPER_STATELESS_RATIOS,
     seed: int = 0,
     jobs: int | None = None,
+    certify: bool = False,
 ) -> Table1Result:
     """Run the Table I campaign.
 
@@ -58,12 +59,14 @@ def run(
             re-labelled for its SR, exactly like regenerating the paper's
             population).
         jobs: campaign-engine worker count (None: all cores).
+        certify: audit every solution with the certificate checker.
     """
     scenarios = []
     for resources in budgets:
         for sr in stateless_ratios:
             campaign = run_campaign(
-                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs
+                resources, sr, num_chains=num_chains, seed=seed, jobs=jobs,
+                certify=certify,
             )
             stats = {
                 name: aggregate_scenario(

@@ -1,0 +1,42 @@
+"""Project-specific static analysis for the scheduling library.
+
+A small AST-based lint engine with rules guarding the invariants the
+paper's correctness claims rest on: float comparison discipline on
+periods/weights (Eqs. (1)-(2)), immutability of the scheduling value
+objects, the core error hierarchy, engine determinism (the ``--jobs``
+bitwise guarantee), numpy scalar containment, strict public typing,
+stdout hygiene, and process-pool picklability.
+
+Run it with ``repro lint``, ``python -m repro.lint``, or
+programmatically::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src/repro"])
+    assert report.ok, report.findings
+
+Suppress an intentional violation with a justified per-line pragma::
+
+    if a == b:  # lint: ignore[float-equality] exact DP tie-break
+"""
+
+from .base import RULE_REGISTRY, FileContext, LintRule, register, rules_by_name
+from .engine import LintReport, iter_python_files, lint_file, lint_paths
+from .findings import Finding, Severity
+from .reporters import render_json, render_text
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "FileContext",
+    "LintRule",
+    "RULE_REGISTRY",
+    "register",
+    "rules_by_name",
+    "LintReport",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]

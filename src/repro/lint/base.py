@@ -1,0 +1,193 @@
+"""Lint rule machinery: file context, rule base class, and the registry.
+
+A rule is an :class:`ast.NodeVisitor` subclass registered with
+:func:`register`.  The engine instantiates each applicable rule once per
+file, hands it the parsed module, and collects the findings the rule
+reported.  Rules declare *where* they apply through :meth:`LintRule.applies`
+(e.g. the determinism rule only guards the solver paths) so the engine can
+lint the whole tree with one file walk.
+
+Suppression: a source line ending in ``# lint: ignore[rule-name]`` (or the
+blanket ``# lint: ignore``) silences findings reported on that line.  The
+pragma is per-line and per-rule by design — blanket file-level opt-outs are
+exactly the kind of drift this engine exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Iterable
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "LintRule",
+    "RULE_REGISTRY",
+    "register",
+    "rules_by_name",
+]
+
+_PRAGMA = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the file being linted.
+
+    Attributes:
+        path: absolute path of the file.
+        rel: path relative to the linted root (used in findings).
+        module: dotted module name when the file sits under a package root
+            (e.g. ``repro.core.herad``), else the stem.
+        source: full text of the file.
+        tree: the parsed module.
+    """
+
+    path: Path
+    rel: str
+    module: str
+    source: str
+    tree: ast.Module
+    _suppressions: dict[int, "set[str] | None"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            names = match.group(1)
+            if names is None:
+                self._suppressions[lineno] = None  # blanket: every rule
+            else:
+                parsed = {n.strip() for n in names.split(",") if n.strip()}
+                existing = self._suppressions.get(lineno)
+                if existing is None and lineno in self._suppressions:
+                    continue  # blanket pragma already wins
+                self._suppressions[lineno] = (existing or set()) | parsed
+
+    def is_suppressed(self, line: int, rule: "LintRule | type[LintRule]") -> bool:
+        """True when a pragma on ``line`` silences ``rule``."""
+        if line not in self._suppressions:
+            return False
+        names = self._suppressions[line]
+        return names is None or rule.name in names or rule.id in names
+
+    @property
+    def in_core(self) -> bool:
+        """True for modules under ``repro.core``."""
+        return self.module.startswith("repro.core")
+
+    @property
+    def in_engine(self) -> bool:
+        """True for modules under ``repro.engine``."""
+        return self.module.startswith("repro.engine")
+
+    @property
+    def in_solver_paths(self) -> bool:
+        """True for the determinism-guarded solver packages."""
+        return self.in_core or self.in_engine
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for one lint rule (a per-file AST visitor).
+
+    Subclasses set the class attributes, implement ``visit_*`` methods, and
+    call :meth:`report` on violations.  The engine calls :meth:`run`.
+    """
+
+    #: Stable identifier, e.g. ``REP101``.
+    id: ClassVar[str]
+    #: Human slug, e.g. ``float-equality``.
+    name: ClassVar[str]
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: ClassVar[str]
+    #: Default fix hint attached to findings.
+    hint: ClassVar[str]
+    #: Default severity of the rule's findings.
+    severity: ClassVar[Severity] = Severity.ERROR
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        """Whether the rule runs on this file (default: everywhere)."""
+        return True
+
+    def run(self) -> list[Finding]:
+        """Visit the file and return the (unsuppressed) findings."""
+        self.visit(self.ctx.tree)
+        return [
+            f
+            for f in self.findings
+            if not self.ctx.is_suppressed(f.line, self)
+        ]
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        hint: "str | None" = None,
+        severity: "Severity | None" = None,
+    ) -> None:
+        """Record one violation anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule_id=self.id,
+                rule_name=self.name,
+                message=message,
+                hint=hint if hint is not None else self.hint,
+                path=self.ctx.rel,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                severity=severity if severity is not None else self.severity,
+            )
+        )
+
+
+#: All registered rules, keyed by slug, in registration order.
+RULE_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    for attr in ("id", "name", "description", "hint"):
+        if not getattr(cls, attr, None):
+            raise ValueError(f"rule {cls.__name__} is missing {attr!r}")
+    if cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    ids = {rule.id for rule in RULE_REGISTRY.values()}
+    if cls.id in ids:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def rules_by_name(names: "Iterable[str] | None" = None) -> list[type[LintRule]]:
+    """Resolve rule selectors (slugs or ids) to rule classes.
+
+    Args:
+        names: rule slugs/ids; ``None`` selects every registered rule.
+
+    Raises:
+        KeyError: for an unknown selector, listing the available rules.
+    """
+    if names is None:
+        return list(RULE_REGISTRY.values())
+    by_id = {rule.id: rule for rule in RULE_REGISTRY.values()}
+    selected: list[type[LintRule]] = []
+    for name in names:
+        rule = RULE_REGISTRY.get(name) or by_id.get(name.upper())
+        if rule is None:
+            raise KeyError(
+                f"unknown lint rule {name!r}; available: "
+                f"{sorted(RULE_REGISTRY)}"
+            )
+        if rule not in selected:
+            selected.append(rule)
+    return selected

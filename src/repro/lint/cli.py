@@ -1,0 +1,101 @@
+"""``repro lint`` / ``python -m repro.lint`` — run the project lint.
+
+Exit codes: 0 clean, 1 error findings, 2 usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .base import RULE_REGISTRY
+from .engine import lint_paths
+from .reporters import REPORTERS
+
+__all__ = ["add_lint_arguments", "build_parser", "run_lint", "main"]
+
+#: Default lint targets, relative to the repository root.
+DEFAULT_TARGETS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict to specific rules (slug or id); repeatable",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory findings are reported relative to (default: cwd)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The standalone ``python -m repro.lint`` parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis: float-comparison, "
+            "immutability, error-hierarchy, determinism, typing, and "
+            "picklability rules guarding the paper's invariants."
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule in RULE_REGISTRY.values():
+            print(f"{rule.id}  {rule.name:<20} {rule.description}")
+        return 0
+    selectors = None
+    if args.rules:
+        selectors = [
+            name.strip()
+            for chunk in args.rules
+            for name in chunk.split(",")
+            if name.strip()
+        ]
+    paths = args.paths or [Path(p) for p in DEFAULT_TARGETS]
+    try:
+        report = lint_paths(paths, rule_names=selectors, root=args.root)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    print(REPORTERS[args.output_format](report))
+    return 0 if report.ok else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Standalone entry point."""
+    return run_lint(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a summary, in ``file:line:col`` format."""
+    lines = [
+        f"{f.location}: {f.severity} {f.rule_id} [{f.rule_name}] "
+        f"{f.message}\n    hint: {f.hint}"
+        for f in report.findings
+    ]
+    count = len(report.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(
+        f"{count} {noun} ({len(report.errors)} error(s)) in "
+        f"{report.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The report as a stable JSON document."""
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in report.findings],
+            "summary": {
+                "findings": len(report.findings),
+                "errors": len(report.errors),
+                "files_checked": report.files_checked,
+                "ok": report.ok,
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+#: Reporter name -> renderer.
+REPORTERS = {"text": render_text, "json": render_json}

@@ -57,3 +57,27 @@ def test_seed_flag_changes_campaign(capsys):
     main(["fig2", "--chains", "6", "--seed", "2"])
     second = capsys.readouterr().out
     assert first != second
+
+
+def test_certify_flag_defaults_off():
+    parser = build_parser()
+    assert parser.parse_args(["table1"]).certify is False
+    assert parser.parse_args(["table1", "--certify"]).certify is True
+
+
+def test_certified_run_matches_plain(capsys):
+    assert main(["fig2", "--chains", "6"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["fig2", "--chains", "6", "--certify"]) == 0
+    audited = capsys.readouterr().out
+    assert plain == audited
+
+
+def test_lint_subcommand_reports_clean_tree(capsys):
+    from pathlib import Path
+
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    assert main(["lint", str(package_root)]) == 0
+    assert "0 findings" in capsys.readouterr().out

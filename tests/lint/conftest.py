@@ -1,0 +1,32 @@
+"""Fixtures for the lint-engine tests: lint small inline sources."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+@pytest.fixture
+def lint_source(tmp_path: Path):
+    """Lint a dedented source snippet written at a package-relative path.
+
+    The relative path controls the inferred module name (and therefore which
+    path-scoped rules apply): ``src/repro/core/sample.py`` lints as
+    ``repro.core.sample``.
+    """
+
+    def _lint(
+        source: str,
+        relpath: str = "src/repro/core/sample.py",
+        rules: "list[str] | None" = None,
+    ):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_paths([path], rule_names=rules, root=tmp_path).findings
+
+    return _lint

@@ -1,0 +1,142 @@
+"""Lint engine plumbing: reporters, CLI entry points, and the clean-tree gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main as repro_main
+from repro.lint import RULE_REGISTRY, lint_paths
+from repro.lint.cli import main as lint_main
+
+_VIOLATION = """\
+def check(period: float, other_period: float) -> bool:
+    return period == other_period
+"""
+
+_CLEAN = """\
+import math
+
+
+def check(period: float, other_period: float) -> bool:
+    return math.isclose(period, other_period)
+"""
+
+
+@pytest.fixture
+def violation_file(tmp_path: Path) -> Path:
+    path = tmp_path / "src" / "repro" / "core" / "bad.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(_VIOLATION)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path: Path) -> Path:
+    path = tmp_path / "src" / "repro" / "core" / "good.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(_CLEAN)
+    return path
+
+
+class TestEngine:
+    def test_registry_has_all_eight_rules(self):
+        assert [rule.id for rule in RULE_REGISTRY.values()] == [
+            f"REP10{i}" for i in range(1, 9)
+        ]
+
+    def test_directory_walk_finds_violations(self, violation_file: Path):
+        report = lint_paths([violation_file.parents[2]])
+        assert not report.ok
+        assert report.files_checked == 1
+        assert [f.rule_id for f in report.findings] == ["REP101"]
+
+    def test_findings_are_sorted_and_located(self, tmp_path: Path):
+        path = tmp_path / "src" / "repro" / "core" / "multi.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "def a(period: float, p2_period: float) -> bool:\n"
+            "    print(period)\n"
+            "    return period == p2_period\n"
+        )
+        report = lint_paths([path], root=tmp_path)
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)
+        assert all(
+            f.location.startswith("src/repro/core/multi.py:")
+            for f in report.findings
+        )
+
+    def test_syntax_error_becomes_finding(self, tmp_path: Path):
+        path = tmp_path / "broken.py"
+        path.write_text("def oops(:\n")
+        report = lint_paths([path])
+        assert [f.rule_id for f in report.findings] == ["REP000"]
+        assert not report.ok
+
+    def test_missing_path_raises(self, tmp_path: Path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_unknown_rule_raises(self, clean_file: Path):
+        with pytest.raises(KeyError, match="available"):
+            lint_paths([clean_file], rule_names=["no-such-rule"])
+
+
+class TestStandaloneCli:
+    def test_exit_one_on_violations(self, violation_file: Path, capsys):
+        assert lint_main([str(violation_file)]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out
+        assert "hint:" in out
+
+    def test_exit_zero_on_clean_file(self, clean_file: Path, capsys):
+        assert lint_main([str(clean_file)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, violation_file: Path, capsys):
+        assert lint_main([str(violation_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["ok"] is False
+        assert payload["findings"][0]["rule_id"] == "REP101"
+
+    def test_rule_selection(self, violation_file: Path, capsys):
+        assert lint_main([str(violation_file), "--rules", "no-print"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP101", "REP108"):
+            assert rule_id in out
+
+    def test_unknown_rule_exits_two(self, clean_file: Path, capsys):
+        assert lint_main([str(clean_file), "--rules", "bogus"]) == 2
+        capsys.readouterr()
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+        capsys.readouterr()
+
+
+class TestReproCliIntegration:
+    def test_repro_lint_subcommand(self, violation_file: Path, capsys):
+        assert repro_main(["lint", str(violation_file)]) == 1
+        assert "REP101" in capsys.readouterr().out
+
+    def test_repro_lint_clean(self, clean_file: Path, capsys):
+        assert repro_main(["lint", str(clean_file)]) == 0
+        capsys.readouterr()
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_no_findings(self, capsys):
+        """The acceptance gate: the shipped library lints clean."""
+        package_root = Path(repro.__file__).parent
+        report = lint_paths([package_root])
+        assert report.ok, "\n".join(str(f) for f in report.findings)
+        assert report.files_checked > 50

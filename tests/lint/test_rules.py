@@ -1,0 +1,491 @@
+"""Positive and negative fixtures for every project lint rule."""
+
+from __future__ import annotations
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# REP101 — float-equality
+# ---------------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_flags_bare_equality_on_periods(self, lint_source):
+        findings = lint_source(
+            """
+            def check(period: float, best_period: float) -> bool:
+                return period == best_period
+            """,
+            rules=["float-equality"],
+        )
+        assert _ids(findings) == ["REP101"]
+        assert "summation orders" in findings[0].message
+        assert "isclose" in findings[0].hint
+
+    def test_flags_inequality_on_weight_calls(self, lint_source):
+        findings = lint_source(
+            """
+            def check(profile, start: int, end: int, w: float) -> bool:
+                return profile.interval_weight(start, end) != w
+            """,
+            rules=["float-equality"],
+        )
+        assert _ids(findings) == ["REP101"]
+
+    def test_allows_comparison_against_infinity(self, lint_source):
+        findings = lint_source(
+            """
+            import math
+
+            INFINITY = math.inf
+
+            def check(period: float) -> bool:
+                if period == float("inf"):
+                    return True
+                return period == INFINITY
+            """,
+            rules=["float-equality"],
+        )
+        assert findings == ()
+
+    def test_allows_isclose_and_int_comparisons(self, lint_source):
+        findings = lint_source(
+            """
+            import math
+
+            def check(period: float, best_period: float, cores: int) -> bool:
+                return math.isclose(period, best_period) and cores == 3
+            """,
+            rules=["float-equality"],
+        )
+        assert findings == ()
+
+    def test_pragma_suppresses_with_rule_name(self, lint_source):
+        findings = lint_source(
+            """
+            def check(period: float, other_period: float) -> bool:
+                return period == other_period  # lint: ignore[float-equality]
+            """,
+            rules=["float-equality"],
+        )
+        assert findings == ()
+
+    def test_pragma_with_other_rule_does_not_suppress(self, lint_source):
+        findings = lint_source(
+            """
+            def check(period: float, other_period: float) -> bool:
+                return period == other_period  # lint: ignore[no-print]
+            """,
+            rules=["float-equality"],
+        )
+        assert _ids(findings) == ["REP101"]
+
+    def test_blanket_pragma_suppresses(self, lint_source):
+        findings = lint_source(
+            """
+            def check(period: float, other_period: float) -> bool:
+                return period == other_period  # lint: ignore
+            """,
+            rules=["float-equality"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP102 — frozen-mutation
+# ---------------------------------------------------------------------------
+
+
+class TestFrozenMutation:
+    def test_flags_field_assignment_on_foreign_object(self, lint_source):
+        findings = lint_source(
+            """
+            def tamper(stage):
+                stage.cores = 3
+            """,
+            rules=["frozen-mutation"],
+        )
+        assert _ids(findings) == ["REP102"]
+        assert "'cores'" in findings[0].message
+
+    def test_flags_setattr_escape_on_foreign_object(self, lint_source):
+        findings = lint_source(
+            """
+            def tamper(chain):
+                object.__setattr__(chain, "tasks", ())
+            """,
+            rules=["frozen-mutation"],
+        )
+        assert _ids(findings) == ["REP102"]
+
+    def test_allows_self_mutation_and_own_constructor(self, lint_source):
+        findings = lint_source(
+            """
+            class Builder:
+                def __init__(self) -> None:
+                    self.cores = 1
+                    object.__setattr__(self, "tasks", ())
+
+                def grow(self) -> None:
+                    self.cores += 1
+            """,
+            rules=["frozen-mutation"],
+        )
+        assert findings == ()
+
+    def test_flags_augmented_assignment(self, lint_source):
+        findings = lint_source(
+            """
+            def tamper(stage):
+                stage.cores += 1
+            """,
+            rules=["frozen-mutation"],
+        )
+        assert _ids(findings) == ["REP102"]
+
+
+# ---------------------------------------------------------------------------
+# REP103 — error-hierarchy
+# ---------------------------------------------------------------------------
+
+
+class TestErrorHierarchy:
+    def test_flags_builtin_raise_in_core(self, lint_source):
+        findings = lint_source(
+            """
+            def validate(n: int) -> None:
+                if n < 1:
+                    raise ValueError(f"bad {n}")
+            """,
+            rules=["error-hierarchy"],
+        )
+        assert _ids(findings) == ["REP103"]
+        assert "ValueError" in findings[0].message
+
+    def test_allows_hierarchy_raises(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.errors import InvalidChainError
+
+            def validate(n: int) -> None:
+                if n < 1:
+                    raise InvalidChainError(f"bad {n}")
+            """,
+            rules=["error-hierarchy"],
+        )
+        assert findings == ()
+
+    def test_does_not_apply_outside_core(self, lint_source):
+        findings = lint_source(
+            """
+            def validate(n: int) -> None:
+                if n < 1:
+                    raise ValueError(f"bad {n}")
+            """,
+            relpath="src/repro/analysis/sample.py",
+            rules=["error-hierarchy"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP104 — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_flags_wall_clock(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+
+    def test_flags_global_random(self, lint_source):
+        findings = lint_source(
+            """
+            import random
+
+            def draw() -> float:
+                return random.random()
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+
+    def test_flags_unseeded_default_rng(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def draw() -> float:
+                rng = np.random.default_rng()
+                return float(rng.random())
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+
+    def test_flags_set_iteration(self, lint_source):
+        findings = lint_source(
+            """
+            def walk(items):
+                for item in set(items):
+                    yield item
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+        assert "hash-dependent" in findings[0].message
+
+    def test_allows_seeded_rng_and_perf_counter(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+            import numpy as np
+
+            def draw(seed: int) -> float:
+                rng = np.random.default_rng(seed)
+                start = time.perf_counter()
+                value = float(rng.random())
+                return value + 0 * (time.perf_counter() - start)
+            """,
+            rules=["determinism"],
+        )
+        assert findings == ()
+
+    def test_does_not_apply_outside_solver_paths(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """,
+            relpath="src/repro/analysis/sample.py",
+            rules=["determinism"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP105 — numpy-scalar-leak
+# ---------------------------------------------------------------------------
+
+
+class TestNumpyScalarLeak:
+    def test_flags_unwrapped_reduction(self, lint_source):
+        findings = lint_source(
+            """
+            def best(weights) -> float:
+                return weights.max()
+            """,
+            rules=["numpy-scalar-leak"],
+        )
+        assert _ids(findings) == ["REP105"]
+
+    def test_flags_np_call_return(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def total(values) -> float:
+                return np.sum(values)
+            """,
+            rules=["numpy-scalar-leak"],
+        )
+        assert _ids(findings) == ["REP105"]
+
+    def test_allows_float_wrapped_returns(self, lint_source):
+        findings = lint_source(
+            """
+            import numpy as np
+
+            def best(weights) -> float:
+                return float(weights.max())
+
+            def total(values) -> float:
+                return float(np.sum(values))
+            """,
+            rules=["numpy-scalar-leak"],
+        )
+        assert findings == ()
+
+    def test_ignores_private_functions(self, lint_source):
+        findings = lint_source(
+            """
+            def _best(weights) -> float:
+                return weights.max()
+            """,
+            rules=["numpy-scalar-leak"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP106 — public-annotations
+# ---------------------------------------------------------------------------
+
+
+class TestPublicAnnotations:
+    def test_flags_missing_annotations(self, lint_source):
+        findings = lint_source(
+            """
+            def schedule(chain, resources) -> None:
+                del chain, resources
+            """,
+            rules=["public-annotations"],
+        )
+        assert _ids(findings) == ["REP106"]
+        assert "chain" in findings[0].message
+        assert "resources" in findings[0].message
+
+    def test_flags_missing_return_annotation(self, lint_source):
+        findings = lint_source(
+            """
+            def schedule(chain: object):
+                return chain
+            """,
+            rules=["public-annotations"],
+        )
+        assert _ids(findings) == ["REP106"]
+        assert "return" in findings[0].message
+
+    def test_allows_fully_annotated_and_private(self, lint_source):
+        findings = lint_source(
+            """
+            def schedule(chain: object, *, jobs: int = 1) -> object:
+                return _helper(chain, jobs)
+
+            def _helper(chain, jobs):
+                return chain
+
+            class Planner:
+                def plan(self, chain: object) -> object:
+                    def local(x):
+                        return x
+
+                    return local(chain)
+            """,
+            rules=["public-annotations"],
+        )
+        assert findings == ()
+
+    def test_does_not_apply_outside_core(self, lint_source):
+        findings = lint_source(
+            """
+            def schedule(chain, resources):
+                return chain
+            """,
+            relpath="src/repro/analysis/sample.py",
+            rules=["public-annotations"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP107 — no-print
+# ---------------------------------------------------------------------------
+
+
+class TestNoPrint:
+    def test_flags_print_in_library_code(self, lint_source):
+        findings = lint_source(
+            """
+            def report(value: float) -> None:
+                print(value)
+            """,
+            relpath="src/repro/workloads/sample.py",
+            rules=["no-print"],
+        )
+        assert _ids(findings) == ["REP107"]
+
+    def test_flags_debugger_leftovers(self, lint_source):
+        findings = lint_source(
+            """
+            import pdb
+
+            def report(value: float) -> None:
+                pdb.set_trace()
+            """,
+            relpath="src/repro/workloads/sample.py",
+            rules=["no-print"],
+        )
+        assert _ids(findings) == ["REP107"]
+
+    def test_allows_print_in_cli_modules(self, lint_source):
+        findings = lint_source(
+            """
+            def report(value: float) -> None:
+                print(value)
+            """,
+            relpath="src/repro/cli.py",
+            rules=["no-print"],
+        )
+        assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP108 — picklable-workers
+# ---------------------------------------------------------------------------
+
+
+class TestPicklableWorkers:
+    def test_flags_lambda_dispatch(self, lint_source):
+        findings = lint_source(
+            """
+            def run(pool, items):
+                return list(pool.map(lambda x: x + 1, items))
+            """,
+            relpath="src/repro/engine/sample.py",
+            rules=["picklable-workers"],
+        )
+        assert _ids(findings) == ["REP108"]
+
+    def test_flags_closure_dispatch(self, lint_source):
+        findings = lint_source(
+            """
+            def run(pool, items, offset):
+                def worker(x):
+                    return x + offset
+
+                return list(pool.map(worker, items))
+            """,
+            relpath="src/repro/engine/sample.py",
+            rules=["picklable-workers"],
+        )
+        assert _ids(findings) == ["REP108"]
+        assert "worker" in findings[0].message
+
+    def test_allows_module_level_worker(self, lint_source):
+        findings = lint_source(
+            """
+            def worker(x):
+                return x + 1
+
+            def run(pool, items):
+                return list(pool.map(worker, items))
+            """,
+            relpath="src/repro/engine/sample.py",
+            rules=["picklable-workers"],
+        )
+        assert findings == ()
+
+    def test_does_not_apply_outside_engine(self, lint_source):
+        findings = lint_source(
+            """
+            def run(pool, items):
+                return list(pool.map(lambda x: x + 1, items))
+            """,
+            relpath="src/repro/analysis/sample.py",
+            rules=["picklable-workers"],
+        )
+        assert findings == ()
