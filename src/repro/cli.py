@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     repro table2 --frames 5000
     repro all --chains 100 --out results/
     repro table1 --certify          # audit every solution while running
+    repro table1 --resume run.jsonl # checkpoint to (and resume from) a journal
+    repro table1 --retries 5 --timeout 60   # harden a long campaign
     repro lint                      # project-specific static analysis
 
 or equivalently ``python -m repro <command> [options]``.
@@ -20,6 +22,7 @@ import time
 from pathlib import Path
 
 from .core.types import Resources
+from .engine import CampaignEngine, CheckpointJournal, ResilienceConfig, RetryPolicy, default_engine
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
 from .lint.cli import add_lint_arguments, run_lint
 
@@ -92,6 +95,44 @@ def _experiment_options() -> argparse.ArgumentParser:
         ),
     )
     parent.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "checkpoint journal (JSONL): every solved instance is appended "
+            "and fsync'd per chunk; if the file already holds rows (e.g. "
+            "from a killed run), they replay through the memo cache and "
+            "only the remainder is solved — results are bitwise identical "
+            "to an uninterrupted run (--certify bypasses replay and "
+            "re-solves everything)"
+        ),
+    )
+    parent.add_argument(
+        "--retries",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "enable resilient execution with N solve attempts per tier: "
+            "transient failures (crashed workers, pickling errors, "
+            "timeouts) retry with deterministic backoff, then degrade "
+            "process -> thread -> serial; instances that still fail are "
+            "quarantined (reported on stderr) instead of aborting"
+        ),
+    )
+    parent.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "soft deadline per work unit on pooled tiers; a hung solve is "
+            "abandoned and retried instead of stalling the campaign "
+            "(implies resilient execution)"
+        ),
+    )
+    parent.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -136,13 +177,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, args: argparse.Namespace) -> str:
+def _build_engine(args: argparse.Namespace) -> "CampaignEngine | None":
+    """A resilient/journaled engine when any hardening flag is set.
+
+    ``None`` means "use the process-wide default engine" (the lean fail-fast
+    path).  The hardened engine shares the default engine's memo cache, so
+    ``repro all`` still replays repeated campaigns for free.
+    """
+    if args.resume is None and args.retries is None and args.timeout is None:
+        return None
+    retry = RetryPolicy(max_attempts=args.retries if args.retries else 3)
+    resilience = ResilienceConfig(retry=retry, timeout=args.timeout)
+    journal = CheckpointJournal(args.resume) if args.resume is not None else None
+    return CampaignEngine(
+        jobs=args.jobs,
+        memo=default_engine().memo,
+        resilience=resilience,
+        journal=journal,
+    )
+
+
+def _report_failures(engine: "CampaignEngine | None", name: str) -> None:
+    """Surface quarantined instances on stderr (the campaign still ran)."""
+    if engine is None or not engine.failures:
+        return
+    print(
+        f"[{name}: {len(engine.failures)} instance(s) quarantined after "
+        "exhausting retries]",
+        file=sys.stderr,
+    )
+    for record in engine.failures:
+        print(
+            f"  chain#{record.index} {record.strategy}: "
+            f"{record.error_type}({record.message}) "
+            f"after {record.attempts} attempts",
+            file=sys.stderr,
+        )
+    engine.clear_failures()
+
+
+def _run_one(
+    name: str, args: argparse.Namespace, engine: "CampaignEngine | None" = None
+) -> str:
     jobs = args.jobs
     certify = args.certify
     if name == "table1":
         return table1.render(
             table1.run(
-                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify,
+                engine=engine,
             )
         )
     if name == "table2":
@@ -152,13 +235,15 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     if name == "fig1":
         return fig1.render(
             fig1.run(
-                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify,
+                engine=engine,
             )
         )
     if name == "fig2":
         return fig2.render(
             fig2.run(
-                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify
+                num_chains=args.chains, seed=args.seed, jobs=jobs, certify=certify,
+                engine=engine,
             )
         )
     if name == "fig3":
@@ -178,6 +263,7 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                 seed=args.seed,
                 jobs=jobs,
                 certify=certify,
+                engine=engine,
             )
         )
     raise ValueError(f"unknown experiment {name!r}")
@@ -191,15 +277,23 @@ def main(argv: "list[str] | None" = None) -> int:
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        start = time.perf_counter()
-        report = _run_one(name, args)
-        elapsed = time.perf_counter() - start
-        print(report)
-        print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
-        print()
-        if args.out is not None:
-            (args.out / f"{name}.txt").write_text(report + "\n")
+    engine = _build_engine(args)
+    try:
+        for name in names:
+            start = time.perf_counter()
+            report = _run_one(name, args, engine=engine)
+            elapsed = time.perf_counter() - start
+            print(report)
+            print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
+            _report_failures(engine, name)
+            print()
+            if args.out is not None:
+                (args.out / f"{name}.txt").write_text(report + "\n")
+    finally:
+        # A Ctrl-C lands here too: committed journal chunks survive for
+        # --resume even when the sweep is aborted mid-experiment.
+        if engine is not None and engine.journal is not None:
+            engine.journal.close()
     return 0
 
 

@@ -9,11 +9,21 @@ Public API:
   with a shared memo cache (what ``run_campaign`` uses).
 * :class:`~repro.engine.memo.MemoCache` — the instance-result cache keyed by
   chain fingerprint + budget + strategy.
+* :class:`~repro.engine.resilience.ResilienceConfig` /
+  :class:`~repro.engine.resilience.RetryPolicy` — retries with deterministic
+  backoff, soft deadlines, backend degradation, and per-instance quarantine
+  (:class:`~repro.engine.resilience.FailureRecord`).
+* :class:`~repro.engine.checkpoint.CheckpointJournal` — crash-safe JSONL
+  checkpointing behind ``--resume``.
+* :class:`~repro.engine.faults.FaultPlan` — deterministic fault injection
+  used to prove every recovery path.
 
-See DESIGN.md §7 for the architecture and the determinism guarantee.
+See DESIGN.md §7 for the architecture and the determinism guarantee, and
+§9 for the resilience layer.
 """
 
 from .batch import PendingInstance, WorkUnit, chunk_pending, solve_instance, solve_unit
+from .checkpoint import CheckpointJournal, load_journal
 from .executor import (
     BACKENDS,
     CampaignEngine,
@@ -22,7 +32,16 @@ from .executor import (
     reset_default_engine,
     resolve_jobs,
 )
+from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
 from .memo import DEFAULT_MAXSIZE, InstanceResult, MemoCache, MemoStats, make_key
+from .resilience import (
+    TIERS,
+    FailureRecord,
+    ResilienceConfig,
+    ResilienceReport,
+    RetryPolicy,
+    is_transient,
+)
 
 __all__ = [
     "BACKENDS",
@@ -41,4 +60,16 @@ __all__ = [
     "MemoCache",
     "MemoStats",
     "make_key",
+    "CheckpointJournal",
+    "load_journal",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "TIERS",
+    "FailureRecord",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "RetryPolicy",
+    "is_transient",
 ]

@@ -25,6 +25,7 @@ from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
+from .faults import FaultPlan
 from .memo import InstanceResult
 
 __all__ = ["PendingInstance", "WorkUnit", "UnitResult", "solve_instance", "solve_unit", "chunk_pending"]
@@ -54,11 +55,18 @@ class WorkUnit:
         resources: the shared platform budget.
         certify: audit every solution with the independent certificate
             checker (:mod:`repro.core.certify`) as it is produced.
+        faults: deterministic fault plan armed for this chunk (tests and the
+            fault-injection smoke; ``None`` in production).
+        tier: the execution tier running this chunk (``serial`` / ``thread``
+            / ``process``) — lets tier-scoped faults target, say, only
+            worker processes so the degradation ladder can be exercised.
     """
 
     pending: tuple[PendingInstance, ...]
     resources: Resources
     certify: bool = False
+    faults: "FaultPlan | None" = None
+    tier: str = "serial"
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
@@ -70,6 +78,8 @@ def solve_instance(
     resources: Resources,
     strategies: Iterable[str],
     certify: bool = False,
+    faults: "FaultPlan | None" = None,
+    tier: str = "serial",
 ) -> dict[str, InstanceResult]:
     """Run the given strategies on one profiled chain.
 
@@ -82,11 +92,26 @@ def solve_instance(
     :class:`~repro.core.errors.CertificationError` on any violation);
     registry-optimal strategies additionally get the optimality-bracket
     certificate.
+
+    An armed fault plan is consulted per ``(instance, strategy)`` cell:
+    pre-solve kinds (raise / bug / crash / hang / interrupt) trigger before
+    the strategy runs; ``corrupt`` tampers with the finished outcome *before*
+    certification, which is exactly how certification proves it catches
+    corrupted results.
     """
     results: dict[str, InstanceResult] = {}
     for name in strategies:
         info = get_info(name)
+        spec = (
+            faults.fire(profile.fingerprint, name, tier)
+            if faults is not None
+            else None
+        )
+        if spec is not None and spec.kind != "corrupt":
+            spec.trigger()
         outcome = info.func(profile, resources)
+        if spec is not None and spec.kind == "corrupt":
+            outcome = spec.corrupt(outcome)
         if certify:
             certify_outcome(
                 outcome,
@@ -116,7 +141,12 @@ def solve_unit(unit: WorkUnit) -> UnitResult:
             (
                 item.index,
                 solve_instance(
-                    profile, unit.resources, item.strategies, certify=unit.certify
+                    profile,
+                    unit.resources,
+                    item.strategies,
+                    certify=unit.certify,
+                    faults=unit.faults,
+                    tier=unit.tier,
                 ),
             )
         )
@@ -128,6 +158,8 @@ def chunk_pending(
     resources: Resources,
     chunk_size: int,
     certify: bool = False,
+    faults: "FaultPlan | None" = None,
+    tier: str = "serial",
 ) -> list[WorkUnit]:
     """Split pending instances into work units of at most ``chunk_size``."""
     if chunk_size < 1:
@@ -137,6 +169,8 @@ def chunk_pending(
             pending=tuple(pending[i : i + chunk_size]),
             resources=resources,
             certify=certify,
+            faults=faults,
+            tier=tier,
         )
         for i in range(0, len(pending), chunk_size)
     ]

@@ -23,6 +23,19 @@ solved are replayed from cache without touching the backend.  The default
 process-wide engine shares one cache, which makes figure drivers that
 re-run the Table I campaign (Fig. 1, ablations, ``repro all``) nearly free
 after the first pass.
+
+Two optional layers harden long campaigns (DESIGN.md §9):
+
+* **Resilience** (``resilience=``): transient failures — broken process
+  pools, pickling/IPC errors, soft-deadline timeouts, injected faults — are
+  retried with deterministic backoff, degraded down the
+  process → thread → serial ladder, and instances that still fail are
+  *quarantined* as :class:`~repro.engine.resilience.FailureRecord` rows
+  (their array cells keep NaN/-1 sentinels) instead of aborting the run.
+* **Checkpointing** (``journal=``): every solved instance is appended to a
+  crash-safe JSONL journal (fsync'd per work unit); re-running with the same
+  journal replays finished instances through the memo cache and solves only
+  the remainder, bitwise identically.
 """
 
 from __future__ import annotations
@@ -30,7 +43,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, NamedTuple, Sequence
+from pathlib import Path
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -39,8 +53,16 @@ from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
-from .batch import PendingInstance, WorkUnit, chunk_pending, solve_unit
+from .batch import PendingInstance, UnitResult, WorkUnit, chunk_pending, solve_unit
+from .checkpoint import CheckpointJournal
+from .faults import FaultPlan
 from .memo import InstanceResult, MemoCache, make_key
+from .resilience import (
+    FailureRecord,
+    ResilienceConfig,
+    ResilienceReport,
+    execute_with_resilience,
+)
 
 __all__ = [
     "BACKENDS",
@@ -97,6 +119,18 @@ class CampaignEngine:
         chunk_size: instances per work unit; default splits the pending work
             into ~4 units per worker, balancing dispatch overhead against
             load imbalance.
+        resilience: a :class:`~repro.engine.resilience.ResilienceConfig`
+            (or ``True`` for the defaults) enabling retries, soft deadlines,
+            backend degradation, and quarantine.  ``None``/``False`` keeps
+            the lean fail-fast path, where any solver exception aborts the
+            campaign.
+        journal: a :class:`~repro.engine.checkpoint.CheckpointJournal` (or a
+            path) recording every solved instance; an existing journal is
+            replayed through the memo cache before solving, which is how
+            ``--resume`` works.  A journal implies an instance cache: if
+            memoization was disabled, a private cache is created for replay.
+        faults: a deterministic :class:`~repro.engine.faults.FaultPlan`
+            armed on every work unit (tests and fault-injection smoke only).
     """
 
     def __init__(
@@ -105,6 +139,9 @@ class CampaignEngine:
         backend: str = "auto",
         memo: "MemoCache | bool | None" = True,
         chunk_size: int | None = None,
+        resilience: "ResilienceConfig | bool | None" = None,
+        journal: "CheckpointJournal | str | Path | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidParameterError(
@@ -123,6 +160,21 @@ class CampaignEngine:
             self.memo = None
         else:
             self.memo = memo
+        if resilience is True:
+            self.resilience: ResilienceConfig | None = ResilienceConfig()
+        elif resilience is False or resilience is None:
+            self.resilience = None
+        else:
+            self.resilience = resilience
+        if journal is None or isinstance(journal, CheckpointJournal):
+            self.journal: CheckpointJournal | None = journal
+        else:
+            self.journal = CheckpointJournal(journal)
+        if self.journal is not None and self.memo is None:
+            self.memo = MemoCache()
+        self.faults = faults
+        self._last_report: ResilienceReport | None = None
+        self._all_failures: list[FailureRecord] = []
 
     # -- campaign execution --------------------------------------------------
 
@@ -144,19 +196,28 @@ class CampaignEngine:
         certificate checker (:mod:`repro.core.certify`) as it is produced.
         The memo cache stores only result scalars, not solutions, so a cache
         hit cannot be re-audited — certification therefore bypasses the cache
-        and solves every instance fresh (results still feed the cache).
+        (and journal replay, which flows through it) and solves every
+        instance fresh (results still feed the cache).
+
+        Cells are pre-filled with sentinels (``NaN`` period, ``-1`` cores) so
+        an aborted or quarantining campaign can never hand callers
+        uninitialized ``np.empty`` garbage: a cell either holds a solved
+        result or is visibly unsolved.
         """
         chains = list(chains)
         names = [get_info(name).name for name in strategies]
         count = len(chains)
         arrays = {
             name: StrategyArrays(
-                periods=np.empty(count),
-                big_used=np.empty(count, dtype=np.int64),
-                little_used=np.empty(count, dtype=np.int64),
+                periods=np.full(count, np.nan),
+                big_used=np.full(count, -1, dtype=np.int64),
+                little_used=np.full(count, -1, dtype=np.int64),
             )
             for name in names
         }
+        self._last_report = None
+        if self.journal is not None and self.memo is not None and not certify:
+            self.journal.replay_into_once(self.memo)
 
         if certify:
             pending = [
@@ -167,15 +228,40 @@ class CampaignEngine:
             pending = self._fill_from_memo(chains, resources, names, arrays)
         if pending:
             effective_jobs = self.jobs if jobs is None else resolve_jobs(jobs)
-            for index, results in self._execute(
-                pending, resources, effective_jobs, certify=certify
-            ):
-                chain = chains[index]
-                for name, result in results.items():
-                    self._store(arrays, index, name, result)
-                    if self.memo is not None:
-                        self.memo.put(make_key(chain, resources, name), result)
+            try:
+                for batch in self._execute(
+                    pending, resources, effective_jobs, certify=certify
+                ):
+                    for index, results in batch:
+                        chain = chains[index]
+                        for name, result in results.items():
+                            self._store(arrays, index, name, result)
+                            key = make_key(chain, resources, name)
+                            if self.memo is not None:
+                                self.memo.put(key, result)
+                            if self.journal is not None:
+                                self.journal.record(key, result)
+                    if self.journal is not None:
+                        self.journal.commit()
+            finally:
+                # An interrupt mid-campaign must not lose finished chunks.
+                if self.journal is not None:
+                    self.journal.commit()
         return arrays
+
+    @property
+    def last_report(self) -> "ResilienceReport | None":
+        """Recovery counters of the most recent resilient execution."""
+        return self._last_report
+
+    @property
+    def failures(self) -> tuple[FailureRecord, ...]:
+        """Every instance quarantined by this engine (across campaigns)."""
+        return tuple(self._all_failures)
+
+    def clear_failures(self) -> None:
+        """Forget accumulated quarantine records (e.g. between experiments)."""
+        self._all_failures.clear()
 
     def _fill_from_memo(
         self,
@@ -224,22 +310,72 @@ class CampaignEngine:
         resources: Resources,
         jobs: int,
         certify: bool = False,
-    ) -> "Iterable[tuple[int, dict[str, InstanceResult]]]":
-        """Run the pending instances on the configured backend."""
+    ) -> "Iterator[UnitResult]":
+        """Run the pending instances on the configured backend.
+
+        Yields one batch of index-keyed rows per completed work unit (the
+        journal fsync granularity).  With resilience enabled, execution runs
+        through the retry/degradation/quarantine ladder of
+        :mod:`repro.engine.resilience`; otherwise failures propagate
+        immediately (fail-fast), though the pool is still shut down with
+        ``cancel_futures`` so a Ctrl-C never leaks workers.
+        """
         pool_cls = _pool_factory(self.backend, jobs)
-        if pool_cls is None:
-            unit = WorkUnit(
-                pending=tuple(pending), resources=resources, certify=certify
+        tier = (
+            "serial"
+            if pool_cls is None
+            else ("thread" if pool_cls is ThreadPoolExecutor else "process")
+        )
+        size = self.chunk_size or max(1, -(-len(pending) // (max(1, jobs) * 4)))
+
+        if self.resilience is not None:
+            units = chunk_pending(
+                pending, resources, size, certify=certify,
+                faults=self.faults, tier=tier,
             )
-            yield from solve_unit(unit)
+            report = ResilienceReport()
+            self._last_report = report
+            try:
+                yield from execute_with_resilience(
+                    units, jobs=jobs, config=self.resilience, report=report
+                )
+            finally:
+                self._all_failures.extend(report.failures)
             return
 
-        size = self.chunk_size or max(1, -(-len(pending) // (jobs * 4)))
-        units = chunk_pending(pending, resources, size, certify=certify)
+        if pool_cls is None:
+            if self.journal is not None:
+                units = chunk_pending(
+                    pending, resources, size, certify=certify,
+                    faults=self.faults, tier="serial",
+                )
+            else:
+                units = [
+                    WorkUnit(
+                        pending=tuple(pending),
+                        resources=resources,
+                        certify=certify,
+                        faults=self.faults,
+                        tier="serial",
+                    )
+                ]
+            for unit in units:
+                yield solve_unit(unit)
+            return
+
+        units = chunk_pending(
+            pending, resources, size, certify=certify,
+            faults=self.faults, tier=tier,
+        )
         workers = min(jobs, len(units))
-        with pool_cls(max_workers=workers) as pool:
+        pool = pool_cls(max_workers=workers)
+        clean = False
+        try:
             for rows in pool.map(solve_unit, units):
-                yield from rows
+                yield rows
+            clean = True
+        finally:
+            pool.shutdown(wait=clean, cancel_futures=not clean)
 
     # -- latency measurement ---------------------------------------------------
 
@@ -254,7 +390,16 @@ class CampaignEngine:
         Always serial and never memoized: this is the engine's measurement
         path (Figs. 3/4 protocol), where replaying a cache hit would report
         lookup time instead of scheduling time.
+
+        Raises:
+            InvalidParameterError: on an empty ``profiles`` sequence (there
+                is no mean over zero solves).
         """
+        if len(profiles) == 0:
+            raise InvalidParameterError(
+                "profiles must be a non-empty sequence: a latency mean over "
+                "zero solves is undefined"
+            )
         func = get_info(strategy).func
         start = time.perf_counter()
         for profile in profiles:

@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the campaign engine.
+
+The resilience layer (:mod:`repro.engine.resilience`) is only trustworthy if
+every one of its recovery paths is *provoked* under test, not just reasoned
+about.  This module provides the provocation: a :class:`FaultPlan` is a
+picklable, deterministic description of which scheduling instances fail, how,
+and how many times.  Plans ride inside :class:`~repro.engine.batch.WorkUnit`
+objects, so the same faults fire identically on the serial path, in thread
+workers, and in freshly-spawned worker processes.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``raise`` — raise :class:`InjectedFault` (a *transient* failure: the retry
+  machinery is expected to recover).
+* ``bug`` — raise a plain :class:`~repro.core.errors.SchedulingError` (a
+  *deterministic* solver failure: retrying is useless, the instance must be
+  quarantined).
+* ``crash`` — hard-kill the worker with ``os._exit`` (surfaces as
+  ``BrokenProcessPool`` on the process tier — the closest reproducible stand-in
+  for an OOM-killed or segfaulted worker).
+* ``hang`` — sleep for :attr:`FaultSpec.seconds` before solving (exercises the
+  soft-deadline/timeout path).
+* ``corrupt`` — let the solve finish, then *tamper with the claimed outcome*
+  (period scaled by :attr:`FaultSpec.factor`).  Undetectable without
+  ``--certify``; with it, :func:`repro.core.certify.certify_outcome` rejects
+  the tampered claim — the test that proves the auditor earns its keep.
+* ``interrupt`` — raise :class:`KeyboardInterrupt` (a Ctrl-C mid-campaign; the
+  retry machinery must *not* swallow it).
+
+Determinism: a fault fires based only on the instance fingerprint, strategy,
+execution tier, and a firing counter — never on wall-clock or entropy.  The
+counter lives in ``state_dir`` as one file per concrete instance (a byte
+appended per firing), so "fail the first N attempts, then succeed" holds even
+when attempts land in different worker processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.errors import InvalidParameterError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.binary_search import ScheduleOutcome
+
+__all__ = [
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+]
+
+#: Recognized fault kinds (see module docstring).
+FAULT_KINDS: tuple[str, ...] = (
+    "raise",
+    "bug",
+    "crash",
+    "hang",
+    "corrupt",
+    "interrupt",
+)
+
+#: Exit status used by ``crash`` faults (distinctive in worker post-mortems).
+CRASH_EXIT_CODE: int = 13
+
+
+class InjectedFault(SchedulingError):
+    """A transient failure injected by a :class:`FaultPlan` (tests only)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One fault rule: *which* instances fail, *how*, and *how often*.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        fingerprint: target chain fingerprint (``None`` matches every chain).
+        strategy: target canonical strategy name (``None`` matches all).
+        tiers: execution tiers the fault is armed on (``None`` = every tier);
+            e.g. ``("process",)`` injects only in worker processes, so the
+            thread/serial rungs of the degradation ladder run clean.
+        times: firings per concrete ``(chain, strategy)`` instance before the
+            fault disarms (1 = "fail once, then succeed").
+        seconds: sleep duration of ``hang`` faults.
+        factor: multiplier applied to the claimed period by ``corrupt``
+            faults (0.5 claims an impossibly good schedule).
+    """
+
+    kind: str
+    fingerprint: "str | None" = None
+    strategy: "str | None" = None
+    tiers: "tuple[str, ...] | None" = None
+    times: int = 1
+    seconds: float = 0.75
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; available: {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise InvalidParameterError(f"times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise InvalidParameterError(
+                f"seconds must be >= 0, got {self.seconds}"
+            )
+        if self.factor <= 0:
+            raise InvalidParameterError(
+                f"factor must be > 0, got {self.factor}"
+            )
+
+    def matches(self, fingerprint: str, strategy: str, tier: str) -> bool:
+        """Whether this rule targets the given instance on the given tier."""
+        if self.fingerprint is not None and self.fingerprint != fingerprint:
+            return False
+        if self.strategy is not None and self.strategy != strategy:
+            return False
+        if self.tiers is not None and tier not in self.tiers:
+            return False
+        return True
+
+    def trigger(self) -> None:
+        """Fire a pre-solve fault (``corrupt`` is applied post-solve instead)."""
+        if self.kind == "raise":
+            raise InjectedFault(
+                f"injected transient fault (strategy={self.strategy}, "
+                f"tiers={self.tiers})"
+            )
+        if self.kind == "bug":
+            raise SchedulingError(
+                "injected deterministic solver bug (retrying is useless)"
+            )
+        if self.kind == "interrupt":
+            raise KeyboardInterrupt("injected Ctrl-C")
+        if self.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if self.kind == "hang":
+            time.sleep(self.seconds)
+
+    def corrupt(self, outcome: "ScheduleOutcome") -> "ScheduleOutcome":
+        """Tamper with a finished outcome's claimed period."""
+        return dataclasses.replace(outcome, period=outcome.period * self.factor)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered set of fault rules plus a cross-process firing ledger.
+
+    Attributes:
+        specs: the rules, consulted in order; the first match wins.
+        state_dir: directory holding one counter file per concrete
+            ``(rule, chain, strategy)`` instance.  File size = firings so
+            far, bumped by appending one byte — atomic enough for the
+            engine's append-only usage, and shared by every worker process.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    state_dir: str
+
+    def fire(
+        self, fingerprint: str, strategy: str, tier: str
+    ) -> "FaultSpec | None":
+        """Consume one firing for the matching rule, if any remain.
+
+        Returns the armed :class:`FaultSpec` (caller triggers/applies it) or
+        ``None`` when no rule matches or the match is exhausted.
+        """
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(fingerprint, strategy, tier):
+                continue
+            if self._consume(index, fingerprint, strategy) < spec.times:
+                return spec
+            return None
+        return None
+
+    def firings(self, index: int, fingerprint: str, strategy: str) -> int:
+        """How often rule ``index`` has fired for one concrete instance."""
+        try:
+            return os.path.getsize(self._ledger(index, fingerprint, strategy))
+        except OSError:
+            return 0
+
+    def _ledger(self, index: int, fingerprint: str, strategy: str) -> str:
+        token = f"{index}:{fingerprint}:{strategy}".encode()
+        return os.path.join(
+            self.state_dir, hashlib.sha256(token).hexdigest()[:24]
+        )
+
+    def _consume(self, index: int, fingerprint: str, strategy: str) -> int:
+        """Record one firing; return the count *before* this one."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = self._ledger(index, fingerprint, strategy)
+        before = self.firings(index, fingerprint, strategy)
+        with open(path, "ab") as ledger:
+            ledger.write(b".")
+        return before

@@ -130,6 +130,21 @@ class MemoCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
+    def warm(self, rows: "dict[MemoKey, InstanceResult]") -> int:
+        """Bulk-insert rows (checkpoint replay); returns entries inserted.
+
+        One lock acquisition for the whole batch — a resumed campaign can
+        replay hundreds of thousands of journal rows in one call.
+        """
+        with self._lock:
+            for key, result in rows.items():
+                self._data[key] = result
+                self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+        return len(rows)
+
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         with self._lock:

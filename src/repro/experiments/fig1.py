@@ -15,6 +15,7 @@ from ..analysis.slowdown import SlowdownCdf, slowdown_cdf, slowdown_ratios
 from ..analysis.tables import render_step_curves, render_table
 from ..core.registry import PAPER_ORDER, get_info
 from ..core.types import Resources
+from ..engine import CampaignEngine
 from ..platform.presets import SIMULATION_BUDGETS
 from .common import PAPER_STATELESS_RATIOS, run_campaign
 
@@ -45,18 +46,21 @@ def run(
     seed: int = 0,
     jobs: int | None = None,
     certify: bool = False,
+    engine: "CampaignEngine | None" = None,
 ) -> Fig1Result:
     """Compute the slowdown CDFs for every scenario.
 
     Campaigns identical to Table I's (same seeds) replay from the engine's
     memo cache when both drivers run in one process (e.g. ``repro all``).
+    An explicit ``engine`` (the CLI's resilient/journaled engine) is
+    forwarded to every campaign.
     """
     scenarios = []
     for resources in budgets:
         for sr in stateless_ratios:
             campaign = run_campaign(
                 resources, sr, num_chains=num_chains, seed=seed, jobs=jobs,
-                certify=certify,
+                certify=certify, engine=engine,
             )
             optimal = campaign.optimal_periods
             cdfs = {

@@ -16,6 +16,7 @@ import numpy as np
 from ..analysis.heatmap import UsageHeatmap, usage_heatmap
 from ..analysis.slowdown import OPTIMAL_TOLERANCE
 from ..core.types import Resources
+from ..engine import CampaignEngine
 from .common import run_campaign
 
 __all__ = ["Fig2Result", "run", "render"]
@@ -41,6 +42,7 @@ def run(
     seed: int = 0,
     jobs: int | None = None,
     certify: bool = False,
+    engine: "CampaignEngine | None" = None,
 ) -> Fig2Result:
     """Compute the Fig. 2 heatmaps.
 
@@ -52,6 +54,8 @@ def run(
         seed: campaign seed.
         jobs: campaign-engine worker count (None: all cores).
         certify: audit every solution with the certificate checker.
+        engine: campaign engine override — the CLI passes a resilient /
+            journaled engine here for ``--resume``/``--retries``/``--timeout``.
     """
     campaign = run_campaign(
         resources,
@@ -61,6 +65,7 @@ def run(
         seed=seed,
         jobs=jobs,
         certify=certify,
+        engine=engine,
     )
     rec = campaign.records[strategy]
     opt = campaign.records["herad"]

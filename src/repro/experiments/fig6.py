@@ -24,6 +24,7 @@ import numpy as np
 from ..analysis.tables import render_table
 from ..core.registry import PAPER_ORDER, get_info
 from ..core.types import Resources
+from ..engine import CampaignEngine
 from .common import run_campaign, time_strategy
 from .table2 import Table2Result
 from .table2 import run as run_table2
@@ -58,6 +59,7 @@ def run(
     seed: int = 0,
     jobs: int | None = None,
     certify: bool = False,
+    engine: "CampaignEngine | None" = None,
 ) -> Fig6Result:
     """Compute the summary axes.
 
@@ -69,6 +71,8 @@ def run(
         strategies: strategies to summarize.
         seed: campaign seed.
         certify: audit every solution with the certificate checker.
+        engine: campaign engine override — the CLI passes a resilient /
+            journaled engine here for ``--resume``/``--retries``/``--timeout``.
     """
     slowdowns = {name: [] for name in strategies}
     extra = {name: [] for name in strategies}
@@ -77,6 +81,7 @@ def run(
             campaign = run_campaign(
                 resources, sr, num_chains=num_chains, seed=seed,
                 strategies=list(strategies), jobs=jobs, certify=certify,
+                engine=engine,
             )
             opt = campaign.records["herad"]
             for name in strategies:

@@ -15,6 +15,7 @@ from ..analysis.stats import ScenarioStats, aggregate_scenario
 from ..analysis.tables import render_table
 from ..core.registry import PAPER_ORDER, get_info
 from ..core.types import Resources
+from ..engine import CampaignEngine
 from ..platform.presets import SIMULATION_BUDGETS
 from .common import PAPER_STATELESS_RATIOS, CampaignResult, run_campaign
 from .paper_data import PAPER_TABLE1
@@ -47,6 +48,7 @@ def run(
     seed: int = 0,
     jobs: int | None = None,
     certify: bool = False,
+    engine: "CampaignEngine | None" = None,
 ) -> Table1Result:
     """Run the Table I campaign.
 
@@ -60,13 +62,15 @@ def run(
             population).
         jobs: campaign-engine worker count (None: all cores).
         certify: audit every solution with the certificate checker.
+        engine: campaign engine override — the CLI passes a resilient /
+            journaled engine here for ``--resume``/``--retries``/``--timeout``.
     """
     scenarios = []
     for resources in budgets:
         for sr in stateless_ratios:
             campaign = run_campaign(
                 resources, sr, num_chains=num_chains, seed=seed, jobs=jobs,
-                certify=certify,
+                certify=certify, engine=engine,
             )
             stats = {
                 name: aggregate_scenario(

@@ -23,6 +23,9 @@ Each rule guards one invariant the paper's correctness claims depend on
 * ``picklable-workers`` — process-pool work units must be module-level
   callables; lambdas/closures die in ``pickle`` only when ``--jobs`` > 1,
   the least-tested path.
+* ``broad-except`` — ``except:`` and ``except BaseException`` swallow
+  ``KeyboardInterrupt``/``SystemExit``; only the resilience layer (whose
+  contract is to classify and re-raise them) may catch that broadly.
 
 All rules are heuristic AST checks: they prefer false negatives over false
 positives, and intentional exceptions carry a per-line
@@ -44,6 +47,7 @@ __all__ = [
     "PublicAnnotationsRule",
     "NoPrintRule",
     "PicklableWorkersRule",
+    "BroadExceptRule",
 ]
 
 
@@ -748,6 +752,64 @@ class PicklableWorkersRule(LintRule):
             ):
                 self.report(node, "lambda used as a pool initializer")
         self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# REP109 — broad-except
+# ---------------------------------------------------------------------------
+
+#: Modules sanctioned to catch broadly: the resilience layer's whole job is
+#: to classify failures, and it re-raises everything non-transient.
+_BROAD_EXCEPT_ALLOWED = ("repro.engine.resilience",)
+
+
+@register
+class BroadExceptRule(LintRule):
+    """No bare ``except:`` / ``except BaseException`` outside resilience."""
+
+    id = "REP109"
+    name = "broad-except"
+    description = (
+        "bare except and except BaseException swallow KeyboardInterrupt "
+        "and SystemExit, breaking Ctrl-C and pool shutdown; only "
+        "repro.engine.resilience (which classifies and re-raises) may "
+        "catch that broadly"
+    )
+    hint = (
+        "catch Exception (or a narrower type); if the handler must "
+        "observe KeyboardInterrupt, route the work through "
+        "repro.engine.resilience instead"
+    )
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro") and ctx.module not in (
+            _BROAD_EXCEPT_ALLOWED
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' catches BaseException, including "
+                "KeyboardInterrupt and SystemExit",
+            )
+        else:
+            for exc in self._named_exceptions(node.type):
+                if _identifier_of(exc) == "BaseException":
+                    self.report(
+                        node,
+                        "'except BaseException' swallows KeyboardInterrupt "
+                        "and SystemExit",
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _named_exceptions(node: ast.expr) -> "list[ast.expr]":
+        if isinstance(node, ast.Tuple):
+            return list(node.elts)
+        return [node]
 
 
 def all_rule_docs() -> "list[tuple[str, str, str]]":

@@ -176,7 +176,7 @@ class PipelineRuntime:
                         break
                     result = group.process(frame.payload)
                     out.put(Frame(frame.index, result), timeout=timeout)
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
+            except BaseException as exc:  # lint: ignore[broad-except] - reported to caller
                 with errors_lock:
                     errors.append(exc)
                 out.close()
@@ -208,7 +208,7 @@ class PipelineRuntime:
                     channels[0].put(Frame(f, payload), timeout=timeout)
             except ChannelClosedError:
                 pass  # a worker failed; the error list has the cause
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
+            except BaseException as exc:  # lint: ignore[broad-except] - reported to caller
                 with errors_lock:
                     errors.append(exc)
             finally:

@@ -1,0 +1,188 @@
+"""Tests for journaled checkpoints and --resume (repro.engine.checkpoint)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Resources
+from repro.engine import (
+    CampaignEngine,
+    CheckpointJournal,
+    InstanceResult,
+    MemoCache,
+    load_journal,
+)
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chains(count=6, num_tasks=8, sr=0.5, seed=0):
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=sr)
+    return list(chain_batch(count, config, seed=seed))
+
+
+def _assert_same_arrays(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name].periods, b[name].periods)
+        np.testing.assert_array_equal(a[name].big_used, b[name].big_used)
+        np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
+
+
+_KEY = ("fp0", 10, 4, "fertac")
+#: An awkward float: shortest-repr JSON must round-trip it bitwise.
+_RESULT = InstanceResult(period=0.1 + 0.2, big_used=3, little_used=1)
+
+
+class TestJournalFile:
+    def test_roundtrip_is_bitwise(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+            journal.commit()
+        rows = load_journal(path)
+        assert rows[_KEY].period == _RESULT.period  # exact, not approx
+        assert rows[_KEY] == _RESULT
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "absent.jsonl") == {}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        """A crash mid-write leaves a truncated final line — never fatal."""
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+        full_line = path.read_text()
+        path.write_text(full_line + full_line[: len(full_line) // 2])
+        rows = load_journal(path)
+        assert rows == {_KEY: _RESULT}
+
+    def test_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"fp": "x"}\n')  # incomplete row
+            handle.write('{"fp": 3, "big": "ten"}\n')  # wrong types
+            handle.write('[1, 2, 3]\n')  # not an object
+            handle.write("\n")
+        assert load_journal(path) == {_KEY: _RESULT}
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        newer = InstanceResult(period=9.5, big_used=1, little_used=1)
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+            journal.record(_KEY, newer)
+        assert load_journal(path) == {_KEY: newer}
+
+    def test_replay_into_warms_memo(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+        memo = MemoCache()
+        journal = CheckpointJournal(path)
+        assert journal.replay_into(memo) == 1
+        assert memo.get(_KEY) == _RESULT
+
+    def test_replay_into_once_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+        journal = CheckpointJournal(path)
+        memo = MemoCache()
+        assert journal.replay_into_once(memo) == 1
+        assert journal.replay_into_once(memo) == 0
+
+    def test_close_is_repeatable(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.jsonl")
+        journal.record(_KEY, _RESULT)
+        journal.close()
+        journal.close()
+        assert journal.rows_written == 1
+
+
+class TestEngineJournaling:
+    def test_campaign_is_journaled_per_instance(self, tmp_path):
+        chains = _chains(5)
+        resources = Resources(2, 2)
+        path = tmp_path / "run.jsonl"
+        engine = CampaignEngine(jobs=1, backend="serial", journal=path)
+        engine.solve_instances(chains, resources, ("fertac", "herad"))
+        engine.journal.close()
+        assert len(load_journal(path)) == 10  # 5 chains x 2 strategies
+
+    def test_resume_replays_bitwise(self, tmp_path):
+        chains = _chains(6)
+        resources = Resources(2, 2)
+        reference = CampaignEngine(
+            jobs=1, backend="serial", memo=False
+        ).solve_instances(chains, resources, ("fertac",))
+
+        path = tmp_path / "run.jsonl"
+        first = CampaignEngine(jobs=1, backend="serial", journal=path)
+        _assert_same_arrays(
+            first.solve_instances(chains, resources, ("fertac",)), reference
+        )
+        first.journal.close()
+
+        # A fresh engine (fresh memo) resumes purely from the journal.
+        second = CampaignEngine(jobs=1, backend="serial", journal=path)
+        _assert_same_arrays(
+            second.solve_instances(chains, resources, ("fertac",)), reference
+        )
+        assert second.memo is not None
+        assert second.memo.stats.hits >= len(chains)
+        second.journal.close()
+
+    def test_journal_implies_memo(self, tmp_path):
+        engine = CampaignEngine(
+            jobs=1, memo=False, journal=tmp_path / "run.jsonl"
+        )
+        assert engine.memo is not None
+
+    def test_certify_bypasses_journal_replay(self, tmp_path):
+        """Cached scalars cannot be audited: --certify re-solves everything.
+
+        A journal poisoned with a corrupt row must not leak into a certified
+        run's arrays.
+        """
+        chains = _chains(3)
+        resources = Resources(2, 2)
+        reference = CampaignEngine(
+            jobs=1, backend="serial", memo=False
+        ).solve_instances(chains, resources, ("fertac",))
+
+        path = tmp_path / "run.jsonl"
+        first = CampaignEngine(jobs=1, backend="serial", journal=path)
+        first.solve_instances(chains, resources, ("fertac",))
+        first.journal.close()
+
+        # Poison every journaled period.
+        poisoned = load_journal(path)
+        with CheckpointJournal(path) as journal:
+            for key, result in poisoned.items():
+                journal.record(
+                    key,
+                    InstanceResult(
+                        period=result.period * 0.5,
+                        big_used=result.big_used,
+                        little_used=result.little_used,
+                    ),
+                )
+
+        # Control: without certify the poisoned rows do replay.
+        replayed = CampaignEngine(jobs=1, backend="serial", journal=path)
+        tampered = replayed.solve_instances(chains, resources, ("fertac",))
+        replayed.journal.close()
+        assert tampered["fertac"].periods[0] == pytest.approx(
+            reference["fertac"].periods[0] * 0.5
+        )
+
+        certified = CampaignEngine(jobs=1, backend="serial", journal=path)
+        arrays = certified.solve_instances(
+            chains, resources, ("fertac",), certify=True
+        )
+        certified.journal.close()
+        _assert_same_arrays(arrays, reference)  # fresh solves, not the poison

@@ -199,3 +199,55 @@ class TestEngineConfig:
         latency = engine.measure_latency("fertac", profiles, Resources(2, 2))
         assert latency > 0
         assert engine.memo.stats.size == 0  # measurement never populates
+
+    def test_measure_latency_rejects_empty_profiles(self):
+        from repro.core.errors import InvalidParameterError
+
+        engine = CampaignEngine(jobs=1)
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            engine.measure_latency("fertac", [], Resources(2, 2))
+
+
+class TestSentinelPrefill:
+    def test_arrays_prefilled_with_sentinels_not_garbage(self):
+        """Unsolved cells are NaN/-1, never uninitialized np.empty memory."""
+        engine = CampaignEngine(jobs=1, backend="serial", memo=False)
+        arrays = engine.solve_instances([], Resources(2, 2), ("fertac",))
+        assert arrays["fertac"].periods.shape == (0,)
+        # With chains, every cell must be overwritten by a real solve.
+        arrays = engine.solve_instances(_chains(3), Resources(2, 2), ("fertac",))
+        assert np.isfinite(arrays["fertac"].periods).all()
+        assert (arrays["fertac"].big_used >= 0).all()
+        assert (arrays["fertac"].little_used >= 0).all()
+
+
+class TestResilientDeterminism:
+    """Resilience enabled + no faults must stay bitwise identical."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_fault_free_resilient_matches_serial_bitwise(self, backend):
+        from repro.engine import ResilienceConfig, RetryPolicy
+
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        serial = CampaignEngine(jobs=1, backend="serial", memo=False)
+        resilient = CampaignEngine(
+            jobs=1 if backend == "serial" else 4,
+            backend=backend,
+            memo=False,
+            chunk_size=2,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+                timeout=60.0,
+            ),
+        )
+        _assert_same_arrays(
+            serial.solve_instances(chains, resources, PAPER_ORDER),
+            resilient.solve_instances(chains, resources, PAPER_ORDER),
+        )
+        report = resilient.last_report
+        assert report is not None
+        assert report.retries == 0
+        assert report.timeouts == 0
+        assert report.degradations == 0
+        assert report.quarantined == 0

@@ -1,0 +1,395 @@
+"""Tests for retry/degradation/quarantine recovery (repro.engine.resilience).
+
+Every recovery path is *provoked* with a deterministic fault plan rather than
+merely reasoned about: transient raise → retry succeeds; worker crash →
+process pool rebuilt; hang → soft deadline abandons and retries; tier-scoped
+persistent failure → degradation ladder; deterministic bug → quarantine with
+sentinel cells; corrupt claim → certification rejects, re-solve recovers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import (
+    CertificationError,
+    InfeasibleScheduleError,
+    InvalidChainError,
+    InvalidParameterError,
+    SchedulingError,
+)
+from repro.core.types import Resources
+from repro.engine import (
+    CampaignEngine,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceConfig,
+    RetryPolicy,
+    is_transient,
+)
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chains(count=4, num_tasks=8, sr=0.5, seed=0):
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=sr)
+    return list(chain_batch(count, config, seed=seed))
+
+
+def _fingerprint(chain):
+    return ChainProfile(chain).fingerprint
+
+
+#: Fast retry schedule for tests (no real backoff sleeps).
+_FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _reference(chains, resources, strategies=("fertac",)):
+    return CampaignEngine(jobs=1, backend="serial", memo=False).solve_instances(
+        chains, resources, strategies
+    )
+
+
+def _assert_same_arrays(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name].periods, b[name].periods)
+        np.testing.assert_array_equal(a[name].big_used, b[name].big_used)
+        np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.35, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.35)  # capped
+        assert policy.delay(10) == pytest.approx(0.35)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=7)
+        for retry in range(4):
+            first = policy.delay(retry, token="process")
+            assert first == policy.delay(retry, token="process")
+            raw = min(policy.max_delay, policy.base_delay * 2**retry)
+            assert 0.5 * raw <= first < raw
+
+    def test_jitter_varies_with_seed_and_token(self):
+        a = RetryPolicy(seed=0).delay(0, token="x")
+        b = RetryPolicy(seed=1).delay(0, token="x")
+        c = RetryPolicy(seed=0).delay(0, token="y")
+        assert len({a, b, c}) == 3
+
+
+class TestClassification:
+    def test_transient_failures(self):
+        for exc in (
+            InjectedFault("x"),
+            BrokenProcessPool("x"),
+            pickle.PicklingError("x"),
+            EOFError(),
+            ConnectionResetError(),
+            TimeoutError(),
+            CertificationError("x"),
+        ):
+            assert is_transient(exc), exc
+
+    def test_deterministic_failures(self):
+        for exc in (
+            SchedulingError("x"),
+            InvalidChainError("x"),
+            InfeasibleScheduleError("x"),
+            ValueError("x"),
+            KeyError("x"),
+        ):
+            assert not is_transient(exc), exc
+
+
+class TestConfig:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(InvalidParameterError):
+            ResilienceConfig(timeout=0.0)
+
+    def test_engine_accepts_bool_shorthand(self):
+        engine = CampaignEngine(jobs=1, resilience=True)
+        assert engine.resilience is not None
+        assert CampaignEngine(jobs=1, resilience=False).resilience is None
+
+
+class TestRetryRecovery:
+    def test_transient_fault_retries_to_bitwise_recovery(self, tmp_path):
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", times=1),),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=2,
+            backend="thread",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        _assert_same_arrays(arrays, reference)
+        report = engine.last_report
+        assert report is not None
+        assert report.retries >= 1
+        assert report.quarantined == 0
+        assert engine.failures == ()
+
+    def test_worker_crash_rebuilds_process_pool(self, tmp_path):
+        """A hard-killed worker (BrokenProcessPool) is retried, not fatal."""
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="crash",
+                    fingerprint=_fingerprint(chains[1]),
+                    tiers=("process",),
+                    times=1,
+                ),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=2,
+            backend="process",
+            memo=False,
+            resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        _assert_same_arrays(arrays, reference)
+        report = engine.last_report
+        assert report is not None
+        assert report.retries >= 1
+        assert report.quarantined == 0
+
+    def test_hang_is_abandoned_at_soft_deadline(self, tmp_path):
+        chains = _chains(3)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="hang",
+                    fingerprint=_fingerprint(chains[0]),
+                    tiers=("thread",),
+                    seconds=5.0,
+                    times=1,
+                ),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=3,
+            backend="thread",
+            memo=False,
+            chunk_size=1,
+            resilience=ResilienceConfig(retry=_FAST, timeout=0.25),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        _assert_same_arrays(arrays, reference)
+        report = engine.last_report
+        assert report is not None
+        assert report.timeouts >= 1
+        assert report.quarantined == 0
+
+
+class TestDegradation:
+    def test_persistent_process_failure_degrades_to_thread(self, tmp_path):
+        chains = _chains(3)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", tiers=("process",), times=50),),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=2,
+            backend="process",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        _assert_same_arrays(arrays, reference)
+        report = engine.last_report
+        assert report is not None
+        assert report.degradations >= 1
+        assert report.quarantined == 0
+
+    def test_degrade_false_skips_ladder(self, tmp_path):
+        """Without degradation the thread rung is skipped: process → serial."""
+        chains = _chains(2)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", tiers=("process", "thread"), times=50),),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=2,
+            backend="process",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST, degrade=False),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        # The serial rung is fault-free here, so everything still recovers.
+        _assert_same_arrays(arrays, reference)
+
+
+class TestQuarantine:
+    def test_deterministic_bug_is_quarantined_with_sentinels(self, tmp_path):
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        bad = _fingerprint(chains[2])
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="bug", fingerprint=bad, strategy="fertac", times=50),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=1,
+            backend="serial",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+
+        # The failed cell keeps its sentinels ...
+        assert np.isnan(arrays["fertac"].periods[2])
+        assert arrays["fertac"].big_used[2] == -1
+        assert arrays["fertac"].little_used[2] == -1
+        # ... and every other cell matches the fault-free reference.
+        for i in (0, 1, 3):
+            assert arrays["fertac"].periods[i] == reference["fertac"].periods[i]
+
+        report = engine.last_report
+        assert report is not None
+        assert report.quarantined == 1
+        (record,) = report.failures
+        assert record.index == 2
+        assert record.fingerprint == bad
+        assert record.strategy == "fertac"
+        assert record.error_type == "SchedulingError"
+        assert record.tier == "serial"
+        # Deterministic failures skip the retry budget: one attempt only.
+        assert record.attempts == 1
+        assert engine.failures == (record,)
+        engine.clear_failures()
+        assert engine.failures == ()
+
+    def test_exhausted_transient_fault_is_quarantined(self, tmp_path):
+        """A transient fault that never stops firing ends in quarantine."""
+        chains = _chains(2)
+        resources = Resources(2, 2)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="raise", fingerprint=_fingerprint(chains[0]), times=500
+                ),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=1,
+            backend="serial",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        assert np.isnan(arrays["fertac"].periods[0])
+        assert np.isfinite(arrays["fertac"].periods[1])
+        (record,) = engine.failures
+        assert record.error_type == "InjectedFault"
+        assert record.attempts == _FAST.max_attempts
+
+
+class TestCorruptionRecovery:
+    def test_certify_catches_corrupt_then_resolve_recovers(self, tmp_path):
+        """--certify turns silent corruption into a recoverable transient."""
+        chains = _chains(3)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="corrupt",
+                    fingerprint=_fingerprint(chains[1]),
+                    times=1,
+                ),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=1,
+            backend="serial",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(
+            chains, resources, ("fertac",), certify=True
+        )
+        _assert_same_arrays(arrays, reference)
+        report = engine.last_report
+        assert report is not None
+        assert report.retries >= 1
+        assert report.quarantined == 0
+
+    def test_without_certify_corruption_lands_in_arrays(self, tmp_path):
+        """Control: no audit means the tampered claim is recorded as-is."""
+        chains = _chains(2)
+        resources = Resources(2, 2)
+        reference = _reference(chains, resources)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="corrupt",
+                    fingerprint=_fingerprint(chains[0]),
+                    factor=0.5,
+                    times=1,
+                ),
+            ),
+            state_dir=str(tmp_path),
+        )
+        engine = CampaignEngine(
+            jobs=1,
+            backend="serial",
+            memo=False,
+            resilience=ResilienceConfig(retry=_FAST),
+            faults=plan,
+        )
+        arrays = engine.solve_instances(chains, resources, ("fertac",))
+        assert arrays["fertac"].periods[0] == pytest.approx(
+            reference["fertac"].periods[0] * 0.5
+        )

@@ -81,3 +81,62 @@ def test_lint_subcommand_reports_clean_tree(capsys):
     package_root = Path(repro.__file__).parent
     assert main(["lint", str(package_root)]) == 0
     assert "0 findings" in capsys.readouterr().out
+
+
+def test_resilience_flags_default_off():
+    parser = build_parser()
+    args = parser.parse_args(["table1"])
+    assert args.resume is None
+    assert args.retries is None
+    assert args.timeout is None
+
+
+def test_resilience_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "table1",
+            "--resume", "run.jsonl",
+            "--retries", "5",
+            "--timeout", "30",
+        ]
+    )
+    assert str(args.resume) == "run.jsonl"
+    assert args.retries == 5
+    assert args.timeout == 30.0
+
+
+def test_retries_rejects_nonpositive():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--retries", "0"])
+
+
+def test_hardened_run_matches_plain(capsys, tmp_path):
+    """--retries/--timeout/--resume must not change fault-free output."""
+    from repro.engine import reset_default_engine
+
+    assert main(["fig2", "--chains", "6"]) == 0
+    plain = capsys.readouterr().out
+    journal = tmp_path / "run.jsonl"
+    # Drop the shared memo so the hardened run actually solves (and journals).
+    reset_default_engine()
+    assert (
+        main(
+            [
+                "fig2", "--chains", "6",
+                "--retries", "3",
+                "--timeout", "120",
+                "--resume", str(journal),
+            ]
+        )
+        == 0
+    )
+    hardened = capsys.readouterr().out
+    assert plain == hardened
+    assert journal.exists() and journal.stat().st_size > 0
+
+    # Second run resumes from the journal and prints the same report.
+    assert main(["fig2", "--chains", "6", "--resume", str(journal)]) == 0
+    resumed = capsys.readouterr().out
+    assert resumed == plain

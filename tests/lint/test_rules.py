@@ -489,3 +489,92 @@ class TestPicklableWorkers:
             rules=["picklable-workers"],
         )
         assert findings == ()
+
+
+class TestBroadExcept:
+    def test_flags_bare_except(self, lint_source):
+        findings = lint_source(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+            relpath="src/repro/engine/sample.py",
+            rules=["broad-except"],
+        )
+        assert _ids(findings) == ["REP109"]
+        assert "bare" in findings[0].message
+
+    def test_flags_base_exception(self, lint_source):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    fn()
+                except BaseException:
+                    pass
+            """,
+            relpath="src/repro/core/sample.py",
+            rules=["broad-except"],
+        )
+        assert _ids(findings) == ["REP109"]
+
+    def test_flags_base_exception_in_tuple(self, lint_source):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    fn()
+                except (ValueError, BaseException) as exc:
+                    return exc
+            """,
+            relpath="src/repro/cli.py",
+            rules=["broad-except"],
+        )
+        assert _ids(findings) == ["REP109"]
+
+    def test_allows_exception(self, lint_source):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+                except (ValueError, KeyError):
+                    pass
+            """,
+            relpath="src/repro/engine/sample.py",
+            rules=["broad-except"],
+        )
+        assert findings == ()
+
+    def test_resilience_module_is_exempt(self, lint_source):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    fn()
+                except BaseException:
+                    raise
+            """,
+            relpath="src/repro/engine/resilience.py",
+            rules=["broad-except"],
+        )
+        assert findings == ()
+
+    def test_pragma_suppresses(self, lint_source):
+        findings = lint_source(
+            """
+            def run(fn):
+                try:
+                    fn()
+                except BaseException as exc:  # lint: ignore[broad-except]
+                    return exc
+            """,
+            relpath="src/repro/streampu/sample.py",
+            rules=["broad-except"],
+        )
+        assert findings == ()
