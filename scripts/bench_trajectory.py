@@ -21,9 +21,11 @@ hardware-independent.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -50,6 +52,21 @@ def _time(fn, repeats: int = 1) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _git_sha() -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
 
 
 def _arrays_match(a, b) -> bool:
@@ -147,7 +164,11 @@ def main(argv: "list[str] | None" = None) -> int:
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "git_sha": _git_sha(),
         },
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "campaign_wall_s": {
             "serial": round(serial_s, 3),
             f"process_jobs{jobs}": round(parallel_s, 3),

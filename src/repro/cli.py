@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     repro table1 --certify          # audit every solution while running
     repro table1 --resume run.jsonl # checkpoint to (and resume from) a journal
     repro table1 --retries 5 --timeout 60   # harden a long campaign
+    repro table1 --trace out.json   # Chrome-trace the run (chrome://tracing)
+    repro table1 --metrics          # print the end-of-run RunReport
     repro lint                      # project-specific static analysis
 
 or equivalently ``python -m repro <command> [options]``.
@@ -17,16 +19,43 @@ or equivalently ``python -m repro <command> [options]``.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-import time
 from pathlib import Path
 
 from .core.types import Resources
 from .engine import CampaignEngine, CheckpointJournal, ResilienceConfig, RetryPolicy, default_engine
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
 from .lint.cli import add_lint_arguments, run_lint
+from .obs import Observability, ObsConfig, RunReport, monotonic, write_chrome_trace
 
 __all__ = ["main", "build_parser"]
+
+_log = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+}
+
+
+def _configure_logging(level_name: str) -> None:
+    """Configure the single ``repro`` logger hierarchy (idempotent).
+
+    Every diagnostic path in the package logs through a ``repro.*`` logger;
+    the hierarchy gets one stderr handler here, so ``--log-level`` is the
+    only knob and stdout stays reserved for experiment reports.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(_LOG_LEVELS[level_name])
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s %(name)s] %(message)s")
+        )
+        root.addHandler(handler)
+        root.propagate = False
 
 _EXPERIMENTS = (
     "table1",
@@ -133,6 +162,31 @@ def _experiment_options() -> argparse.ArgumentParser:
         ),
     )
     parent.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a span trace of the run and write it as Chrome "
+            "trace-event JSON (open in chrome://tracing or ui.perfetto.dev); "
+            "results are bitwise identical with tracing on or off"
+        ),
+    )
+    parent.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect engine metrics (memo hit rate, retries, per-strategy "
+            "solve latency, ...) and print an end-of-run report"
+        ),
+    )
+    parent.add_argument(
+        "--log-level",
+        choices=sorted(_LOG_LEVELS),
+        default="info",
+        help="verbosity of the 'repro' logger hierarchy on stderr (default: info)",
+    )
+    parent.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -177,41 +231,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_engine(args: argparse.Namespace) -> "CampaignEngine | None":
-    """A resilient/journaled engine when any hardening flag is set.
+def _build_engine(
+    args: argparse.Namespace, obs: "Observability | None" = None
+) -> "CampaignEngine | None":
+    """A dedicated engine when any hardening or observability flag is set.
 
     ``None`` means "use the process-wide default engine" (the lean fail-fast
-    path).  The hardened engine shares the default engine's memo cache, so
+    path).  The dedicated engine shares the default engine's memo cache, so
     ``repro all`` still replays repeated campaigns for free.
     """
-    if args.resume is None and args.retries is None and args.timeout is None:
+    hardened = (
+        args.resume is not None
+        or args.retries is not None
+        or args.timeout is not None
+    )
+    if not hardened and obs is None:
         return None
-    retry = RetryPolicy(max_attempts=args.retries if args.retries else 3)
-    resilience = ResilienceConfig(retry=retry, timeout=args.timeout)
-    journal = CheckpointJournal(args.resume) if args.resume is not None else None
+    resilience: "ResilienceConfig | None" = None
+    journal: "CheckpointJournal | None" = None
+    if hardened:
+        retry = RetryPolicy(max_attempts=args.retries if args.retries else 3)
+        resilience = ResilienceConfig(retry=retry, timeout=args.timeout)
+        if args.resume is not None:
+            journal = CheckpointJournal(args.resume)
     return CampaignEngine(
         jobs=args.jobs,
         memo=default_engine().memo,
         resilience=resilience,
         journal=journal,
+        obs=obs,
     )
 
 
 def _report_failures(engine: "CampaignEngine | None", name: str) -> None:
-    """Surface quarantined instances on stderr (the campaign still ran)."""
+    """Surface quarantined instances on the repro logger (the campaign ran)."""
     if engine is None or not engine.failures:
         return
-    print(
-        f"[{name}: {len(engine.failures)} instance(s) quarantined after "
-        "exhausting retries]",
-        file=sys.stderr,
+    _log.warning(
+        "%s: %d instance(s) quarantined after exhausting retries",
+        name,
+        len(engine.failures),
     )
     for record in engine.failures:
-        print(
-            f"  chain#{record.index} {record.strategy}: "
-            f"{record.error_type}({record.message}) "
-            f"after {record.attempts} attempts",
-            file=sys.stderr,
+        _log.warning(
+            "  chain#%d %s: %s(%s) after %d attempts",
+            record.index,
+            record.strategy,
+            record.error_type,
+            record.message,
+            record.attempts,
         )
     engine.clear_failures()
 
@@ -274,26 +342,43 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return run_lint(args)
+    _configure_logging(args.log_level)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    engine = _build_engine(args)
+    obs_config = ObsConfig(trace=args.trace is not None, metrics=args.metrics)
+    obs = Observability(obs_config) if obs_config.enabled else None
+    engine = _build_engine(args, obs)
+    sweep_start = monotonic()
     try:
         for name in names:
-            start = time.perf_counter()
-            report = _run_one(name, args, engine=engine)
-            elapsed = time.perf_counter() - start
+            start = monotonic()
+            if obs is not None:
+                with obs.span("experiment", "experiment", experiment=name):
+                    report = _run_one(name, args, engine=engine)
+            else:
+                report = _run_one(name, args, engine=engine)
+            elapsed = monotonic() - start
             print(report)
-            print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
+            _log.info("%s completed in %.1fs", name, elapsed)
             _report_failures(engine, name)
             print()
             if args.out is not None:
                 (args.out / f"{name}.txt").write_text(report + "\n")
     finally:
         # A Ctrl-C lands here too: committed journal chunks survive for
-        # --resume even when the sweep is aborted mid-experiment.
+        # --resume even when the sweep is aborted mid-experiment, and a
+        # partial trace is still a viewable trace.
         if engine is not None and engine.journal is not None:
             engine.journal.close()
+        if obs is not None and args.trace is not None:
+            path = write_chrome_trace(
+                args.trace, obs.spans(), obs.metrics.snapshot()
+            )
+            _log.info("trace written to %s", path)
+    if obs is not None and args.metrics:
+        wall = monotonic() - sweep_start
+        print(RunReport.from_observability(obs, wall).render())
     return 0
 
 

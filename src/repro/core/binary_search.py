@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..obs.context import counter_add
 from .bounds import PeriodBounds, period_bounds, search_epsilon
 from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidParameterError, InvalidPlatformError
@@ -145,6 +146,11 @@ def schedule_by_binary_search(
                 best = candidate
                 best_period = candidate.period(profile)
                 break
+
+    # Observability hook: no-ops unless an obs context is ambient, and
+    # records *about* the finished search — never feeds back into it.
+    counter_add("binary_search.calls")
+    counter_add("binary_search.iterations", iterations)
 
     return ScheduleOutcome(
         solution=best,

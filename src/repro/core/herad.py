@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from ..obs.context import counter_add
 from .binary_search import ScheduleOutcome
 from .bounds import period_bounds
 from .chain_stats import ChainProfile, profile_of
@@ -368,6 +369,13 @@ def herad_solution(
     profile = profile_of(chain)
     if resources.total <= 0:
         raise InvalidPlatformError("HeRAD needs at least one core")
+    # Observability hook: DP table volume is HeRAD's cost driver
+    # (O(n * b * l) cells); no-op unless an obs context is ambient.
+    counter_add("herad.calls")
+    counter_add(
+        "herad.dp_cells",
+        (profile.n + 1) * (resources.big + 1) * (resources.little + 1),
+    )
     tables = _fill_tables(profile, resources.big, resources.little)
     solution = _extract(tables, profile, resources.big, resources.little)
     if merge and not solution.is_empty:

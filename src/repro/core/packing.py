@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.context import counter_add
 from .chain_stats import ChainProfile
 from .types import CoreType
 
@@ -62,6 +63,9 @@ def compute_stage(
         — callers must check with :func:`stage_fits`, mirroring the paper
         where ``ComputeSolution`` validates each stage after building it.
     """
+    # Observability hook (no-op without an ambient obs context): stage
+    # construction count is the greedy strategies' work metric.
+    counter_add("packing.compute_stage_calls")
     last = profile.n - 1
 
     # Line 1-2: pack with one core, then count the cores this interval needs

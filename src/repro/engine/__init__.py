@@ -17,12 +17,22 @@ Public API:
   checkpointing behind ``--resume``.
 * :class:`~repro.engine.faults.FaultPlan` — deterministic fault injection
   used to prove every recovery path.
+* Observability (``obs=`` on the engine): spans, counters, and worker
+  payloads from :mod:`repro.obs`, merged exactly across tiers
+  (:class:`~repro.engine.batch.UnitOutcome` carries them home).
 
-See DESIGN.md §7 for the architecture and the determinism guarantee, and
-§9 for the resilience layer.
+See DESIGN.md §7 for the architecture and the determinism guarantee,
+§9 for the resilience layer, and §10 for observability.
 """
 
-from .batch import PendingInstance, WorkUnit, chunk_pending, solve_instance, solve_unit
+from .batch import (
+    PendingInstance,
+    UnitOutcome,
+    WorkUnit,
+    chunk_pending,
+    solve_instance,
+    solve_unit,
+)
 from .checkpoint import CheckpointJournal, load_journal
 from .executor import (
     BACKENDS,
@@ -51,6 +61,7 @@ __all__ = [
     "reset_default_engine",
     "resolve_jobs",
     "PendingInstance",
+    "UnitOutcome",
     "WorkUnit",
     "chunk_pending",
     "solve_instance",

@@ -25,10 +25,20 @@ from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
+from ..obs.clock import monotonic
+from ..obs.context import ObsConfig, ObsPayload, activate, current
 from .faults import FaultPlan
 from .memo import InstanceResult
 
-__all__ = ["PendingInstance", "WorkUnit", "UnitResult", "solve_instance", "solve_unit", "chunk_pending"]
+__all__ = [
+    "PendingInstance",
+    "WorkUnit",
+    "UnitResult",
+    "UnitOutcome",
+    "solve_instance",
+    "solve_unit",
+    "chunk_pending",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +70,11 @@ class WorkUnit:
         tier: the execution tier running this chunk (``serial`` / ``thread``
             / ``process``) — lets tier-scoped faults target, say, only
             worker processes so the degradation ladder can be exercised.
+        obs: observability switches for this chunk (``None`` = fully off).
+            When set, the worker builds a local tracer/metrics context,
+            records into it, and ships the resulting payload home in its
+            :class:`UnitOutcome` — the only channel observability data has
+            out of a worker process.
     """
 
     pending: tuple[PendingInstance, ...]
@@ -67,10 +82,26 @@ class WorkUnit:
     certify: bool = False
     faults: "FaultPlan | None" = None
     tier: str = "serial"
+    obs: "ObsConfig | None" = None
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
 UnitResult = list[tuple[int, dict[str, InstanceResult]]]
+
+
+@dataclass(frozen=True, slots=True)
+class UnitOutcome:
+    """Everything one resolved work unit sends back to the engine.
+
+    ``rows`` is the result payload; ``obs`` carries the spans and metric
+    snapshot the unit recorded (``None`` when observability was off).
+    Results and observations travel together but are consumed on strictly
+    separate paths — the engine assembles arrays from ``rows`` only, which
+    is what keeps tracing off the result path.
+    """
+
+    rows: UnitResult
+    obs: "ObsPayload | None" = None
 
 
 def solve_instance(
@@ -98,42 +129,68 @@ def solve_instance(
     the strategy runs; ``corrupt`` tampers with the finished outcome *before*
     certification, which is exactly how certification proves it catches
     corrupted results.
+
+    When an observability context is ambient (:func:`repro.obs.context.current`),
+    each strategy cell is wrapped in a ``solve`` span and its latency feeds a
+    per-strategy histogram — recorded around the same code path, never
+    altering it.
     """
     results: dict[str, InstanceResult] = {}
+    obs = current()
     for name in strategies:
-        info = get_info(name)
-        spec = (
-            faults.fire(profile.fingerprint, name, tier)
-            if faults is not None
-            else None
-        )
-        if spec is not None and spec.kind != "corrupt":
-            spec.trigger()
-        outcome = info.func(profile, resources)
-        if spec is not None and spec.kind == "corrupt":
-            outcome = spec.corrupt(outcome)
-        if certify:
-            certify_outcome(
-                outcome,
-                profile,
-                resources,
-                optimal=info.optimal,
-                context=name,
+        if obs.active:
+            with obs.span("solve", "solve", strategy=name, tier=tier):
+                start = monotonic()
+                results[name] = _solve_cell(
+                    profile, resources, name, certify, faults, tier
+                )
+                obs.metrics.observe(f"solve.seconds.{name}", monotonic() - start)
+                obs.metrics.add("solve.count")
+        else:
+            results[name] = _solve_cell(
+                profile, resources, name, certify, faults, tier
             )
-        usage = outcome.solution.core_usage()
-        results[name] = InstanceResult(
-            period=outcome.period,
-            big_used=usage.big,
-            little_used=usage.little,
-        )
     return results
 
 
-def solve_unit(unit: WorkUnit) -> UnitResult:
-    """Resolve one work unit (the process-pool entry point).
+def _solve_cell(
+    profile: ChainProfile,
+    resources: Resources,
+    name: str,
+    certify: bool,
+    faults: "FaultPlan | None",
+    tier: str,
+) -> InstanceResult:
+    """One ``(chain, strategy)`` cell: fault hook, solve, corrupt, audit."""
+    info = get_info(name)
+    spec = (
+        faults.fire(profile.fingerprint, name, tier)
+        if faults is not None
+        else None
+    )
+    if spec is not None and spec.kind != "corrupt":
+        spec.trigger()
+    outcome = info.func(profile, resources)
+    if spec is not None and spec.kind == "corrupt":
+        outcome = spec.corrupt(outcome)
+    if certify:
+        certify_outcome(
+            outcome,
+            profile,
+            resources,
+            optimal=info.optimal,
+            context=name,
+        )
+    usage = outcome.solution.core_usage()
+    return InstanceResult(
+        period=outcome.period,
+        big_used=usage.big,
+        little_used=usage.little,
+    )
 
-    Profiles each chain once, then runs every requested strategy on it.
-    """
+
+def _solve_rows(unit: WorkUnit) -> UnitResult:
+    """Resolve a unit's instances into index-keyed rows."""
     rows: UnitResult = []
     for item in unit.pending:
         profile = ChainProfile(item.chain)
@@ -153,6 +210,26 @@ def solve_unit(unit: WorkUnit) -> UnitResult:
     return rows
 
 
+def solve_unit(unit: WorkUnit) -> UnitOutcome:
+    """Resolve one work unit (the process-pool entry point).
+
+    Profiles each chain once, then runs every requested strategy on it.
+    With observability enabled on the unit, a fresh local context is built
+    and activated for the duration — worker processes have no access to the
+    engine's tracer, and thread-tier workers deliberately use the same
+    ship-a-payload-home protocol so every tier aggregates identically.
+    """
+    if unit.obs is None or not unit.obs.enabled:
+        return UnitOutcome(rows=_solve_rows(unit))
+    context = unit.obs.create_context()
+    with activate(context):
+        with context.span(
+            "unit", "engine", tier=unit.tier, instances=len(unit.pending)
+        ):
+            rows = _solve_rows(unit)
+    return UnitOutcome(rows=rows, obs=context.payload())
+
+
 def chunk_pending(
     pending: Sequence[PendingInstance],
     resources: Resources,
@@ -160,6 +237,7 @@ def chunk_pending(
     certify: bool = False,
     faults: "FaultPlan | None" = None,
     tier: str = "serial",
+    obs: "ObsConfig | None" = None,
 ) -> list[WorkUnit]:
     """Split pending instances into work units of at most ``chunk_size``."""
     if chunk_size < 1:
@@ -171,6 +249,7 @@ def chunk_pending(
             certify=certify,
             faults=faults,
             tier=tier,
+            obs=obs,
         )
         for i in range(0, len(pending), chunk_size)
     ]

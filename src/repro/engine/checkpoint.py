@@ -25,6 +25,7 @@ Format: one JSON object per line, e.g.::
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import IO
@@ -32,6 +33,8 @@ from typing import IO
 from .memo import InstanceResult, MemoCache, MemoKey
 
 __all__ = ["CheckpointJournal", "load_journal"]
+
+_log = logging.getLogger(__name__)
 
 
 def _encode(key: MemoKey, result: InstanceResult) -> str:
@@ -126,7 +129,10 @@ class CheckpointJournal:
 
     def replay_into(self, memo: MemoCache) -> int:
         """Load the journal into a memo cache; returns rows replayed."""
-        return memo.warm(self.load())
+        replayed = memo.warm(self.load())
+        if replayed:
+            _log.debug("replayed %d journaled row(s) from %s", replayed, self.path)
+        return replayed
 
     def replay_into_once(self, memo: MemoCache) -> int:
         """Like :meth:`replay_into`, but at most once per journal object.

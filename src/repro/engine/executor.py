@@ -41,7 +41,6 @@ Two optional layers harden long campaigns (DESIGN.md §9):
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Iterator, NamedTuple, Sequence
@@ -53,7 +52,9 @@ from ..core.errors import InvalidParameterError
 from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
-from .batch import PendingInstance, UnitResult, WorkUnit, chunk_pending, solve_unit
+from ..obs.clock import monotonic
+from ..obs.context import Observability, ObsConfig, activate
+from .batch import PendingInstance, UnitOutcome, WorkUnit, chunk_pending, solve_unit
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
 from .memo import InstanceResult, MemoCache, make_key
@@ -131,6 +132,13 @@ class CampaignEngine:
             memoization was disabled, a private cache is created for replay.
         faults: a deterministic :class:`~repro.engine.faults.FaultPlan`
             armed on every work unit (tests and fault-injection smoke only).
+        obs: observability surface.  Accepts a live
+            :class:`~repro.obs.context.Observability`, an
+            :class:`~repro.obs.context.ObsConfig`, ``True`` (tracing and
+            metrics both on), or ``None``/``False`` for the default
+            zero-overhead no-op implementation.  Spans and counters are
+            recorded *about* the campaign, never consulted by it — results
+            are bitwise identical with observability on or off (tested).
     """
 
     def __init__(
@@ -142,6 +150,7 @@ class CampaignEngine:
         resilience: "ResilienceConfig | bool | None" = None,
         journal: "CheckpointJournal | str | Path | None" = None,
         faults: "FaultPlan | None" = None,
+        obs: "Observability | ObsConfig | bool | None" = None,
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidParameterError(
@@ -173,6 +182,14 @@ class CampaignEngine:
         if self.journal is not None and self.memo is None:
             self.memo = MemoCache()
         self.faults = faults
+        if isinstance(obs, Observability):
+            self.obs = obs
+        elif isinstance(obs, ObsConfig):
+            self.obs = Observability(obs)
+        elif obs is True:
+            self.obs = Observability(ObsConfig(trace=True, metrics=True))
+        else:
+            self.obs = Observability()
         self._last_report: ResilienceReport | None = None
         self._all_failures: list[FailureRecord] = []
 
@@ -216,37 +233,45 @@ class CampaignEngine:
             for name in names
         }
         self._last_report = None
-        if self.journal is not None and self.memo is not None and not certify:
-            self.journal.replay_into_once(self.memo)
+        with activate(self.obs.context()), self.obs.span(
+            "campaign", "campaign", chains=count, strategies=len(names)
+        ):
+            if self.journal is not None and self.memo is not None and not certify:
+                replayed = self.journal.replay_into_once(self.memo)
+                if replayed:
+                    self.obs.metrics.add("journal.replayed", replayed)
 
-        if certify:
-            pending = [
-                PendingInstance(index=i, chain=chain, strategies=tuple(names))
-                for i, chain in enumerate(chains)
-            ]
-        else:
-            pending = self._fill_from_memo(chains, resources, names, arrays)
-        if pending:
-            effective_jobs = self.jobs if jobs is None else resolve_jobs(jobs)
-            try:
-                for batch in self._execute(
-                    pending, resources, effective_jobs, certify=certify
-                ):
-                    for index, results in batch:
-                        chain = chains[index]
-                        for name, result in results.items():
-                            self._store(arrays, index, name, result)
-                            key = make_key(chain, resources, name)
-                            if self.memo is not None:
-                                self.memo.put(key, result)
-                            if self.journal is not None:
-                                self.journal.record(key, result)
+            if certify:
+                pending = [
+                    PendingInstance(index=i, chain=chain, strategies=tuple(names))
+                    for i, chain in enumerate(chains)
+                ]
+            else:
+                with self.obs.span("memo.fill", "memo"):
+                    pending = self._fill_from_memo(chains, resources, names, arrays)
+            if pending:
+                effective_jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+                try:
+                    for outcome in self._execute(
+                        pending, resources, effective_jobs, certify=certify
+                    ):
+                        self.obs.absorb(outcome.obs)
+                        for index, results in outcome.rows:
+                            chain = chains[index]
+                            for name, result in results.items():
+                                self._store(arrays, index, name, result)
+                                key = make_key(chain, resources, name)
+                                if self.memo is not None:
+                                    self.memo.put(key, result)
+                                if self.journal is not None:
+                                    self.journal.record(key, result)
+                        if self.journal is not None:
+                            with self.obs.span("journal.commit", "journal"):
+                                self.journal.commit()
+                finally:
+                    # An interrupt mid-campaign must not lose finished chunks.
                     if self.journal is not None:
                         self.journal.commit()
-            finally:
-                # An interrupt mid-campaign must not lose finished chunks.
-                if self.journal is not None:
-                    self.journal.commit()
         return arrays
 
     @property
@@ -272,6 +297,8 @@ class CampaignEngine:
     ) -> list[PendingInstance]:
         """Replay cached instances into ``arrays``; return what's left."""
         pending: list[PendingInstance] = []
+        hits = 0
+        misses = 0
         for index, chain in enumerate(chains):
             missing: list[str] = []
             for name in names:
@@ -290,6 +317,13 @@ class CampaignEngine:
                         index=index, chain=chain, strategies=tuple(missing)
                     )
                 )
+            hits += len(names) - len(missing)
+            misses += len(missing)
+        if self.memo is not None and self.obs.metrics.enabled:
+            if hits:
+                self.obs.metrics.add("memo.hits", hits)
+            if misses:
+                self.obs.metrics.add("memo.misses", misses)
         return pending
 
     @staticmethod
@@ -310,12 +344,12 @@ class CampaignEngine:
         resources: Resources,
         jobs: int,
         certify: bool = False,
-    ) -> "Iterator[UnitResult]":
+    ) -> "Iterator[UnitOutcome]":
         """Run the pending instances on the configured backend.
 
-        Yields one batch of index-keyed rows per completed work unit (the
-        journal fsync granularity).  With resilience enabled, execution runs
-        through the retry/degradation/quarantine ladder of
+        Yields one :class:`~repro.engine.batch.UnitOutcome` per completed
+        work unit (the journal fsync granularity).  With resilience enabled,
+        execution runs through the retry/degradation/quarantine ladder of
         :mod:`repro.engine.resilience`; otherwise failures propagate
         immediately (fail-fast), though the pool is still shut down with
         ``cancel_futures`` so a Ctrl-C never leaks workers.
@@ -327,11 +361,12 @@ class CampaignEngine:
             else ("thread" if pool_cls is ThreadPoolExecutor else "process")
         )
         size = self.chunk_size or max(1, -(-len(pending) // (max(1, jobs) * 4)))
+        obs_config = self.obs.worker_config()
 
         if self.resilience is not None:
             units = chunk_pending(
                 pending, resources, size, certify=certify,
-                faults=self.faults, tier=tier,
+                faults=self.faults, tier=tier, obs=obs_config,
             )
             report = ResilienceReport()
             self._last_report = report
@@ -341,13 +376,14 @@ class CampaignEngine:
                 )
             finally:
                 self._all_failures.extend(report.failures)
+                self._absorb_report(report)
             return
 
         if pool_cls is None:
             if self.journal is not None:
                 units = chunk_pending(
                     pending, resources, size, certify=certify,
-                    faults=self.faults, tier="serial",
+                    faults=self.faults, tier="serial", obs=obs_config,
                 )
             else:
                 units = [
@@ -357,6 +393,7 @@ class CampaignEngine:
                         certify=certify,
                         faults=self.faults,
                         tier="serial",
+                        obs=obs_config,
                     )
                 ]
             for unit in units:
@@ -365,17 +402,37 @@ class CampaignEngine:
 
         units = chunk_pending(
             pending, resources, size, certify=certify,
-            faults=self.faults, tier=tier,
+            faults=self.faults, tier=tier, obs=obs_config,
         )
         workers = min(jobs, len(units))
         pool = pool_cls(max_workers=workers)
         clean = False
         try:
-            for rows in pool.map(solve_unit, units):
-                yield rows
+            for outcome in pool.map(solve_unit, units):
+                yield outcome
             clean = True
         finally:
             pool.shutdown(wait=clean, cancel_futures=not clean)
+
+    def _absorb_report(self, report: ResilienceReport) -> None:
+        """Record a resilient execution's recovery counters as metrics.
+
+        Counted engine-side from the authoritative
+        :class:`~repro.engine.resilience.ResilienceReport` rather than from
+        worker payloads: payloads of *failed* unit attempts never make it
+        home, so these counters are exact regardless of tier or job count.
+        """
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        for name, value in (
+            ("resilience.retries", report.retries),
+            ("resilience.timeouts", report.timeouts),
+            ("resilience.degradations", report.degradations),
+            ("resilience.quarantined", report.quarantined),
+        ):
+            if value:
+                metrics.add(name, value)
 
     # -- latency measurement ---------------------------------------------------
 
@@ -401,10 +458,13 @@ class CampaignEngine:
                 "zero solves is undefined"
             )
         func = get_info(strategy).func
-        start = time.perf_counter()
-        for profile in profiles:
-            func(profile, resources)
-        elapsed = time.perf_counter() - start
+        with self.obs.span(
+            "measure_latency", "engine", strategy=strategy, solves=len(profiles)
+        ):
+            start = monotonic()
+            for profile in profiles:
+                func(profile, resources)
+            elapsed = monotonic() - start
         return elapsed / len(profiles)
 
 

@@ -40,6 +40,7 @@ REP109 forbids bare ``except:`` / ``except BaseException`` everywhere else.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import time
 from concurrent.futures import (
@@ -56,9 +57,12 @@ from typing import Generator, Iterator, Sequence
 
 from ..core.chain_stats import ChainProfile
 from ..core.errors import CertificationError, InvalidParameterError
-from .batch import UnitResult, WorkUnit, solve_instance, solve_unit
+from ..obs.context import activate
+from .batch import UnitOutcome, UnitResult, WorkUnit, solve_instance, solve_unit
 from .faults import InjectedFault
 from .memo import InstanceResult
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "TIERS",
@@ -238,11 +242,11 @@ def execute_with_resilience(
     jobs: int,
     config: ResilienceConfig,
     report: ResilienceReport,
-) -> Iterator[UnitResult]:
+) -> Iterator[UnitOutcome]:
     """Run work units through the retry/degradation/quarantine ladder.
 
-    Yields completed :data:`~repro.engine.batch.UnitResult` batches as they
-    finish (order is arbitrary; rows are index-keyed, so assembly stays
+    Yields completed :class:`~repro.engine.batch.UnitOutcome` batches as
+    they finish (order is arbitrary; rows are index-keyed, so assembly stays
     bitwise deterministic).  Quarantined instances appear in ``report`` and
     are simply absent from the yielded rows.
     """
@@ -263,6 +267,9 @@ def execute_with_resilience(
         tracked = held + leftovers
         if tracked:
             report.degradations += 1
+            _log.info(
+                "degrading %d work unit(s) below the %s tier", len(tracked), tier
+            )
     if tracked:
         yield from _serial_pass(tracked, config, report)
 
@@ -273,7 +280,7 @@ def _pooled_pass(
     jobs: int,
     config: ResilienceConfig,
     report: ResilienceReport,
-) -> "Generator[UnitResult, None, list[_Tracked]]":
+) -> "Generator[UnitOutcome, None, list[_Tracked]]":
     """One tier of pooled attempts; returns the units that still fail."""
     pool_cls = _POOL_CLASSES[tier]
     policy = config.retry
@@ -292,7 +299,7 @@ def _pooled_pass(
         clean = False
         retry_round: list[_Tracked] = []
         try:
-            futures: list[tuple[Future[UnitResult], _Tracked]] = [
+            futures: list[tuple[Future[UnitOutcome], _Tracked]] = [
                 (pool.submit(solve_unit, t.unit), t) for t in pending
             ]
             deadline = None
@@ -312,6 +319,11 @@ def _pooled_pass(
                     report.timeouts += 1
                     report.retries += 1
                     retry_round.append(t)
+                    _log.debug(
+                        "unit timed out on %s tier (attempt %d); retrying",
+                        tier,
+                        t.attempts,
+                    )
                     continue
                 exc = future.exception()
                 if exc is None:
@@ -321,6 +333,12 @@ def _pooled_pass(
                     if is_transient(exc):
                         report.retries += 1
                         retry_round.append(t)
+                        _log.debug(
+                            "transient %s on %s tier (attempt %d); retrying",
+                            type(exc).__name__,
+                            tier,
+                            t.attempts,
+                        )
                     else:
                         t.deterministic = True
                         held.append(t)
@@ -341,57 +359,100 @@ def _serial_pass(
     tracked: "list[_Tracked]",
     config: ResilienceConfig,
     report: ResilienceReport,
-) -> Iterator[UnitResult]:
-    """Last rung: solve instance-by-instance, quarantining what still fails."""
-    policy = config.retry
+) -> Iterator[UnitOutcome]:
+    """Last rung: solve instance-by-instance, quarantining what still fails.
+
+    Observability mirrors :func:`~repro.engine.batch.solve_unit`: each unit
+    gets its own local context (activated for the duration, so the ambient
+    hooks inside the solvers record into it) and ships its payload home in
+    the yielded outcome — the exact protocol of the pooled tiers, which is
+    what makes counter aggregation tier-independent.
+    """
     for t in tracked:
         unit = replace(t.unit, tier="serial")
-        rows: UnitResult = []
-        for item in unit.pending:
-            profile = ChainProfile(item.chain)
-            results: dict[str, InstanceResult] = {}
-            for name in item.strategies:
-                solved: "InstanceResult | None" = None
-                failure: "Exception | None" = None
-                attempts = 0
-                for attempt in range(policy.max_attempts):
-                    if attempt:
-                        time.sleep(
-                            policy.delay(
-                                attempt - 1, token=f"serial:{item.index}:{name}"
-                            )
-                        )
-                    attempts += 1
-                    try:
-                        solved = solve_instance(
-                            profile,
-                            unit.resources,
-                            (name,),
-                            certify=unit.certify,
-                            faults=unit.faults,
-                            tier="serial",
-                        )[name]
-                        break
-                    except Exception as exc:
-                        failure = exc
-                        if not is_transient(exc):
-                            break
-                        report.retries += 1
-                if solved is not None:
-                    results[name] = solved
-                else:
-                    assert failure is not None
-                    report.quarantined += 1
-                    report.failures.append(
-                        FailureRecord(
-                            index=item.index,
-                            fingerprint=profile.fingerprint,
-                            strategy=name,
-                            error_type=type(failure).__name__,
-                            message=str(failure),
-                            attempts=t.attempts + attempts,
-                            tier="serial",
+        cfg = unit.obs
+        if cfg is not None and cfg.enabled:
+            context = cfg.create_context()
+            with activate(context):
+                with context.span(
+                    "unit", "engine", tier="serial", instances=len(unit.pending)
+                ):
+                    rows = _solve_serially(unit, t, config, report)
+            yield UnitOutcome(rows=rows, obs=context.payload())
+        else:
+            yield UnitOutcome(rows=_solve_serially(unit, t, config, report))
+
+
+def _solve_serially(
+    unit: WorkUnit,
+    t: _Tracked,
+    config: ResilienceConfig,
+    report: ResilienceReport,
+) -> UnitResult:
+    """Solve one unit instance-by-instance with per-cell retry/quarantine."""
+    policy = config.retry
+    rows: UnitResult = []
+    for item in unit.pending:
+        profile = ChainProfile(item.chain)
+        results: dict[str, InstanceResult] = {}
+        for name in item.strategies:
+            solved: "InstanceResult | None" = None
+            failure: "Exception | None" = None
+            attempts = 0
+            for attempt in range(policy.max_attempts):
+                if attempt:
+                    time.sleep(
+                        policy.delay(
+                            attempt - 1, token=f"serial:{item.index}:{name}"
                         )
                     )
-            rows.append((item.index, results))
-        yield rows
+                attempts += 1
+                try:
+                    solved = solve_instance(
+                        profile,
+                        unit.resources,
+                        (name,),
+                        certify=unit.certify,
+                        faults=unit.faults,
+                        tier="serial",
+                    )[name]
+                    break
+                except Exception as exc:
+                    failure = exc
+                    if not is_transient(exc):
+                        break
+                    report.retries += 1
+                    _log.debug(
+                        "transient %s for chain %d / %s on serial tier "
+                        "(attempt %d); retrying",
+                        type(exc).__name__,
+                        item.index,
+                        name,
+                        attempts,
+                    )
+            if solved is not None:
+                results[name] = solved
+            else:
+                assert failure is not None
+                report.quarantined += 1
+                report.failures.append(
+                    FailureRecord(
+                        index=item.index,
+                        fingerprint=profile.fingerprint,
+                        strategy=name,
+                        error_type=type(failure).__name__,
+                        message=str(failure),
+                        attempts=t.attempts + attempts,
+                        tier="serial",
+                    )
+                )
+                _log.warning(
+                    "quarantined chain %d / %s after %d attempt(s): %s: %s",
+                    item.index,
+                    name,
+                    t.attempts + attempts,
+                    type(failure).__name__,
+                    failure,
+                )
+        rows.append((item.index, results))
+    return rows

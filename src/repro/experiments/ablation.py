@@ -16,7 +16,6 @@ One driver consolidating the design-choice ablations DESIGN.md calls out:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,6 +27,7 @@ from ..core.herad import herad
 from ..core.norep import norep_period
 from ..core.twocatac import twocatac
 from ..core.types import Resources
+from ..obs.clock import monotonic
 from ..platform.presets import MAC_STUDIO
 from ..sdr.dvbs2 import dvbs2_mac_studio_chain
 from ..streampu.dynamic import simulate_dynamic_scheduler
@@ -89,12 +89,12 @@ def run(
     profiles = [
         ChainProfile(c) for c in chain_batch(max(5, num_chains // 6), config, seed=seed)
     ]
-    start = time.perf_counter()
+    start = monotonic()
     plain = [twocatac(p, resources) for p in profiles]
-    plain_s = time.perf_counter() - start
-    start = time.perf_counter()
+    plain_s = monotonic() - start
+    start = monotonic()
     memo = [twocatac(p, resources, memoize=True) for p in profiles]
-    memo_s = time.perf_counter() - start
+    memo_s = monotonic() - start
     # The ablation's whole point is that memoization is bitwise-transparent,
     # so this must stay an exact comparison — isclose would mask a regression.
     equal = all(

@@ -9,11 +9,11 @@ synthetic executor chain on the threaded runtime.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..analysis.tables import render_table
 from ..core.types import CoreType
+from ..obs.clock import monotonic
 from ..sdr.dvbs2 import DVBS2_TASK_TABLE, dvbs2_mac_studio_chain
 from ..streampu.module import SyntheticSleepTask
 
@@ -65,10 +65,10 @@ def profile_chain_executors(
         executor = SyntheticSleepTask(
             weight=task.weight(CoreType.BIG), time_scale=time_scale
         )
-        start = time.perf_counter()
+        start = monotonic()
         for _ in range(repetitions):
             executor.process(None)
-        elapsed = (time.perf_counter() - start) / repetitions
+        elapsed = (monotonic() - start) / repetitions
         rows.append((task.name, task.weight_big, elapsed / time_scale))
     return rows
 

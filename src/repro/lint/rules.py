@@ -26,6 +26,10 @@ Each rule guards one invariant the paper's correctness claims depend on
 * ``broad-except`` — ``except:`` and ``except BaseException`` swallow
   ``KeyboardInterrupt``/``SystemExit``; only the resilience layer (whose
   contract is to classify and re-raise them) may catch that broadly.
+* ``raw-timing`` — every timing decision routes through the observability
+  clock (:mod:`repro.obs.clock`), so what a timestamp means is decided in
+  exactly one audited module; scattered ``time.perf_counter()`` calls
+  fragment that authority.
 
 All rules are heuristic AST checks: they prefer false negatives over false
 positives, and intentional exceptions carry a per-line
@@ -48,6 +52,7 @@ __all__ = [
     "NoPrintRule",
     "PicklableWorkersRule",
     "BroadExceptRule",
+    "RawTimingRule",
 ]
 
 
@@ -810,6 +815,97 @@ class BroadExceptRule(LintRule):
         if isinstance(node, ast.Tuple):
             return list(node.elts)
         return [node]
+
+
+# ---------------------------------------------------------------------------
+# REP110 — raw-timing
+# ---------------------------------------------------------------------------
+
+#: Modules sanctioned to read raw clocks: the obs clock module itself (the
+#: single timing authority), its tracer (hot-path span timestamps), and the
+#: StreamPU profiler (models the C++ runtime's own instrumentation).
+_RAW_TIMING_ALLOWED = ("repro.obs.", "repro.streampu.profiler")
+
+#: ``time``-module functions that read a clock.  ``time.sleep`` is *not*
+#: timing (it consumes time, it doesn't measure it) and stays legal.
+_CLOCK_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+
+@register
+class RawTimingRule(LintRule):
+    """Raw ``time.*`` clock reads outside the observability clock module."""
+
+    id = "REP110"
+    name = "raw-timing"
+    description = (
+        "timing routes through repro.obs.clock (monotonic()/wall()) so the "
+        "project has one audited place deciding what a timestamp means; "
+        "only repro/obs and the StreamPU profiler read time.* directly"
+    )
+    hint = (
+        "from repro.obs.clock import monotonic  # durations\n"
+        "    (or wall() for display timestamps); time.sleep is fine"
+    )
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        if not ctx.module.startswith("repro"):
+            return False
+        return ctx.module != "repro.obs" and not ctx.module.startswith(
+            _RAW_TIMING_ALLOWED
+        )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        # Only names actually bound to the time module (or imported from it)
+        # are flagged: a local function named monotonic — e.g. the obs clock
+        # imported as `from repro.obs.clock import monotonic` — must not
+        # false-positive.
+        self._time_aliases: set[str] = set()
+        self._clock_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        self._time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in _CLOCK_READS:
+                            self._clock_names.add(alias.asname or alias.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CLOCK_READS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        ):
+            self.report(
+                node,
+                f"raw clock read time.{func.attr}() outside repro.obs",
+            )
+        elif isinstance(func, ast.Name) and func.id in self._clock_names:
+            self.report(
+                node,
+                f"raw clock read {func.id}() (imported from time) outside "
+                "repro.obs",
+            )
+        self.generic_visit(node)
 
 
 def all_rule_docs() -> "list[tuple[str, str, str]]":

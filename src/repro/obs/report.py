@@ -1,0 +1,161 @@
+"""RunReport: the human-readable end-of-run summary.
+
+Aggregates the session's spans and metrics into the three things someone
+tuning a campaign actually asks: *where did the wall-clock go* (top time
+sinks by span name), *did the memo help* (hit rate), and *did anything go
+wrong* (retries, degradations, quarantines).  The CLI prints
+:meth:`RunReport.render` when ``--metrics`` is set.
+
+Time sinks aggregate **self time is not attempted** — sinks report inclusive
+span time by (name, category), which double-counts nested spans by design:
+the question answered is "how much wall-clock had a ``solve`` span open",
+not an exclusive-cost flamegraph (that is what the Chrome trace is for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .context import Observability
+from .metrics import HistogramStats, MetricsSnapshot
+from .span import Span
+
+__all__ = ["SpanSink", "RunReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanSink:
+    """Aggregated inclusive time for one span (name, category)."""
+
+    name: str
+    category: str
+    count: int
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def _aggregate_sinks(spans: tuple[Span, ...]) -> tuple[SpanSink, ...]:
+    totals: dict[tuple[str, str], tuple[int, float]] = {}
+    for span in spans:
+        key = (span.name, span.category)
+        count, total = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, total + span.duration)
+    sinks = [
+        SpanSink(name=name, category=category, count=count, total_seconds=total)
+        for (name, category), (count, total) in totals.items()
+    ]
+    sinks.sort(key=lambda sink: (-sink.total_seconds, sink.name))
+    return tuple(sinks)
+
+
+@dataclass(frozen=True, slots=True)
+class RunReport:
+    """Everything the end-of-run summary needs, in one picklable value."""
+
+    wall_seconds: float
+    sinks: tuple[SpanSink, ...]
+    counters: tuple[tuple[str, float], ...]
+    histograms: tuple[tuple[str, HistogramStats], ...]
+
+    @classmethod
+    def from_observability(
+        cls, obs: Observability, wall_seconds: float
+    ) -> "RunReport":
+        snapshot = obs.metrics.snapshot()
+        return cls.from_parts(obs.spans(), snapshot, wall_seconds)
+
+    @classmethod
+    def from_parts(
+        cls,
+        spans: tuple[Span, ...],
+        metrics: MetricsSnapshot,
+        wall_seconds: float,
+    ) -> "RunReport":
+        return cls(
+            wall_seconds=wall_seconds,
+            sinks=_aggregate_sinks(spans),
+            counters=metrics.counters,
+            histograms=metrics.histograms,
+        )
+
+    def counter(self, name: str) -> float:
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return 0.0
+
+    @property
+    def memo_hits(self) -> float:
+        return self.counter("memo.hits")
+
+    @property
+    def memo_misses(self) -> float:
+        return self.counter("memo.misses")
+
+    @property
+    def memo_hit_rate(self) -> float:
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
+    @property
+    def retries(self) -> float:
+        return self.counter("resilience.retries")
+
+    @property
+    def quarantined(self) -> float:
+        return self.counter("resilience.quarantined")
+
+    @property
+    def degradations(self) -> float:
+        return self.counter("resilience.degradations")
+
+    def render(self, top: int = 10) -> str:
+        """Format the report for terminal output."""
+        lines = ["== Run report =="]
+        lines.append(f"wall-clock: {self.wall_seconds:.3f}s")
+
+        if self.sinks:
+            lines.append(f"top time sinks (inclusive, top {min(top, len(self.sinks))}):")
+            for sink in self.sinks[:top]:
+                lines.append(
+                    f"  {sink.total_seconds:9.3f}s  {sink.name:<24s} "
+                    f"[{sink.category}]  x{sink.count}  "
+                    f"(mean {sink.mean_seconds * 1e3:.2f}ms)"
+                )
+        else:
+            lines.append("no spans recorded (run with --trace to collect them)")
+
+        lookups = self.memo_hits + self.memo_misses
+        if lookups:
+            lines.append(
+                f"memo: {self.memo_hits:.0f}/{lookups:.0f} hits "
+                f"({self.memo_hit_rate:.1%})"
+            )
+        failures = self.quarantined
+        if failures or self.retries or self.degradations:
+            lines.append(
+                f"failures: {failures:.0f} quarantined, "
+                f"{self.retries:.0f} retries, {self.degradations:.0f} degradations"
+            )
+        else:
+            lines.append("failures: none")
+
+        shown = {"memo.hits", "memo.misses", "resilience.retries",
+                 "resilience.quarantined", "resilience.degradations"}
+        other = [(name, value) for name, value in self.counters if name not in shown]
+        if other:
+            lines.append("counters:")
+            for name, value in other:
+                rendered = f"{value:.0f}" if value == int(value) else f"{value:.3f}"
+                lines.append(f"  {name} = {rendered}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name, stats in self.histograms:
+                lines.append(
+                    f"  {name}: n={stats.count} mean={stats.mean * 1e3:.3f}ms "
+                    f"min={stats.minimum * 1e3:.3f}ms max={stats.maximum * 1e3:.3f}ms"
+                )
+        return "\n".join(lines)

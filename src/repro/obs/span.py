@@ -1,0 +1,53 @@
+"""The span record: one completed timed region.
+
+A :class:`Span` is deliberately a frozen, slotted, fully-picklable value:
+process-tier workers record spans locally and ship them back to the engine
+inside their work-unit results, so the record must survive a round trip
+through :mod:`pickle` and must not hold references into worker-local state.
+
+Attributes are stored as a sorted tuple of ``(key, value)`` pairs rather
+than a dict so that spans are hashable and their pickled form is
+deterministic — two runs that record the same spans produce byte-identical
+payloads, which keeps the traced-vs-untraced determinism test honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+AttrValue = str | int | float | bool
+"""Permitted span-attribute value types (must be JSON-representable)."""
+
+__all__ = ["AttrValue", "Span"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A completed timed region on one thread of one process.
+
+    ``parent_id`` encodes explicit nesting: it is the ``span_id`` of the
+    span that was open on the same thread when this one started, or ``None``
+    for a root span.  ``depth`` is the nesting depth at entry (roots are 0);
+    the Chrome-trace exporter uses it to order begin/end events that share a
+    timestamp.
+    """
+
+    name: str
+    category: str
+    start: float
+    end: float
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attrs: tuple[tuple[str, AttrValue], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds on the monotonic clock."""
+        return self.end - self.start
+
+    def attr_dict(self) -> dict[str, AttrValue]:
+        """Attributes as a plain dict (for exporters and reports)."""
+        return dict(self.attrs)

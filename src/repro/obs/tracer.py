@@ -1,0 +1,233 @@
+"""Span-based tracer with per-thread buffers.
+
+Concurrency model
+-----------------
+Thread-tier campaigns record spans from multiple pool threads at once.
+Rather than serialising every span append through one lock (which would put
+a lock acquisition on the solve hot path), each thread gets its own buffer
+and span stack via :class:`threading.local`; the only locked operation is
+registering a brand-new thread's buffer, which happens once per thread.
+``collect()`` merges all buffers into one deterministic order.
+
+Process-tier campaigns can't share a tracer at all: each worker process
+builds its own :class:`Tracer` (from the picklable
+:class:`~repro.obs.context.ObsConfig` carried by the work unit), records
+spans, and returns them inside the unit result.  The engine then feeds them
+to :meth:`Tracer.absorb` on the parent tracer.  Because the monotonic clock
+is system-wide on Linux, absorbed spans interleave correctly with local
+ones when sorted by start time.
+
+Span ids are allocated from a single :class:`itertools.count`; ``next()`` on
+a count is atomic under the GIL, so ids are unique across threads without a
+lock.  Ids are *not* unique across processes — (pid, span_id) is the globally
+unique key, and ``parent_id`` only ever refers to a span with the same pid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections.abc import Iterable, Iterator
+from types import TracebackType
+from typing import Protocol
+
+from .clock import monotonic as _clock
+from .span import AttrValue, Span
+
+__all__ = ["SpanHandle", "TracerLike", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class SpanHandle(Protocol):
+    """Context manager returned by ``TracerLike.span``."""
+
+    def __enter__(self) -> None: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None: ...
+
+
+class TracerLike(Protocol):
+    """Structural interface shared by :class:`Tracer` and :class:`NullTracer`."""
+
+    enabled: bool
+
+    def span(self, name: str, category: str = ..., **attrs: AttrValue) -> SpanHandle: ...
+
+    def collect(self) -> tuple[Span, ...]: ...
+
+    def absorb(self, spans: Iterable[Span]) -> None: ...
+
+
+class _ThreadState(threading.local):
+    """Per-thread span stack and buffer; created lazily on first use."""
+
+    def __init__(self) -> None:
+        self.stack: list[int] = []
+        self.buffer: list[Span] | None = None
+
+
+class _SpanScope:
+    """Open span: records start on ``__enter__`` and the Span on ``__exit__``.
+
+    Hand-rolled rather than ``@contextmanager`` because a generator frame
+    per span is measurably heavier than a tiny object, and spans wrap hot
+    engine paths.
+    """
+
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_start", "_span_id", "_parent_id", "_depth")
+
+    def __init__(self, tracer: Tracer, name: str, category: str, attrs: tuple[tuple[str, AttrValue], ...]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attrs = attrs
+        self._start = 0.0
+        self._span_id = 0
+        self._parent_id: int | None = None
+        self._depth = 0
+
+    def __enter__(self) -> None:
+        tracer = self._tracer
+        state = tracer._state
+        stack = state.stack
+        self._parent_id = stack[-1] if stack else None
+        self._depth = len(stack)
+        self._span_id = next(tracer._ids)
+        stack.append(self._span_id)
+        # Start the clock last so setup cost stays outside the span.
+        self._start = _clock()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        end = _clock()
+        tracer = self._tracer
+        state = tracer._state
+        state.stack.pop()
+        buffer = state.buffer
+        if buffer is None:
+            buffer = tracer._register_buffer()
+        buffer.append(
+            Span(
+                name=self._name,
+                category=self._category,
+                start=self._start,
+                end=end,
+                pid=tracer._pid,
+                tid=threading.get_ident(),
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                depth=self._depth,
+                attrs=self._attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects :class:`Span` records from any number of threads."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._state = _ThreadState()
+        self._lock = threading.Lock()
+        self._buffers: list[list[Span]] = []
+        self._foreign: list[Span] = []
+
+    def _register_buffer(self) -> list[Span]:
+        buffer: list[Span] = []
+        self._state.buffer = buffer
+        with self._lock:
+            self._buffers.append(buffer)
+        return buffer
+
+    def span(self, name: str, category: str = "misc", **attrs: AttrValue) -> _SpanScope:
+        """Open a span; use as ``with tracer.span("solve", strategy=s): ...``."""
+        items = tuple(sorted(attrs.items())) if attrs else ()
+        return _SpanScope(self, name, category, items)
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Adopt spans recorded by another tracer (typically a worker process)."""
+        with self._lock:
+            self._foreign.extend(spans)
+
+    def collect(self) -> tuple[Span, ...]:
+        """Merge all buffers into one deterministically-ordered tuple.
+
+        Sorted by ``(start, depth, pid, span_id)``: start time first so the
+        timeline reads chronologically, depth second so an enclosing span
+        sorts before children that started the same instant.
+        """
+        with self._lock:
+            merged: list[Span] = []
+            for buffer in self._buffers:
+                merged.extend(buffer)
+            merged.extend(self._foreign)
+        merged.sort(key=lambda s: (s.start, s.depth, s.pid, s.span_id))
+        return tuple(merged)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (buffers stay registered)."""
+        with self._lock:
+            for buffer in self._buffers:
+                buffer.clear()
+            self._foreign.clear()
+
+
+class _NullScope:
+    """Shared no-op context manager; a single instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullTracer:
+    """Zero-overhead tracer: every span is the same shared no-op scope."""
+
+    enabled = False
+
+    def span(self, name: str, category: str = "misc", **attrs: AttrValue) -> _NullScope:
+        return _NULL_SCOPE
+
+    def collect(self) -> tuple[Span, ...]:
+        return ()
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+"""Module-level singleton used wherever tracing is disabled."""
+
+
+def _iter_buffers_for_test(tracer: Tracer) -> Iterator[int]:
+    """Buffer sizes, for white-box tests of the per-thread buffer scheme."""
+    with tracer._lock:
+        for buffer in tracer._buffers:
+            yield len(buffer)

@@ -21,13 +21,13 @@ Notes on fidelity:
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.chain_stats import ChainProfile, profile_of
 from ..core.solution import Solution
+from ..obs.clock import monotonic
 from ..core.task import TaskChain
 from .channels import ChannelClosedError, Frame, OrderedChannel
 from .metrics import ThroughputReport, steady_state_period
@@ -217,7 +217,7 @@ class PipelineRuntime:
         source_thread = threading.Thread(target=source, name="source", daemon=True)
         threads.append(source_thread)
 
-        start_time = time.perf_counter()
+        start_time = monotonic()
         for t in threads:
             t.start()
 
@@ -228,7 +228,7 @@ class PipelineRuntime:
             frame = channels[-1].get(timeout=timeout)
             if frame is None:
                 break
-            completions[frame.index] = time.perf_counter() - start_time
+            completions[frame.index] = monotonic() - start_time
             payloads[frame.index] = frame.payload
             received += 1
 

@@ -68,9 +68,10 @@ class TestBatch:
             ),
             resources=Resources(2, 2),
         )
-        rows = solve_unit(unit)
-        assert [index for index, _ in rows] == [0, 1, 2]
-        for _, results in rows:
+        outcome = solve_unit(unit)
+        assert outcome.obs is None  # observability off: no payload shipped
+        assert [index for index, _ in outcome.rows] == [0, 1, 2]
+        for _, results in outcome.rows:
             assert set(results) == {"fertac", "otac_b"}
             for result in results.values():
                 assert np.isfinite(result.period)

@@ -1,0 +1,203 @@
+"""Engine + observability: bitwise parity, span coverage, exact counters.
+
+The contract under test (DESIGN.md §10): instrumentation is recorded *about*
+the campaign and never consulted by it — results are bitwise identical with
+observability on or off, for every backend — and counters merged from worker
+payloads are *exact*, not sampled: a ``--jobs 4`` process campaign reports
+the same numbers as the serial run, even with faults firing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.registry import PAPER_ORDER
+from repro.core.types import Resources
+from repro.engine import (
+    CampaignEngine,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.obs import Observability, ObsConfig, monotonic, validate_chrome_trace, to_chrome_trace
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chains(count=6, num_tasks=8, seed=0):
+    config = GeneratorConfig(num_tasks=num_tasks, stateless_ratio=0.5)
+    return list(chain_batch(count, config, seed=seed))
+
+
+def _assert_same_arrays(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name].periods, b[name].periods)
+        np.testing.assert_array_equal(a[name].big_used, b[name].big_used)
+        np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
+
+
+def _resilience_counters(engine):
+    return {
+        name: value
+        for name, value in engine.obs.metrics.counters().items()
+        if name.startswith("resilience.")
+    }
+
+
+class TestBitwiseParity:
+    """Tracing on vs off must not change a single result bit."""
+
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("thread", 2), ("process", 4)])
+    def test_traced_matches_untraced(self, backend, jobs):
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        plain = CampaignEngine(jobs=jobs, backend=backend, memo=False, chunk_size=2)
+        traced = CampaignEngine(
+            jobs=jobs, backend=backend, memo=False, chunk_size=2, obs=True
+        )
+        _assert_same_arrays(
+            plain.solve_instances(chains, resources, PAPER_ORDER),
+            traced.solve_instances(chains, resources, PAPER_ORDER),
+        )
+
+
+class TestSpanCoverage:
+    def test_root_span_covers_the_campaign_wall_time(self):
+        chains = _chains(6)
+        engine = CampaignEngine(jobs=2, backend="process", memo=False, obs=True)
+        start = monotonic()
+        engine.solve_instances(chains, Resources(3, 3), PAPER_ORDER)
+        wall = monotonic() - start
+        spans = engine.obs.spans()
+        (root,) = [span for span in spans if span.name == "campaign"]
+        assert root.duration / wall >= 0.95
+        # Worker spans land inside the root span's window.
+        for span in spans:
+            assert span.start >= root.start - 1e-9
+            assert span.end <= root.end + 1e-9
+
+    def test_trace_of_a_process_campaign_is_chrome_valid(self):
+        chains = _chains(6)
+        engine = CampaignEngine(jobs=2, backend="process", memo=False, obs=True)
+        engine.solve_instances(chains, Resources(3, 3), ("herad", "fertac"))
+        document = to_chrome_trace(engine.obs.spans(), engine.obs.metrics.snapshot())
+        assert validate_chrome_trace(document) == []
+        assert len([s for s in engine.obs.spans() if s.name == "solve"]) == 12
+
+
+class TestExactCounters:
+    """Merged worker counters equal the serial run's, to the last increment."""
+
+    def test_fault_free_process_counters_match_serial(self):
+        chains = _chains(6)
+        resources = Resources(3, 3)
+
+        def run(jobs, backend):
+            engine = CampaignEngine(
+                jobs=jobs, backend=backend, memo=False, chunk_size=1,
+                obs=ObsConfig(metrics=True),
+            )
+            engine.solve_instances(chains, resources, PAPER_ORDER)
+            return engine.obs.metrics.counters()
+
+        serial = run(1, "serial")
+        assert serial["solve.count"] == len(chains) * len(PAPER_ORDER)
+        assert serial["binary_search.calls"] > 0
+        assert serial["herad.calls"] == len(chains)
+        assert run(4, "process") == serial
+        assert run(2, "thread") == serial
+
+    def test_faulted_process_counters_match_serial(self, tmp_path):
+        """Injected faults: retries/quarantines count identically on every tier."""
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        bug_chain = ChainProfile(chains[2]).fingerprint
+
+        def run(jobs, backend, state_dir):
+            plan = FaultPlan(
+                specs=(
+                    # One chain's fertac has a deterministic bug -> quarantined.
+                    # times is high enough that the bug persists down the whole
+                    # process -> thread -> serial degradation ladder.
+                    FaultSpec(
+                        kind="bug",
+                        fingerprint=bug_chain,
+                        strategy="fertac",
+                        times=10,
+                    ),
+                    # Every other chain's fertac fails transiently once -> retried.
+                    FaultSpec(kind="raise", strategy="fertac", times=1),
+                ),
+                state_dir=str(state_dir),
+            )
+            engine = CampaignEngine(
+                jobs=jobs,
+                backend=backend,
+                memo=False,
+                chunk_size=1,
+                resilience=ResilienceConfig(
+                    retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+                ),
+                faults=plan,
+                obs=ObsConfig(metrics=True),
+            )
+            arrays = engine.solve_instances(chains, resources, ("fertac", "herad"))
+            return arrays, _resilience_counters(engine), engine
+
+        serial_arrays, serial_counters, _ = run(1, "serial", tmp_path / "serial")
+        process_arrays, process_counters, engine = run(
+            4, "process", tmp_path / "process"
+        )
+
+        # Retry and quarantine counts are tier-independent facts about the
+        # campaign; degradation counts are not (the serial tier has no ladder
+        # left to descend), so they are exempt from the parity claim.
+        for name in ("resilience.retries", "resilience.quarantined"):
+            assert serial_counters.get(name) == process_counters.get(name), name
+        assert serial_counters["resilience.retries"] == 5.0
+        assert serial_counters["resilience.quarantined"] == 1.0
+        assert "resilience.degradations" not in serial_counters
+        assert process_counters.get("resilience.degradations", 0.0) >= 1.0
+        # Quarantined cells are NaN sentinels on both tiers, solved cells equal.
+        for name in ("fertac", "herad"):
+            np.testing.assert_array_equal(
+                serial_arrays[name].periods, process_arrays[name].periods
+            )
+            np.testing.assert_array_equal(
+                serial_arrays[name].big_used, process_arrays[name].big_used
+            )
+        assert np.isnan(serial_arrays["fertac"].periods[2])
+        assert len(engine.failures) == 1
+
+    def test_memo_hit_counters_are_exact(self):
+        chains = _chains(4)
+        resources = Resources(2, 2)
+        engine = CampaignEngine(jobs=1, memo=True, obs=ObsConfig(metrics=True))
+        engine.solve_instances(chains, resources, PAPER_ORDER)
+        first = engine.obs.metrics.counter("memo.misses")
+        assert first == len(chains) * len(PAPER_ORDER)
+        assert engine.obs.metrics.counter("memo.hits") == 0.0
+        engine.solve_instances(chains, resources, PAPER_ORDER)
+        assert engine.obs.metrics.counter("memo.hits") == len(chains) * len(PAPER_ORDER)
+
+
+class TestNoOpPath:
+    def test_disabled_engine_ships_no_payloads(self):
+        chains = _chains(4)
+        engine = CampaignEngine(jobs=1, backend="serial", memo=False)
+        assert engine.obs.enabled is False
+        assert engine.obs.worker_config() is None
+        engine.solve_instances(chains, Resources(2, 2), ("fertac",))
+        assert engine.obs.spans() == ()
+        assert engine.obs.metrics.snapshot().empty
+
+    def test_observability_accepts_config_and_instance(self):
+        obs = Observability(ObsConfig(trace=True))
+        assert CampaignEngine(obs=obs).obs is obs
+        assert CampaignEngine(obs=ObsConfig(metrics=True)).obs.enabled
+        assert CampaignEngine(obs=True).obs.config == ObsConfig(
+            trace=True, metrics=True
+        )

@@ -140,3 +140,48 @@ def test_hardened_run_matches_plain(capsys, tmp_path):
     assert main(["fig2", "--chains", "6", "--resume", str(journal)]) == 0
     resumed = capsys.readouterr().out
     assert resumed == plain
+
+
+def test_obs_flags_default_off():
+    parser = build_parser()
+    args = parser.parse_args(["table1"])
+    assert args.trace is None
+    assert args.metrics is False
+    assert args.log_level == "info"
+
+
+def test_log_level_parses_and_rejects_unknown():
+    parser = build_parser()
+    assert parser.parse_args(["table1", "--log-level", "debug"]).log_level == "debug"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table1", "--log-level", "verbose"])
+
+
+def test_traced_run_matches_plain_and_writes_valid_trace(capsys, tmp_path):
+    """--trace must not change stdout, and must emit Chrome-valid JSON."""
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    assert main(["fig2", "--chains", "6"]) == 0
+    plain = capsys.readouterr().out
+    trace = tmp_path / "trace.json"
+    assert main(["fig2", "--chains", "6", "--trace", str(trace), "--jobs", "2"]) == 0
+    traced = capsys.readouterr().out
+    assert traced == plain
+    document = json.loads(trace.read_text())
+    assert validate_chrome_trace(document) == []
+    names = {event["name"] for event in document["traceEvents"]}
+    assert "experiment" in names and "campaign" in names
+
+
+def test_metrics_flag_prints_run_report(capsys):
+    from repro.engine import reset_default_engine
+
+    # Drop the shared memo so the report shows real solves, not just replay.
+    reset_default_engine()
+    assert main(["fig2", "--chains", "6", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "== Run report ==" in out
+    assert "memo:" in out
+    assert "failures: none" in out

@@ -578,3 +578,107 @@ class TestBroadExcept:
             rules=["broad-except"],
         )
         assert findings == ()
+
+
+class TestRawTiming:
+    """REP110: raw clock reads are confined to repro.obs (and the profiler)."""
+
+    def test_flags_perf_counter_attribute_call(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            rules=["raw-timing"],
+        )
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REP110"
+        assert "perf_counter" in findings[0].message
+
+    def test_flags_aliased_module(self, lint_source):
+        findings = lint_source(
+            """
+            import time as clock
+
+            def measure():
+                return clock.monotonic()
+            """,
+            rules=["raw-timing"],
+        )
+        assert len(findings) == 1
+
+    def test_flags_from_import_call(self, lint_source):
+        findings = lint_source(
+            """
+            from time import perf_counter
+
+            def measure():
+                return perf_counter()
+            """,
+            rules=["raw-timing"],
+        )
+        assert len(findings) == 1
+
+    def test_allows_time_sleep(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def backoff(delay):
+                time.sleep(delay)
+            """,
+            rules=["raw-timing"],
+        )
+        assert findings == ()
+
+    def test_obs_clock_module_is_exempt(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def monotonic():
+                return time.perf_counter()
+            """,
+            relpath="src/repro/obs/clock.py",
+            rules=["raw-timing"],
+        )
+        assert findings == ()
+
+    def test_streampu_profiler_is_exempt(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """,
+            relpath="src/repro/streampu/profiler.py",
+            rules=["raw-timing"],
+        )
+        assert findings == ()
+
+    def test_obs_clock_import_is_not_flagged(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.obs.clock import monotonic
+
+            def measure():
+                return monotonic()
+            """,
+            rules=["raw-timing"],
+        )
+        assert findings == ()
+
+    def test_pragma_suppresses(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()  # lint: ignore[raw-timing]
+            """,
+            rules=["raw-timing"],
+        )
+        assert findings == ()

@@ -1,0 +1,140 @@
+"""Tests for the span tracer (repro.obs.tracer / repro.obs.span)."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.obs.tracer import _iter_buffers_for_test
+
+
+class TestSpanRecording:
+    def test_single_span_has_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("solve", "engine", strategy="herad", tier="serial"):
+            pass
+        (span,) = tracer.collect()
+        assert span.name == "solve"
+        assert span.category == "engine"
+        assert span.end >= span.start
+        assert span.duration == span.end - span.start
+        assert span.attr_dict() == {"strategy": "herad", "tier": "serial"}
+        assert span.parent_id is None
+        assert span.depth == 0
+
+    def test_nesting_links_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {span.name: span for span in tracer.collect()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].depth == 1
+        assert spans["outer"].depth == 0
+        # The child closed first but collect() orders by start time.
+        assert tracer.collect()[0].name == "outer"
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {span.name: span for span in tracer.collect()}
+        assert spans["a"].parent_id == spans["parent"].span_id
+        assert spans["b"].parent_id == spans["parent"].span_id
+        assert spans["a"].span_id != spans["b"].span_id
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tracer.collect()
+        assert span.name == "doomed"
+        assert span.end >= span.start
+
+    def test_clear_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.collect() == ()
+
+
+class TestThreading:
+    def test_each_thread_gets_its_own_buffer(self):
+        tracer = Tracer()
+
+        def record(name):
+            with tracer.span(name):
+                pass
+
+        threads = [
+            threading.Thread(target=record, args=(f"t{i}",)) for i in range(4)
+        ]
+        with tracer.span("main"):
+            pass
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.collect()
+        assert {span.name for span in spans} == {"main", "t0", "t1", "t2", "t3"}
+        # One buffer per recording thread, one span each.  (Thread *idents*
+        # may be reused by the OS, so tids are not asserted unique.)
+        assert sorted(_iter_buffers_for_test(tracer)) == [1, 1, 1, 1, 1]
+
+    def test_parenting_never_crosses_threads(self):
+        tracer = Tracer()
+        child_parent = []
+
+        def record():
+            with tracer.span("worker"):
+                pass
+            child_parent.append(
+                next(s for s in tracer.collect() if s.name == "worker").parent_id
+            )
+
+        with tracer.span("ambient-on-main"):
+            thread = threading.Thread(target=record)
+            thread.start()
+            thread.join()
+        assert child_parent == [None]
+
+
+class TestAbsorb:
+    def test_absorbed_spans_interleave_by_start_time(self):
+        local = Tracer()
+        remote = Tracer()
+        with remote.span("remote-early"):
+            pass
+        with local.span("local-late"):
+            pass
+        local.absorb(remote.collect())
+        names = [span.name for span in local.collect()]
+        assert names == ["remote-early", "local-late"]
+
+    def test_spans_pickle_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("unit", "engine", instances=3):
+            pass
+        spans = tracer.collect()
+        restored = pickle.loads(pickle.dumps(spans))
+        assert restored == spans
+        assert isinstance(restored[0], Span)
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", attr=1):
+            pass
+        assert NULL_TRACER.collect() == ()
+        assert NULL_TRACER.enabled is False
+
+    def test_null_scope_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
