@@ -39,10 +39,18 @@ from repro.core.chain_stats import ChainProfile  # noqa: E402
 from repro.core.registry import PAPER_ORDER  # noqa: E402
 from repro.core.types import Resources  # noqa: E402
 from repro.engine import CampaignEngine  # noqa: E402
-from repro.workloads.synthetic import GeneratorConfig, chain_batch  # noqa: E402
+from repro.workloads.synthetic import (  # noqa: E402
+    GeneratorConfig,
+    chain_batch,
+    ktype_chain_batch,
+)
 
 TABLE1_BUDGET = Resources(10, 10)
 TABLE1_BUDGETS = (Resources(16, 4), Resources(10, 10), Resources(4, 16))
+#: The k-type overhead scenario: a 3-class budget and the strategies that
+#: accept it (tracks what the k-type generalization costs on the hot path).
+KTYPE_BUDGET = Resources.from_counts((4, 4, 2))
+KTYPE_STRATEGIES = ("fertac", "2catac", "otac_b", "otac_l")
 
 
 def _time(fn, repeats: int = 1) -> tuple[float, object]:
@@ -150,6 +158,26 @@ def main(argv: "list[str] | None" = None) -> int:
             for name in PAPER_ORDER
         }
 
+    # k-type solve scenario: per-strategy latency on a 3-class budget, so
+    # the engine trajectory also tracks the k-type generalization overhead.
+    ktype_config = GeneratorConfig(num_tasks=12, stateless_ratio=0.5)
+    ktype_profiles = [
+        ChainProfile(c)
+        for c in ktype_chain_batch(
+            args.latency_chains, ktype_config, ktype=3, seed=args.seed + 2
+        )
+    ]
+    ktype_key = "(" + ",".join(str(c) for c in KTYPE_BUDGET.counts) + ")"
+    ktype_latencies_us = {
+        name: round(
+            serial_engine.measure_latency(name, ktype_profiles, KTYPE_BUDGET)
+            * 1e6,
+            1,
+        )
+        for name in KTYPE_STRATEGIES
+    }
+    print(f"  k-type latency  budget {ktype_key}: {ktype_latencies_us}")
+
     report = {
         "benchmark": "campaign engine trajectory",
         "scenario": {
@@ -183,6 +211,12 @@ def main(argv: "list[str] | None" = None) -> int:
             "entries": memo_engine.memo.stats.size,
         },
         "strategy_latency_us": latencies_us,
+        "ktype_scenario": {
+            "budget": list(KTYPE_BUDGET.counts),
+            "num_tasks": 12,
+            "chains": args.latency_chains,
+            "strategy_latency_us": ktype_latencies_us,
+        },
         "engine_vs_serial_mismatch": mismatch,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")

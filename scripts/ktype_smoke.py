@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""k-type differential smoke: reference solver vs heuristics on k=3.
+
+Schedules a batch of synthetic 3-type chains on a small 3-class platform
+and checks, per instance:
+
+1. the exhaustive reference solver's solution passes the independent
+   certificate checker (validity + per-class budget accounting);
+2. every k-type heuristic (FERTAC, 2CATAC, OTAC variants) certifies too;
+3. no heuristic beats the reference period by more than the binary-search
+   tolerance (the reference is eps-optimal, so a "better" heuristic means
+   one of the two solvers is wrong);
+4. the same chains truncated to their first two weight columns reproduce
+   the k=2 pipeline: the reference agrees with HeRAD within tolerance.
+
+Any violation exits non-zero (CI ``ktype-smoke`` job).
+
+Usage::
+
+    PYTHONPATH=src python scripts/ktype_smoke.py [--chains 12] [--num-tasks 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.bounds import search_epsilon
+from repro.core.certify import certify_outcome
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import SchedulingError
+from repro.core.herad import herad
+from repro.core.reference import ktype_reference
+from repro.core.registry import get_info
+from repro.core.task import TaskChain
+from repro.core.types import Resources
+from repro.workloads.synthetic import GeneratorConfig, ktype_chain_batch
+
+#: k-type heuristics differentially tested against the reference solver.
+HEURISTICS = ("fertac", "2catac", "otac_b", "otac_l")
+
+
+def _two_type_projection(chain: TaskChain) -> TaskChain:
+    """The same chain restricted to its big/little weight columns."""
+    return TaskChain.from_weight_matrix(
+        [
+            [task.weight(0) for task in chain.tasks],
+            [task.weight(1) for task in chain.tasks],
+        ],
+        [task.replicable for task in chain.tasks],
+        name=f"{chain.name}-k2",
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=12)
+    parser.add_argument("--num-tasks", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    budget = Resources.from_counts((3, 3, 2))
+    k2_budget = Resources(3, 3)
+    eps = search_epsilon(budget)
+    config = GeneratorConfig(num_tasks=args.num_tasks, stateless_ratio=0.5)
+    chains = list(
+        ktype_chain_batch(args.chains, config, ktype=3, seed=args.seed)
+    )
+    print(
+        f"[ktype-smoke] {len(chains)} chains x ({len(HEURISTICS)} heuristics "
+        f"+ reference) on {budget}"
+    )
+
+    failures = 0
+    for chain in chains:
+        profile = ChainProfile(chain)
+        try:
+            reference = ktype_reference(profile, budget)
+            certify_outcome(
+                reference, profile, budget, optimal=False, context="ktype_ref"
+            )
+        except SchedulingError as error:
+            print(f"FAIL {chain.name} ktype_ref: {error}")
+            failures += 1
+            continue
+        for name in HEURISTICS:
+            info = get_info(name)
+            try:
+                outcome = info.func(profile, budget)
+                certify_outcome(
+                    outcome, profile, budget, optimal=False, context=name
+                )
+            except SchedulingError as error:
+                print(f"FAIL {chain.name} {name}: {error}")
+                failures += 1
+                continue
+            if outcome.period < reference.period - eps:
+                print(
+                    f"FAIL {chain.name} {name}: period {outcome.period:.6g} "
+                    f"beats the eps-optimal reference "
+                    f"{reference.period:.6g} (eps={eps:.4g})"
+                )
+                failures += 1
+
+        # k=2 projection: the reference must track the paper's optimal DP.
+        k2_profile = ChainProfile(_two_type_projection(chain))
+        k2_eps = search_epsilon(k2_budget)
+        ref2 = ktype_reference(k2_profile, k2_budget)
+        opt2 = herad(k2_profile, k2_budget)
+        if abs(ref2.period - opt2.period) > k2_eps:
+            print(
+                f"FAIL {chain.name} k2 projection: reference "
+                f"{ref2.period:.6g} vs HeRAD {opt2.period:.6g}"
+            )
+            failures += 1
+
+    if failures:
+        print(f"[ktype-smoke] {failures} failure(s)")
+        return 1
+    print("[ktype-smoke] OK: reference certified, heuristics bounded, k2 agrees")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

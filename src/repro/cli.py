@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     repro table1 --trace out.json   # Chrome-trace the run (chrome://tracing)
     repro table1 --metrics          # print the end-of-run RunReport
     repro lint                      # project-specific static analysis
+    repro solve --cores big=6,little=8           # paper-style two-type solve
+    repro solve --cores big=6,little=8,lpe=2 --certify   # k-type platform
 
 or equivalently ``python -m repro <command> [options]``.
 """
@@ -23,11 +25,16 @@ import logging
 import sys
 from pathlib import Path
 
-from .core.types import Resources
+from .core.certify import certify_outcome
+from .core.chain_stats import ChainProfile
+from .core.errors import SchedulingError
+from .core.registry import get_info
+from .core.types import Resources, type_name
 from .engine import CampaignEngine, CheckpointJournal, ResilienceConfig, RetryPolicy, default_engine
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
 from .lint.cli import add_lint_arguments, run_lint
 from .obs import Observability, ObsConfig, RunReport, monotonic, write_chrome_trace
+from .workloads.synthetic import GeneratorConfig, ktype_chain_batch
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +83,46 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _parse_cores(text: str) -> "tuple[Resources, tuple[str, ...]]":
+    """Parse ``--cores big=8,little=8,mid=4`` into a budget + class labels.
+
+    Classes are listed most performant first (the core layer's type-index
+    convention).  Each item is ``label=count`` or a bare count (labelled
+    ``big``/``little``/``type2``... by position).
+    """
+    counts: list[int] = []
+    labels: list[str] = []
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("--cores needs at least one class")
+    for position, item in enumerate(items):
+        if "=" in item:
+            label, _, value = item.partition("=")
+            label = label.strip()
+            value = value.strip()
+            if not label:
+                raise argparse.ArgumentTypeError(
+                    f"--cores item {item!r}: empty class label"
+                )
+        else:
+            label, value = type_name(position), item
+        try:
+            count = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--cores item {item!r}: count must be an integer"
+            ) from None
+        if count < 0:
+            raise argparse.ArgumentTypeError(
+                f"--cores item {item!r}: count must be >= 0"
+            )
+        labels.append(label)
+        counts.append(count)
+    if sum(counts) < 1:
+        raise argparse.ArgumentTypeError("--cores: platform has no cores")
+    return Resources.from_counts(counts), tuple(labels)
 
 
 def _experiment_options() -> argparse.ArgumentParser:
@@ -217,6 +264,67 @@ def build_parser() -> argparse.ArgumentParser:
             parents=[options],
             help=f"regenerate {name}" if name != "all" else "run every experiment",
         )
+    solve_parser = subparsers.add_parser(
+        "solve",
+        help="schedule synthetic chains on an arbitrary k-type platform",
+        description=(
+            "Schedule a batch of synthetic task chains on a platform "
+            "described by --cores (classes listed most performant first). "
+            "Two-type budgets reproduce the paper's setting exactly; more "
+            "classes exercise the k-type generalization."
+        ),
+    )
+    solve_parser.add_argument(
+        "--cores",
+        type=_parse_cores,
+        required=True,
+        metavar="SPEC",
+        help=(
+            "per-class core counts, most performant first: "
+            "'big=8,little=8,mid=4' or bare counts '8,8,4'"
+        ),
+    )
+    solve_parser.add_argument(
+        "--strategy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "strategy (registry name or alias; repeatable; default: "
+            "ktype_ref, the exhaustive k-type reference solver); "
+            "two-type-only strategies such as herad are rejected on "
+            "platforms with more than two classes"
+        ),
+    )
+    solve_parser.add_argument(
+        "--chains", type=_positive_int, default=5, help="chains to schedule"
+    )
+    solve_parser.add_argument(
+        "--num-tasks", type=_positive_int, default=12, help="tasks per chain"
+    )
+    solve_parser.add_argument(
+        "--sr",
+        type=float,
+        default=0.5,
+        help="stateless ratio of the generated chains",
+    )
+    solve_parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed"
+    )
+    solve_parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "audit every solution with the independent certificate checker; "
+            "exits non-zero on the first violation"
+        ),
+    )
+    solve_parser.add_argument(
+        "--log-level",
+        choices=sorted(_LOG_LEVELS),
+        default="info",
+        help="verbosity of the 'repro' logger hierarchy on stderr",
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the project-specific static analysis (repro.lint)",
@@ -337,11 +445,58 @@ def _run_one(
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def run_solve(args: argparse.Namespace) -> int:
+    """``repro solve``: schedule synthetic chains on a --cores platform."""
+    resources, labels = args.cores
+    names = args.strategy or ["ktype_ref"]
+    try:
+        infos = [(name, get_info(name)) for name in names]
+    except SchedulingError as error:
+        _log.error("%s", error)
+        return 2
+    config = GeneratorConfig(num_tasks=args.num_tasks, stateless_ratio=args.sr)
+    chains = list(
+        ktype_chain_batch(
+            args.chains, config, ktype=max(2, resources.ktype), seed=args.seed
+        )
+    )
+    budget = ", ".join(
+        f"{label}={count}" for label, count in zip(labels, resources.counts)
+    )
+    print(f"platform: {budget}  (k={resources.ktype})")
+    for chain in chains:
+        profile = ChainProfile(chain)
+        for name, info in infos:
+            try:
+                outcome = info.func(profile, resources)
+                if args.certify:
+                    certify_outcome(
+                        outcome,
+                        profile,
+                        resources,
+                        optimal=info.optimal,
+                        context=name,
+                    )
+            except SchedulingError as error:
+                _log.error("%s on %s: %s", name, chain.name, error)
+                return 2
+            usage = outcome.solution.core_usage(resources.ktype)
+            certified = "  [certified]" if args.certify else ""
+            print(
+                f"{chain.name}  {info.name:<12} period={outcome.period:.6g}  "
+                f"usage={usage}{certified}"
+            )
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return run_lint(args)
+    if args.experiment == "solve":
+        _configure_logging(args.log_level)
+        return run_solve(args)
     _configure_logging(args.log_level)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:

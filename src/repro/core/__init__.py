@@ -47,6 +47,7 @@ from .merge import merge_replicable_stages
 from .norep import norep_optimal, norep_period
 from .otac import otac, otac_big, otac_little
 from .packing import StagePlan, compute_stage, stage_fits
+from .reference import ktype_reference, reference_compute_solution
 from .power import PowerModel, PowerReport, pareto_front, solution_power
 from .registry import (
     PAPER_ORDER,
@@ -61,7 +62,16 @@ from .solution import CoreUsage, Solution
 from .stage import Stage
 from .task import Task, TaskChain
 from .twocatac import twocatac, twocatac_compute_solution
-from .types import INFINITY, CoreType, Resources
+from .types import (
+    INFINITY,
+    CoreIndex,
+    CoreType,
+    Resources,
+    core_types,
+    format_usage,
+    type_name,
+    type_symbol,
+)
 
 __all__ = [
     # model
@@ -73,8 +83,13 @@ __all__ = [
     "Solution",
     "CoreUsage",
     "CoreType",
+    "CoreIndex",
     "Resources",
     "INFINITY",
+    "core_types",
+    "type_symbol",
+    "type_name",
+    "format_usage",
     # machinery
     "ComputeSolutionFn",
     "ScheduleOutcome",
@@ -105,6 +120,8 @@ __all__ = [
     "norep_period",
     "brute_force_optimal",
     "brute_force_period",
+    "ktype_reference",
+    "reference_compute_solution",
     # registry
     "STRATEGIES",
     "PAPER_ORDER",

@@ -23,7 +23,7 @@ from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidParameterError, InvalidPlatformError
 from .solution import Solution
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import Resources
 
 __all__ = [
     "ComputeSolutionFn",
@@ -132,11 +132,7 @@ def schedule_by_binary_search(
         # Probe the upper bound, then the always-feasible whole-chain-on-one-
         # core period, so callers always get a valid schedule.
         fallbacks = [bounds.upper]
-        usable = [
-            v
-            for v in (CoreType.BIG, CoreType.LITTLE)
-            if resources.count(v) > 0
-        ]
+        usable = resources.usable_types()
         fallbacks.append(min(profile.total_weight(v) for v in usable))
         for target in fallbacks:
             candidate = compute_solution(profile, resources, target)

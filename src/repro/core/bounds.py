@@ -28,7 +28,7 @@ import numpy as np
 
 from .chain_stats import ChainProfile
 from .errors import InvalidParameterError, InvalidPlatformError
-from .types import CoreType, Resources
+from .types import CoreIndex, Resources
 
 __all__ = ["PeriodBounds", "period_bounds", "search_epsilon"]
 
@@ -54,8 +54,8 @@ class PeriodBounds:
         return (self.upper + self.lower) / 2.0
 
 
-def _usable_types(resources: Resources) -> list[CoreType]:
-    return [v for v in (CoreType.BIG, CoreType.LITTLE) if resources.count(v) > 0]
+def _usable_types(resources: Resources) -> "list[CoreIndex]":
+    return resources.usable_types()
 
 
 def period_bounds(profile: ChainProfile, resources: Resources) -> PeriodBounds:
@@ -73,6 +73,11 @@ def period_bounds(profile: ChainProfile, resources: Resources) -> PeriodBounds:
     Raises:
         InvalidPlatformError: when the budget is empty.
     """
+    if resources.ktype > profile.ktype:
+        raise InvalidPlatformError(
+            f"budget has {resources.ktype} core types but the chain only "
+            f"carries weights for {profile.ktype}"
+        )
     usable = _usable_types(resources)
     if not usable:
         raise InvalidPlatformError("cannot bound the period without cores")

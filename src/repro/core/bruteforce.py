@@ -23,7 +23,7 @@ from .errors import InvalidPlatformError, SchedulingError
 from .solution import Solution
 from .stage import Stage
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import CoreIndex, Resources
 
 __all__ = ["brute_force_optimal", "brute_force_period"]
 
@@ -41,11 +41,11 @@ def _partitions(n: int) -> "Iterator[list[tuple[int, int]]]":
 def _structure_outcome(
     profile: ChainProfile,
     intervals: list[tuple[int, int]],
-    types: tuple[CoreType, ...],
+    types: "tuple[CoreIndex, ...]",
     resources: Resources,
-) -> tuple[float, int, int, tuple[int, ...]] | None:
-    """Best (period, used_big, used_little, per-stage cores) for a fixed
-    partition and type assignment, or None when infeasible."""
+) -> "tuple[float, tuple[int, ...], tuple[int, ...]] | None":
+    """Best (period, per-type usage, per-stage cores) for a fixed partition
+    and type assignment, or None when infeasible."""
     weights = [
         profile.interval_weight(s, e, v) for (s, e), v in zip(intervals, types)
     ]
@@ -60,10 +60,10 @@ def _structure_outcome(
         else:
             candidates.add(w)
 
-    best: tuple[float, int, int, tuple[int, ...]] | None = None
+    best: "tuple[float, tuple[int, ...], tuple[int, ...]] | None" = None
     for period in sorted(candidates):
         cores: list[int] = []
-        used = {CoreType.BIG: 0, CoreType.LITTLE: 0}
+        used = [0] * resources.ktype
         feasible = True
         for w, rep, v in zip(weights, replicable, types):
             if rep:
@@ -74,16 +74,13 @@ def _structure_outcome(
                     break
                 need = 1
             cores.append(need)
-            used[v] += need
+            used[int(v)] += need
         if not feasible:
             continue
-        if used[CoreType.BIG] > resources.big:
+        if not resources.fits(*used):
             continue
-        if used[CoreType.LITTLE] > resources.little:
-            continue
-        key = (period, used[CoreType.BIG], used[CoreType.LITTLE])
-        if best is None or key < (best[0], best[1], best[2]):
-            best = (period, used[CoreType.BIG], used[CoreType.LITTLE], tuple(cores))
+        if best is None or (period, *used) < (best[0], *best[1]):
+            best = (period, tuple(used), tuple(cores))
         break  # candidates are sorted: the first feasible period is minimal
     return best
 
@@ -94,7 +91,8 @@ def brute_force_optimal(
     """Return a globally optimal schedule by exhaustive enumeration.
 
     Minimizes the period; among period-optimal schedules, returns one with
-    lexicographically minimal ``(big cores used, little cores used)``.
+    lexicographically minimal per-type usage (``(big, little)`` at ``k = 2``,
+    performant-to-efficient generally).
 
     Raises:
         SchedulingError: when the chain is larger than the safety limit.
@@ -108,16 +106,17 @@ def brute_force_optimal(
     if resources.total <= 0:
         raise InvalidPlatformError("brute force needs at least one core")
 
-    best_key: tuple[float, int, int] | None = None
+    best_key: "tuple[float, ...] | None" = None
     best_solution: Solution | None = None
 
+    usable = resources.types()
     for intervals in _partitions(profile.n):
-        for types in product((CoreType.BIG, CoreType.LITTLE), repeat=len(intervals)):
+        for types in product(usable, repeat=len(intervals)):
             outcome = _structure_outcome(profile, intervals, types, resources)
             if outcome is None:
                 continue
-            period, used_b, used_l, cores = outcome
-            key = (period, used_b, used_l)
+            period, used, cores = outcome
+            key = (period, *used)
             if best_key is None or key < best_key:
                 best_key = key
                 best_solution = Solution(

@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .errors import CertificationError, InvalidChainError, InvalidPlatformError
 from .solution import Solution
 from .task import Task, TaskChain
-from .types import CoreType, Resources
+from .types import CoreIndex, Resources, format_usage, type_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .binary_search import ScheduleOutcome
@@ -81,8 +81,7 @@ class CertificateReport:
     Attributes:
         violations: every failed certificate (empty when the solution holds).
         period: the independently re-derived period ``P(S)``.
-        big_used: re-derived big-core usage.
-        little_used: re-derived little-core usage.
+        usage: re-derived per-type core usage (``(big, little)`` at ``k = 2``).
         lower_bound: analytic optimal-period lower bound (only when the
             optimality certificate was requested).
         upper_bound: analytic feasible-period upper bound (ditto).
@@ -90,10 +89,19 @@ class CertificateReport:
 
     violations: tuple[CertificateViolation, ...]
     period: float
-    big_used: int
-    little_used: int
+    usage: tuple[int, ...]
     lower_bound: "float | None" = None
     upper_bound: "float | None" = None
+
+    @property
+    def big_used(self) -> int:
+        """Re-derived big-core (type 0) usage."""
+        return self.usage[0]
+
+    @property
+    def little_used(self) -> int:
+        """Re-derived little-core (type 1) usage."""
+        return self.usage[1] if len(self.usage) > 1 else 0
 
     @property
     def ok(self) -> bool:
@@ -105,7 +113,7 @@ class CertificateReport:
         status = "CERTIFIED" if self.ok else "REJECTED"
         lines = [
             f"{status}: period={self.period:.12g} "
-            f"usage=({self.big_used}B, {self.little_used}L)"
+            f"usage={format_usage(self.usage)}"
         ]
         if self.lower_bound is not None and self.upper_bound is not None:
             lines.append(
@@ -129,9 +137,14 @@ def _chain_of(chain: "TaskChain | ChainProfile") -> TaskChain:
     )
 
 
-def _task_weight(task: Task, core_type: CoreType) -> float:
+def _task_weight(task: Task, core_type: CoreIndex) -> float:
     """Direct field access (no Task.weight helper: stay independent)."""
-    return task.weight_big if core_type is CoreType.BIG else task.weight_little
+    index = int(core_type)
+    if index == 0:
+        return task.weight_big
+    if index == 1:
+        return task.weight_little
+    return task.extra_weights[index - 2]
 
 
 def _close(a: float, b: float, rel_tol: float) -> bool:
@@ -159,7 +172,7 @@ def optimality_bracket(
         InvalidPlatformError: for an empty budget.
     """
     tasks = _chain_of(chain).tasks
-    usable = [v for v in (CoreType.BIG, CoreType.LITTLE) if resources.count(v) > 0]
+    usable = [v for v in range(resources.ktype) if resources.count(v) > 0]
     if not usable:
         raise InvalidPlatformError("cannot bracket the period without cores")
 
@@ -186,6 +199,7 @@ def audit_solution(
     claimed_period: "float | None" = None,
     claimed_big: "int | None" = None,
     claimed_little: "int | None" = None,
+    claimed_usage: "Sequence[int] | None" = None,
     target_period: "float | None" = None,
     optimal: bool = False,
     rel_tol: float = DEFAULT_REL_TOL,
@@ -196,11 +210,14 @@ def audit_solution(
         solution: the schedule under audit.
         chain: the scheduled chain (or its profile; only the raw task data
             is used).
-        resources: the platform budget ``R = (b, l)``.
+        resources: the platform budget ``R = (b, l)`` or a ``k``-type one.
         claimed_period: the solver's reported period, cross-checked against
             the re-derived one.
         claimed_big: the solver's reported big-core usage.
         claimed_little: the solver's reported little-core usage.
+        claimed_usage: the solver's full per-type usage claim (the ``k``-type
+            form of ``claimed_big``/``claimed_little``; give one or the
+            other, not both).
         target_period: optional target ``P`` the solution must meet
             (Algo. 1's per-probe validity).
         optimal: additionally certify the period against the analytic
@@ -217,14 +234,14 @@ def audit_solution(
     def violate(code: str, message: str) -> None:
         violations.append(CertificateViolation(code, message))
 
+    ktype = resources.ktype
     stages = tuple(solution.stages)
     if not stages:
         violate("empty", "the solution has no stages")
         return CertificateReport(
             violations=tuple(violations),
             period=math.inf,
-            big_used=0,
-            little_used=0,
+            usage=(0,) * ktype,
         )
 
     # -- structure: bounds, contiguity, coverage ---------------------------
@@ -256,13 +273,20 @@ def audit_solution(
 
     # -- per-stage weight (Eq. (1)) and usage accounting -------------------
     period = 0.0
-    big_used = 0
-    little_used = 0
+    used = [0] * ktype
     for k, stage in enumerate(stages):
         lo, hi = max(stage.start, 0), min(stage.end, n - 1)
         members = tasks[lo : hi + 1]
         if stage.cores < 1:
             violate("stage-cores", f"stage {k} uses {stage.cores} cores")
+            continue
+        index = int(stage.core_type)
+        if index >= ktype:
+            violate(
+                "stage-type",
+                f"stage {k} runs on core type {index}, the budget only has "
+                f"{ktype} types",
+            )
             continue
         replicable = all(t.replicable for t in members)
         interval = math.fsum(_task_weight(t, stage.core_type) for t in members)
@@ -278,22 +302,16 @@ def audit_solution(
                     "stateful stage do no work)",
                 )
         period = max(period, weight)
-        if stage.core_type is CoreType.BIG:
-            big_used += stage.cores
-        else:
-            little_used += stage.cores
+        used[index] += stage.cores
 
     # -- budget (Eq. (3)) ---------------------------------------------------
-    if big_used > resources.big:
-        violate(
-            "budget",
-            f"{big_used} big cores used, budget is {resources.big}",
-        )
-    if little_used > resources.little:
-        violate(
-            "budget",
-            f"{little_used} little cores used, budget is {resources.little}",
-        )
+    for v in range(ktype):
+        if used[v] > resources.count(v):
+            violate(
+                "budget",
+                f"{used[v]} {type_name(v)} cores used, budget is "
+                f"{resources.count(v)}",
+            )
 
     # -- claims vs re-derivation -------------------------------------------
     if claimed_period is not None and not _close(claimed_period, period, rel_tol):
@@ -302,17 +320,21 @@ def audit_solution(
             f"solver claims period {claimed_period!r}, audit derives "
             f"{period!r}",
         )
-    if claimed_big is not None and claimed_big != big_used:
-        violate(
-            "usage-mismatch",
-            f"solver claims {claimed_big} big cores, audit counts {big_used}",
-        )
-    if claimed_little is not None and claimed_little != little_used:
-        violate(
-            "usage-mismatch",
-            f"solver claims {claimed_little} little cores, audit counts "
-            f"{little_used}",
-        )
+    claims: list[tuple[int, int]] = []
+    if claimed_big is not None:
+        claims.append((0, claimed_big))
+    if claimed_little is not None:
+        claims.append((1, claimed_little))
+    if claimed_usage is not None:
+        claims.extend(enumerate(claimed_usage))
+    for v, claim in claims:
+        actual = used[v] if v < ktype else 0
+        if claim != actual:
+            violate(
+                "usage-mismatch",
+                f"solver claims {claim} {type_name(v)} cores, audit counts "
+                f"{actual}",
+            )
     if target_period is not None and period > target_period and not _close(
         period, target_period, rel_tol
     ):
@@ -341,8 +363,7 @@ def audit_solution(
     return CertificateReport(
         violations=tuple(violations),
         period=period,
-        big_used=big_used,
-        little_used=little_used,
+        usage=tuple(used),
         lower_bound=lower,
         upper_bound=upper,
     )
@@ -356,6 +377,7 @@ def certify_solution(
     claimed_period: "float | None" = None,
     claimed_big: "int | None" = None,
     claimed_little: "int | None" = None,
+    claimed_usage: "Sequence[int] | None" = None,
     target_period: "float | None" = None,
     optimal: bool = False,
     rel_tol: float = DEFAULT_REL_TOL,
@@ -374,6 +396,7 @@ def certify_solution(
         claimed_period=claimed_period,
         claimed_big=claimed_big,
         claimed_little=claimed_little,
+        claimed_usage=claimed_usage,
         target_period=target_period,
         optimal=optimal,
         rel_tol=rel_tol,
@@ -400,14 +423,13 @@ def certify_outcome(
     Raises:
         CertificationError: when any certificate fails.
     """
-    usage = outcome.solution.core_usage()
+    usage = outcome.solution.core_usage(resources.ktype)
     return certify_solution(
         outcome.solution,
         chain,
         resources,
         claimed_period=outcome.period,
-        claimed_big=usage.big,
-        claimed_little=usage.little,
+        claimed_usage=usage.counts,
         optimal=optimal,
         context=context,
     )

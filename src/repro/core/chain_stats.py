@@ -23,7 +23,7 @@ import numpy as np
 
 from .errors import InvalidChainError, InvalidParameterError
 from .task import TaskChain
-from .types import INFINITY, CoreType
+from .types import INFINITY, CoreIndex, core_types
 
 __all__ = ["ChainProfile"]
 
@@ -56,15 +56,16 @@ class ChainProfile:
         self.chain = chain
         self.n = chain.n
 
-        wb = np.asarray(chain.weights(CoreType.BIG), dtype=np.float64)
-        wl = np.asarray(chain.weights(CoreType.LITTLE), dtype=np.float64)
-        self._weights = (wb, wl)
-
-        pb = np.zeros(self.n + 1, dtype=np.float64)
-        pl = np.zeros(self.n + 1, dtype=np.float64)
-        np.cumsum(wb, out=pb[1:])
-        np.cumsum(wl, out=pl[1:])
-        self.prefix = (pb, pl)
+        weight_vectors = []
+        prefixes = []
+        for v in chain.types():
+            w = np.asarray(chain.weights(v), dtype=np.float64)
+            p = np.zeros(self.n + 1, dtype=np.float64)
+            np.cumsum(w, out=p[1:])
+            weight_vectors.append(w)
+            prefixes.append(p)
+        self._weights = tuple(weight_vectors)
+        self.prefix = tuple(prefixes)
 
         rep = np.asarray([t.replicable for t in chain.tasks], dtype=bool)
         self._replicable = rep
@@ -75,28 +76,36 @@ class ChainProfile:
             nxt[i] = i if not rep[i] else nxt[i + 1]
         self.next_sequential = nxt
 
-        self._max_weight = (float(wb.max()), float(wl.max()))
+        self._max_weight = tuple(float(w.max()) for w in self._weights)
         seq_mask = ~rep
         if seq_mask.any():
-            self._max_seq_weight = (
-                float(wb[seq_mask].max()),
-                float(wl[seq_mask].max()),
+            self._max_seq_weight = tuple(
+                float(w[seq_mask].max()) for w in self._weights
             )
         else:
-            self._max_seq_weight = (0.0, 0.0)
-        self._total = (float(pb[-1]), float(pl[-1]))
+            self._max_seq_weight = tuple(0.0 for _ in self._weights)
+        self._total = tuple(float(p[-1]) for p in self.prefix)
 
     # -- basic accessors ----------------------------------------------------
 
-    def weights(self, core_type: CoreType) -> np.ndarray:
+    @property
+    def ktype(self) -> int:
+        """Number of core types the profiled chain carries weights for."""
+        return len(self._weights)
+
+    def types(self) -> tuple[CoreIndex, ...]:
+        """Iteration order over the chain's core types (see :func:`core_types`)."""
+        return core_types(self.ktype)
+
+    def weights(self, core_type: CoreIndex) -> np.ndarray:
         """Per-task weight vector on ``core_type`` (read-only view)."""
         return self._weights[int(core_type)]
 
-    def weight_of(self, index: int, core_type: CoreType) -> float:
+    def weight_of(self, index: int, core_type: CoreIndex) -> float:
         """Weight of a single task on ``core_type``."""
         return float(self._weights[int(core_type)][index])
 
-    def total_weight(self, core_type: CoreType) -> float:
+    def total_weight(self, core_type: CoreIndex) -> float:
         """Sum of all weights on ``core_type``."""
         return self._total[int(core_type)]
 
@@ -106,11 +115,11 @@ class ChainProfile:
         :attr:`repro.core.task.TaskChain.fingerprint`)."""
         return self.chain.fingerprint
 
-    def max_weight(self, core_type: CoreType) -> float:
+    def max_weight(self, core_type: CoreIndex) -> float:
         """Largest single-task weight on ``core_type`` (``w_max``)."""
         return self._max_weight[int(core_type)]
 
-    def max_sequential_weight(self, core_type: CoreType) -> float:
+    def max_sequential_weight(self, core_type: CoreIndex) -> float:
         """Largest sequential-task weight on ``core_type`` (0 if none)."""
         return self._max_seq_weight[int(core_type)]
 
@@ -127,7 +136,7 @@ class ChainProfile:
                 f"invalid interval [{start}, {end}] for a chain of {self.n} tasks"
             )
 
-    def interval_weight(self, start: int, end: int, core_type: CoreType) -> float:
+    def interval_weight(self, start: int, end: int, core_type: CoreIndex) -> float:
         """Single-core weight of the interval, ``w([tau_s, tau_e], 1, v)``."""
         self._check_interval(start, end)
         p = self.prefix[int(core_type)]
@@ -155,7 +164,7 @@ class ChainProfile:
         return min(nxt - 1, self.n - 1)
 
     def stage_weight(
-        self, start: int, end: int, cores: int, core_type: CoreType
+        self, start: int, end: int, cores: int, core_type: CoreIndex
     ) -> float:
         """Stage weight ``w(s, r, v)`` of Eq. (1).
 
@@ -171,7 +180,7 @@ class ChainProfile:
         return w
 
     def required_cores(
-        self, start: int, end: int, core_type: CoreType, period: float
+        self, start: int, end: int, core_type: CoreIndex, period: float
     ) -> int:
         """Paper's ``RequiredCores``: ``ceil(w([tau_s, tau_e], 1, v) / P)``.
 
@@ -187,7 +196,7 @@ class ChainProfile:
         return max(1, math.ceil(w / period))
 
     def max_packing(
-        self, start: int, cores: int, core_type: CoreType, period: float
+        self, start: int, cores: int, core_type: CoreIndex, period: float
     ) -> int:
         """Paper's ``MaxPacking``: the largest end index ``e >= start`` such
         that ``w([tau_start, tau_e], cores, v) <= period`` — and at least
@@ -229,7 +238,7 @@ class ChainProfile:
     # -- convenience ----------------------------------------------------------
 
     def interval_weights_vector(
-        self, end: int, core_type: CoreType
+        self, end: int, core_type: CoreIndex
     ) -> np.ndarray:
         """Vector of ``w([tau_i, tau_end], 1, v)`` for ``i`` in ``0..end``.
 

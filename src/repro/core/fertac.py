@@ -7,6 +7,12 @@ remain.  Wrapped in the binary-search ``Schedule`` driver, it runs in
 ``O(n log(w_max (b + l)) + n^2)`` — in this implementation the replicability
 table is an O(n) index array, so the ``n^2`` term disappears.
 
+On a ``k``-type platform the greedy generalizes to an *efficiency-ordered*
+type list: types are tried from the most efficient (highest type index, see
+the convention in :mod:`repro.core.types`) to the most performant.  For
+``k = 2`` that order is exactly (little, big), so the paper's algorithm is
+the two-type special case.
+
 The paper presents ``ComputeSolution`` recursively; the recursion is a tail
 call, implemented here as a loop.
 """
@@ -15,13 +21,23 @@ from __future__ import annotations
 
 from .binary_search import ScheduleOutcome, schedule_by_binary_search
 from .chain_stats import ChainProfile
-from .packing import compute_stage, stage_fits
+from .packing import StagePlan, compute_stage, stage_fits
 from .solution import Solution
 from .stage import Stage
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import CoreIndex, Resources
 
-__all__ = ["fertac_compute_solution", "fertac"]
+__all__ = ["fertac_compute_solution", "fertac", "efficiency_order"]
+
+
+def efficiency_order(resources: Resources) -> tuple[CoreIndex, ...]:
+    """FERTAC's type preference: most efficient type first.
+
+    Type indices are ordered performant-to-efficient, so the greedy simply
+    walks them in reverse; at ``k = 2`` this is ``(little, big)`` — the
+    paper's Algo. 4 lines 1 and 3.
+    """
+    return tuple(reversed(resources.types()))
 
 
 def fertac_compute_solution(
@@ -29,32 +45,34 @@ def fertac_compute_solution(
 ) -> Solution:
     """FERTAC's ``ComputeSolution`` (Algo. 4) for one target period.
 
-    Builds stages left to right; each stage tries little cores first (line 1)
-    and falls back to big cores (line 3).  Returns the empty solution when
-    neither core type can host some stage within the remaining budget.
+    Builds stages left to right; each stage tries core types in efficiency
+    order (little first, line 1; big as the fallback, line 3).  Returns the
+    empty solution when no core type can host some stage within the
+    remaining budget.
     """
     last = profile.n - 1
-    big, little = resources.big, resources.little
+    remaining = list(resources.counts)
+    order = efficiency_order(resources)
     stages: list[Stage] = []
 
     start = 0
     while True:
-        plan = compute_stage(profile, start, little, CoreType.LITTLE, period)
-        core_type = CoreType.LITTLE
-        if not stage_fits(profile, start, plan, little, core_type, period):
-            plan = compute_stage(profile, start, big, CoreType.BIG, period)
-            core_type = CoreType.BIG
-            if not stage_fits(profile, start, plan, big, core_type, period):
-                return Solution.empty()
+        chosen: "tuple[CoreIndex, StagePlan] | None" = None
+        for core_type in order:
+            available = remaining[int(core_type)]
+            plan = compute_stage(profile, start, available, core_type, period)
+            if stage_fits(profile, start, plan, available, core_type, period):
+                chosen = (core_type, plan)
+                break
+        if chosen is None:
+            return Solution.empty()
 
+        core_type, plan = chosen
         stages.append(Stage(start, plan.end, plan.cores, core_type))
         if plan.end == last:
             return Solution(stages)
 
-        if core_type is CoreType.BIG:
-            big -= plan.cores
-        else:
-            little -= plan.cores
+        remaining[int(core_type)] -= plan.cores
         start = plan.end + 1
 
 
@@ -68,7 +86,7 @@ def fertac(
 
     Args:
         chain: the task chain (or a precomputed profile).
-        resources: the platform budget ``R = (b, l)``.
+        resources: the platform budget ``R = (b, l)`` (or a ``k``-type one).
         epsilon: binary-search tolerance, defaulting to ``1 / (b + l)``.
 
     Returns:

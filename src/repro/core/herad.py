@@ -367,6 +367,11 @@ def herad_solution(
         InvalidPlatformError: for an empty budget.
     """
     profile = profile_of(chain)
+    if resources.ktype != 2:
+        raise InvalidPlatformError(
+            "HeRAD's DP is specialized to two core types; use the k-type "
+            f"reference solver for a {resources.ktype}-type budget"
+        )
     if resources.total <= 0:
         raise InvalidPlatformError("HeRAD needs at least one core")
     # Observability hook: DP table volume is HeRAD's cost driver

@@ -42,7 +42,7 @@ def merge_replicable_stages(
     for stage in solution:
         if (
             merged
-            and merged[-1].core_type is stage.core_type
+            and int(merged[-1].core_type) == int(stage.core_type)
             and profile.is_replicable(merged[-1].start, stage.end)
         ):
             last = merged.pop()

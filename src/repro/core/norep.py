@@ -49,6 +49,11 @@ def norep_optimal(
         InvalidPlatformError: for an empty budget.
     """
     profile = profile_of(chain)
+    if resources.ktype != 2:
+        raise InvalidPlatformError(
+            "the NoRep DP is specialized to two core types; use the k-type "
+            f"reference solver for a {resources.ktype}-type budget"
+        )
     if resources.total <= 0:
         raise InvalidPlatformError("need at least one core")
     n = profile.n

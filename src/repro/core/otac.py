@@ -22,7 +22,7 @@ from .packing import compute_stage, stage_fits
 from .solution import Solution
 from .stage import Stage
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import CoreIndex, CoreType, Resources
 
 __all__ = ["otac_compute_solution", "otac", "otac_big", "otac_little"]
 
@@ -31,7 +31,7 @@ def otac_compute_solution(
     profile: ChainProfile,
     resources: Resources,
     period: float,
-    core_type: CoreType,
+    core_type: CoreIndex,
 ) -> Solution:
     """Greedy single-type ``ComputeSolution``: OTAC's packing pass.
 
@@ -57,7 +57,7 @@ def otac_compute_solution(
 def otac(
     chain: "TaskChain | ChainProfile",
     cores: int,
-    core_type: CoreType,
+    core_type: CoreIndex,
     *,
     epsilon: float | None = None,
 ) -> ScheduleOutcome:
@@ -77,10 +77,16 @@ def otac(
     """
     if cores <= 0:
         raise InvalidPlatformError(f"OTAC needs at least one core, got {cores}")
-    if core_type is CoreType.BIG:
+    if core_type == CoreType.BIG:
         resources = Resources(big=cores, little=0)
-    else:
+    elif core_type == CoreType.LITTLE:
         resources = Resources(big=0, little=cores)
+    else:
+        # k-type platform: a single-type budget at the requested index.
+        index = int(core_type)
+        resources = Resources.from_counts(
+            cores if v == index else 0 for v in range(index + 1)
+        )
 
     def builder(
         profile: ChainProfile, res: Resources, period: float

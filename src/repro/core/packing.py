@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from ..obs.context import counter_add
 from .chain_stats import ChainProfile
-from .types import CoreType
+from .types import CoreIndex
 
 __all__ = ["StagePlan", "compute_stage", "stage_fits"]
 
@@ -45,7 +45,7 @@ def compute_stage(
     profile: ChainProfile,
     start: int,
     available: int,
-    core_type: CoreType,
+    core_type: CoreIndex,
     period: float,
 ) -> StagePlan:
     """Paper's ``ComputeStage`` (Algo. 2) for a stage starting at ``start``.
@@ -110,7 +110,7 @@ def stage_fits(
     start: int,
     plan: StagePlan,
     available: int,
-    core_type: CoreType,
+    core_type: CoreIndex,
     period: float,
 ) -> bool:
     """Single-stage validity check used after :func:`compute_stage`.

@@ -26,7 +26,7 @@ from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidParameterError
 from .solution import Solution
 from .task import TaskChain
-from .types import CoreType
+from .types import CoreIndex
 
 __all__ = ["PowerModel", "solution_power", "pareto_front", "PowerReport"]
 
@@ -41,34 +41,73 @@ class PowerModel:
         big_idle: draw of a big core provisioned to a stage but idle (the
             fraction of time a non-bottleneck stage's replicas wait).
         little_idle: draw of an idle provisioned little core.
+        extra_active: active draws of the extra core types ``2..k-1`` of a
+            ``k > 2`` platform, in type-index order.
+        extra_idle: idle draws of those extra core types.
     """
 
     big_active: float = 3.0
     little_active: float = 1.0
     big_idle: float = 0.3
     little_idle: float = 0.1
+    extra_active: tuple[float, ...] = ()
+    extra_idle: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
-        for label, v in (
+        if len(self.extra_active) != len(self.extra_idle):
+            raise InvalidParameterError(
+                "extra_active and extra_idle must cover the same core types; "
+                f"got {len(self.extra_active)} and {len(self.extra_idle)}"
+            )
+        labeled = (
             ("big_active", self.big_active),
             ("little_active", self.little_active),
             ("big_idle", self.big_idle),
             ("little_idle", self.little_idle),
-        ):
+            *(
+                (f"extra_active[{i}]", v)
+                for i, v in enumerate(self.extra_active)
+            ),
+            *((f"extra_idle[{i}]", v) for i, v in enumerate(self.extra_idle)),
+        )
+        for label, v in labeled:
             if v < 0:
                 raise InvalidParameterError(
                     f"{label} must be non-negative, got {v}"
                 )
 
-    def active(self, core_type: CoreType) -> float:
-        """Active draw for one core of ``core_type``."""
-        return (
-            self.big_active if core_type is CoreType.BIG else self.little_active
-        )
+    @property
+    def ktype(self) -> int:
+        """Number of core types this model covers."""
+        return 2 + len(self.extra_active)
 
-    def idle(self, core_type: CoreType) -> float:
+    def active(self, core_type: CoreIndex) -> float:
+        """Active draw for one core of ``core_type``."""
+        index = int(core_type)
+        if index == 0:
+            return self.big_active
+        if index == 1:
+            return self.little_active
+        try:
+            return self.extra_active[index - 2]
+        except IndexError:
+            raise InvalidParameterError(
+                f"power model covers {self.ktype} core types, not type {index}"
+            ) from None
+
+    def idle(self, core_type: CoreIndex) -> float:
         """Idle draw for one provisioned core of ``core_type``."""
-        return self.big_idle if core_type is CoreType.BIG else self.little_idle
+        index = int(core_type)
+        if index == 0:
+            return self.big_idle
+        if index == 1:
+            return self.little_idle
+        try:
+            return self.extra_idle[index - 2]
+        except IndexError:
+            raise InvalidParameterError(
+                f"power model covers {self.ktype} core types, not type {index}"
+            ) from None
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,149 @@
+"""Exhaustive k-type reference solver (library extension).
+
+The paper's optimal DP (HeRAD) is specialized to two core types.  For the
+``k``-type generalization of the platform model this module provides a
+*reference* solver: an exhaustive per-stage type assignment wrapped in the
+existing binary-search ``Schedule`` driver (Algo. 1).
+
+At a fixed target period ``P``, :func:`reference_compute_solution` decides
+feasibility *exactly*: it explores, for every stage start, every end index
+and every core type, taking the minimal core count that meets ``P``
+(``ceil(w / P)`` for replicable stages — more replicas never help
+feasibility once the weight fits — and exactly one core for sequential
+stages).  Subproblems are memoized on ``(start, remaining budget)``, so a
+probe costs ``O(n^2 * k * prod(counts + 1))`` in the worst case — a
+reference, not a production path.  Because each probe is exact, the binary
+search converges to within ``search_epsilon(resources)`` of the true
+optimal period on *any* ``k``-type budget; at ``k = 2`` this cross-checks
+HeRAD, and at ``k = 3`` the generalized brute force cross-checks it.
+
+Among feasible schedules at the final period the solver returns the one
+minimizing total core usage, ties broken by the per-type usage vector read
+from the performant side — deterministic, so memoization and journaling
+stay bitwise stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .binary_search import ScheduleOutcome, schedule_by_binary_search
+from .chain_stats import ChainProfile
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import Resources
+
+__all__ = ["reference_compute_solution", "ktype_reference"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Best:
+    """A feasible tail schedule and its per-type usage."""
+
+    stages: tuple[Stage, ...]
+    used: tuple[int, ...]
+
+    @property
+    def key(self) -> tuple[int, ...]:
+        return (sum(self.used), *self.used)
+
+
+def reference_compute_solution(
+    profile: ChainProfile, resources: Resources, period: float
+) -> Solution:
+    """Exact ``ComputeSolution`` for one target period on a k-type budget.
+
+    Returns the empty solution if and only if no interval mapping meets the
+    target period within the budget.
+    """
+    n = profile.n
+    types = resources.types()
+    cache: "dict[tuple[int, tuple[int, ...]], _Best | None]" = {}
+
+    def solve(start: int, remaining: tuple[int, ...]) -> "_Best | None":
+        key = (start, remaining)
+        if key in cache:
+            return cache[key]
+        best: "_Best | None" = None
+        for core_type in types:
+            index = int(core_type)
+            available = remaining[index]
+            if available < 1:
+                continue
+            for end in range(start, n):
+                w = profile.interval_weight(start, end, core_type)
+                if profile.is_replicable(start, end):
+                    need = max(1, math.ceil(w / period))
+                else:
+                    need = 1
+                    if w > period:
+                        break  # heavier sequential intervals only
+                if need > available:
+                    # ceil(w / P) > available implies w > P for every longer
+                    # interval too: no end past this one can fit either.
+                    break
+                stage = Stage(start, end, need, core_type)
+                if end == n - 1:
+                    candidate: "_Best | None" = _Best(
+                        (stage,),
+                        tuple(
+                            need if v == index else 0
+                            for v in range(len(remaining))
+                        ),
+                    )
+                else:
+                    rest = solve(
+                        end + 1,
+                        tuple(
+                            c - need if v == index else c
+                            for v, c in enumerate(remaining)
+                        ),
+                    )
+                    candidate = (
+                        None
+                        if rest is None
+                        else _Best(
+                            (stage, *rest.stages),
+                            tuple(
+                                u + (need if v == index else 0)
+                                for v, u in enumerate(rest.used)
+                            ),
+                        )
+                    )
+                if candidate is not None and (
+                    best is None or candidate.key < best.key
+                ):
+                    best = candidate
+        cache[key] = best
+        return best
+
+    result = solve(0, resources.counts)
+    if result is None:
+        return Solution.empty()
+    return Solution(result.stages)
+
+
+def ktype_reference(
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+    *,
+    epsilon: float | None = None,
+) -> ScheduleOutcome:
+    """Schedule a chain with the exhaustive k-type reference solver.
+
+    Args:
+        chain: the task chain (or a precomputed profile).
+        resources: any ``k``-type budget.
+        epsilon: binary-search tolerance, defaulting to
+            ``1 / sum(counts)``.
+
+    Returns:
+        The :class:`~repro.core.binary_search.ScheduleOutcome`; its period
+        is within ``epsilon`` of the true optimum because every probe is an
+        exact feasibility decision.
+    """
+    return schedule_by_binary_search(
+        chain, resources, reference_compute_solution, epsilon=epsilon
+    )

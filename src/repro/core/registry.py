@@ -20,6 +20,7 @@ from .errors import UnknownStrategyError
 from .fertac import fertac
 from .herad import herad
 from .otac import otac_big, otac_little
+from .reference import ktype_reference
 from .task import TaskChain
 from .twocatac import twocatac
 from .types import Resources
@@ -39,7 +40,12 @@ StrategyFn = Callable[["TaskChain | ChainProfile", Resources], ScheduleOutcome]
 
 @dataclass(frozen=True, slots=True)
 class StrategyInfo:
-    """Registry entry for one scheduling strategy."""
+    """Registry entry for one scheduling strategy.
+
+    ``two_type_only`` marks strategies whose implementation is specialized
+    to the paper's two core types (they raise ``InvalidPlatformError`` on a
+    ``k != 2`` budget); every other strategy accepts any ``k``-type budget.
+    """
 
     name: str
     display_name: str
@@ -47,6 +53,7 @@ class StrategyInfo:
     optimal: bool
     heterogeneous: bool
     description: str
+    two_type_only: bool = False
 
 
 def _twocatac_memo(
@@ -76,6 +83,7 @@ STRATEGIES: dict[str, StrategyInfo] = {
                 "Optimal dynamic programming over task prefixes and core "
                 "budgets (Eq. (4), Algos. 7-11)."
             ),
+            two_type_only=True,
         ),
         StrategyInfo(
             name="2catac",
@@ -109,6 +117,7 @@ STRATEGIES: dict[str, StrategyInfo] = {
                 "Optimal interval mapping *without replication* (library "
                 "extension): isolates how much replication buys."
             ),
+            two_type_only=True,
         ),
         StrategyInfo(
             name="fertac",
@@ -119,6 +128,18 @@ STRATEGIES: dict[str, StrategyInfo] = {
             description=(
                 "Little-cores-first greedy with fallback to big cores "
                 "(Algo. 4)."
+            ),
+        ),
+        StrategyInfo(
+            name="ktype_ref",
+            display_name="k-type ref",
+            func=ktype_reference,
+            optimal=False,
+            heterogeneous=True,
+            description=(
+                "Exhaustive per-stage type assignment + binary search: the "
+                "epsilon-optimal reference on any k-type budget (library "
+                "extension; exponential-ish, small instances only)."
             ),
         ),
         StrategyInfo(
@@ -145,6 +166,8 @@ PAPER_ORDER: tuple[str, ...] = ("herad", "2catac", "fertac", "otac_b", "otac_l")
 
 _ALIASES = {
     "twocatac": "2catac",
+    "reference": "ktype_ref",
+    "ktype-ref": "ktype_ref",
     "2-catac": "2catac",
     "otac(b)": "otac_b",
     "otac (b)": "otac_b",

@@ -15,29 +15,61 @@ from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidChainError
 from .stage import Stage
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import CoreIndex, CoreType, Resources, format_usage, type_name, type_symbol
 
 __all__ = ["Solution", "CoreUsage"]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, init=False)
 class CoreUsage:
-    """Aggregate number of cores used per type by a solution."""
+    """Aggregate number of cores used per type by a solution.
 
-    big: int
-    little: int
+    The two-argument constructor ``CoreUsage(big, little)`` is the canonical
+    two-type form; ``k``-type usages are built with :meth:`from_counts`.
+    """
+
+    counts: tuple[int, ...]
+
+    def __init__(self, big: int, little: int) -> None:
+        object.__setattr__(self, "counts", (int(big), int(little)))
+
+    @classmethod
+    def from_counts(cls, counts: Iterable[int]) -> "CoreUsage":
+        """Build a per-type usage from one count per type index."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "counts", tuple(int(c) for c in counts))
+        return self
+
+    @property
+    def big(self) -> int:
+        """Cores of type 0 (big) used."""
+        return self.counts[0]
+
+    @property
+    def little(self) -> int:
+        """Cores of type 1 (little) used (0 when the usage has one type)."""
+        return self.counts[1] if len(self.counts) > 1 else 0
+
+    @property
+    def ktype(self) -> int:
+        """Number of core types this usage accounts for."""
+        return len(self.counts)
+
+    def count(self, core_type: CoreIndex) -> int:
+        """Cores of the given type used (0 beyond the accounted types)."""
+        index = int(core_type)
+        return self.counts[index] if index < len(self.counts) else 0
 
     @property
     def total(self) -> int:
         """Total cores used."""
-        return self.big + self.little
+        return sum(self.counts)
 
     def __iter__(self) -> Iterator[int]:
-        yield self.big
-        yield self.little
+        return iter(self.counts)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"({self.big}B, {self.little}L)"
+        return format_usage(self.counts)
 
 
 @dataclass(frozen=True)
@@ -131,13 +163,21 @@ class Solution:
             raise InvalidChainError("the empty solution has no bottleneck")
         return max(self.stages, key=lambda s: s.weight(profile))
 
-    def core_usage(self) -> CoreUsage:
-        """Cores used per type (Eq. (3) left-hand sides)."""
-        big = sum(s.cores for s in self.stages if s.core_type is CoreType.BIG)
-        little = sum(
-            s.cores for s in self.stages if s.core_type is CoreType.LITTLE
-        )
-        return CoreUsage(big, little)
+    def core_usage(self, ktype: int | None = None) -> CoreUsage:
+        """Cores used per type (Eq. (3) left-hand sides).
+
+        Args:
+            ktype: number of core types to account for; defaults to the
+                smallest ``k >= 2`` covering every stage's type, so two-type
+                solutions keep their historical ``(big, little)`` shape.
+        """
+        if ktype is None:
+            ktype = max(2, *(int(s.core_type) + 1 for s in self.stages), 2) \
+                if self.stages else 2
+        counts = [0] * ktype
+        for s in self.stages:
+            counts[int(s.core_type)] += s.cores
+        return CoreUsage.from_counts(counts)
 
     def is_valid(
         self,
@@ -157,7 +197,7 @@ class Solution:
         if not self.stages:
             return False
         usage = self.core_usage()
-        if not resources.fits(usage.big, usage.little):
+        if not resources.fits(*usage.counts):
             return False
         if not self.covers(chain):
             return False
@@ -179,13 +219,18 @@ class Solution:
             rep = "rep" if s.is_replicable(profile) else "seq"
             lines.append(
                 f"  stage {i + 1}: tasks [{s.start:>3}..{s.end:>3}] "
-                f"({rep}) on {s.cores} {s.core_type.name:<6} "
+                f"({rep}) on {s.cores} {type_name(s.core_type):<6} "
                 f"weight={s.weight(profile):.6g} "
                 f"latency={s.latency(profile):.6g}"
             )
         lines.append(f"  period P(S) = {self.period(profile):.6g}")
         usage = self.core_usage()
-        lines.append(f"  cores used  = {usage.big}B + {usage.little}L")
+        lines.append(
+            "  cores used  = "
+            + " + ".join(
+                f"{c}{type_symbol(v)}" for v, c in enumerate(usage.counts)
+            )
+        )
         return "\n".join(lines)
 
     # -- constructors --------------------------------------------------------------
@@ -200,7 +245,7 @@ class Solution:
         cls,
         chain: "TaskChain | ChainProfile",
         cores: int,
-        core_type: CoreType,
+        core_type: CoreIndex,
     ) -> "Solution":
         """A whole-chain single-stage solution (always structurally valid)."""
         profile = profile_of(chain)
@@ -210,7 +255,15 @@ class Solution:
     def from_triplets(
         cls, triplets: Sequence[tuple[int, int, int, "CoreType | str | int"]]
     ) -> "Solution":
-        """Build from ``(start, end, cores, core_type)`` tuples."""
-        return cls(
-            Stage(s, e, r, CoreType.parse(v)) for (s, e, r, v) in triplets
-        )
+        """Build from ``(start, end, cores, core_type)`` tuples.
+
+        Core types beyond the two canonical ones are given as plain type
+        indices (``2``, ``3``, ...); ``0``/``1`` and the usual string forms
+        parse to :class:`CoreType` members.
+        """
+        def _parse(v: "CoreType | str | int") -> CoreIndex:
+            if isinstance(v, int) and not isinstance(v, (bool, CoreType)) and v >= 2:
+                return v
+            return CoreType.parse(v)
+
+        return cls(Stage(s, e, r, _parse(v)) for (s, e, r, v) in triplets)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from .chain_stats import ChainProfile, profile_of
 from .errors import InvalidChainError
-from .types import INFINITY, CoreType
+from .types import INFINITY, CoreIndex, type_name, type_symbol
 
 __all__ = ["Stage"]
 
@@ -25,13 +25,15 @@ class Stage:
         start: 0-based index of the first task (inclusive).
         end: 0-based index of the last task (inclusive).
         cores: number of cores ``r`` dedicated to the stage.
-        core_type: type ``v`` of those cores.
+        core_type: type ``v`` of those cores — a :class:`CoreType` member on
+            the paper's two-type platform, a plain type index on a ``k``-type
+            one.
     """
 
     start: int
     end: int
     cores: int
-    core_type: CoreType
+    core_type: CoreIndex
 
     def __post_init__(self) -> None:
         if self.start < 0 or self.end < self.start:
@@ -77,17 +79,17 @@ class Stage:
 
     def render(self) -> str:
         """Paper-style compact form ``(n_tasks, r_v)``, e.g. ``(5, 1B)``."""
-        return f"({self.num_tasks},{self.cores}{self.core_type.symbol})"
+        return f"({self.num_tasks},{self.cores}{type_symbol(self.core_type)})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Stage[{self.start}..{self.end}] on {self.cores} "
-            f"{self.core_type.name} core(s)"
+            f"{type_name(self.core_type)} core(s)"
         )
 
 
 def stage_weight_or_inf(
-    profile: ChainProfile, start: int, end: int, cores: int, core_type: CoreType
+    profile: ChainProfile, start: int, end: int, cores: int, core_type: CoreIndex
 ) -> float:
     """Stage weight allowing ``cores < 1`` (returns infinity, Eq. (1))."""
     if cores < 1:

@@ -7,7 +7,10 @@ The workflow scheduled by the paper is a linear chain of ``n`` tasks
 duplicating their internal state produces wrong results.
 
 Each task ``tau_i`` carries one computation weight (latency) per core type:
-``w_i^B`` on big cores and ``w_i^L`` on little cores.
+``w_i^B`` on big cores and ``w_i^L`` on little cores.  On a ``k``-type
+platform (see :mod:`repro.core.types`) a task additionally carries one
+weight per extra type index ``2..k-1``; the two-type constructors and the
+fingerprint byte stream are unchanged for ``k = 2`` chains.
 
 Indexing convention
 -------------------
@@ -26,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from .errors import InvalidChainError
-from .types import CoreType
+from .types import CoreIndex, core_types
 
 __all__ = ["Task", "TaskChain"]
 
@@ -41,24 +44,43 @@ class Task:
         weight_little: computation weight on a little core, ``w^L > 0``.
         replicable: True for stateless tasks (members of ``T_rep``), False
             for stateful/sequential tasks (members of ``T_seq``).
+        extra_weights: weights on the extra core types ``2..k-1`` of a
+            ``k > 2`` platform, in type-index order; empty for the paper's
+            two-type chains.
     """
 
     name: str
     weight_big: float
     weight_little: float
     replicable: bool
+    extra_weights: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
-        for label, w in (("big", self.weight_big), ("little", self.weight_little)):
+        labeled = (
+            ("big", self.weight_big),
+            ("little", self.weight_little),
+            *((f"type{v + 2}", w) for v, w in enumerate(self.extra_weights)),
+        )
+        for label, w in labeled:
             if not math.isfinite(w) or w <= 0:
                 raise InvalidChainError(
                     f"task {self.name!r}: weight on {label} cores must be a "
                     f"finite positive number, got {w!r}"
                 )
 
-    def weight(self, core_type: CoreType) -> float:
+    @property
+    def ktype(self) -> int:
+        """Number of core types this task carries a weight for."""
+        return 2 + len(self.extra_weights)
+
+    def weight(self, core_type: CoreIndex) -> float:
         """Weight of this task on the given core type."""
-        return self.weight_big if core_type is CoreType.BIG else self.weight_little
+        index = int(core_type)
+        if index == 0:
+            return self.weight_big
+        if index == 1:
+            return self.weight_little
+        return self.extra_weights[index - 2]
 
     @property
     def sequential(self) -> bool:
@@ -85,6 +107,11 @@ class TaskChain:
         tasks = tuple(tasks)
         if not tasks:
             raise InvalidChainError("a task chain must contain at least one task")
+        if len({t.ktype for t in tasks}) > 1:
+            raise InvalidChainError(
+                "all tasks of a chain must carry weights for the same number "
+                f"of core types; got {sorted({t.ktype for t in tasks})}"
+            )
         object.__setattr__(self, "tasks", tasks)
         object.__setattr__(self, "name", name)
 
@@ -128,6 +155,49 @@ class TaskChain:
         return cls(tasks, name=name)
 
     @classmethod
+    def from_weight_matrix(
+        cls,
+        weight_matrix: Sequence[Sequence[float]],
+        replicable: Sequence[bool],
+        name: str = "chain",
+    ) -> "TaskChain":
+        """Build a ``k``-type chain from a per-type weight matrix.
+
+        Args:
+            weight_matrix: one row per core type (``k`` rows, performant to
+                efficient), each holding the ``n`` per-task weights.  A
+                two-row matrix is exactly :meth:`from_weights`.
+            replicable: replicability flag for each task.
+            name: optional chain label.
+
+        Raises:
+            InvalidChainError: on ragged rows, fewer than two rows, or a
+                length mismatch with ``replicable``.
+        """
+        rows = [tuple(float(w) for w in row) for row in weight_matrix]
+        if len(rows) < 2:
+            raise InvalidChainError(
+                f"a weight matrix needs >= 2 core-type rows, got {len(rows)}"
+            )
+        if len({len(row) for row in rows}) > 1 or len(rows[0]) != len(replicable):
+            raise InvalidChainError(
+                "weight matrix rows and replicable must all have the same "
+                f"length; got rows {[len(r) for r in rows]} and "
+                f"{len(replicable)} flags"
+            )
+        tasks = tuple(
+            Task(
+                name=f"tau_{i + 1}",
+                weight_big=rows[0][i],
+                weight_little=rows[1][i],
+                replicable=bool(replicable[i]),
+                extra_weights=tuple(row[i] for row in rows[2:]),
+            )
+            for i in range(len(rows[0]))
+        )
+        return cls(tasks, name=name)
+
+    @classmethod
     def homogeneous(
         cls,
         weights: Sequence[float],
@@ -167,6 +237,15 @@ class TaskChain:
         return len(self.tasks)
 
     @property
+    def ktype(self) -> int:
+        """Number of core types this chain carries weights for (``k >= 2``)."""
+        return self.tasks[0].ktype
+
+    def types(self) -> tuple[CoreIndex, ...]:
+        """Iteration order over this chain's core types (see :func:`core_types`)."""
+        return core_types(self.ktype)
+
+    @property
     def fingerprint(self) -> str:
         """Stable content hash of the chain's scheduling-relevant data.
 
@@ -179,7 +258,10 @@ class TaskChain:
         (see :mod:`repro.engine.memo`).
 
         The value is a 32-character hex digest (128-bit BLAKE2b), computed
-        once per chain and cached.
+        once per chain and cached.  For a ``k > 2`` chain the digest also
+        covers the platform type signature and every extra-type weight — a
+        suffix appended *after* the two-type byte stream, so two-type
+        fingerprints are byte-for-byte those of the historical code.
         """
         cached = getattr(self, "_fingerprint", None)
         if cached is None:
@@ -191,15 +273,22 @@ class TaskChain:
                         "<dd?", task.weight_big, task.weight_little, task.replicable
                     )
                 )
+            if self.ktype > 2:
+                digest.update(b"ktype")
+                digest.update(struct.pack("<q", self.ktype))
+                for task in self.tasks:
+                    digest.update(
+                        struct.pack(f"<{len(task.extra_weights)}d", *task.extra_weights)
+                    )
             cached = digest.hexdigest()
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
-    def weights(self, core_type: CoreType) -> list[float]:
+    def weights(self, core_type: CoreIndex) -> list[float]:
         """Per-task weights on the given core type, in chain order."""
         return [t.weight(core_type) for t in self.tasks]
 
-    def total_weight(self, core_type: CoreType) -> float:
+    def total_weight(self, core_type: CoreIndex) -> float:
         """Sum of all task weights on the given core type."""
         return sum(t.weight(core_type) for t in self.tasks)
 

@@ -9,11 +9,20 @@ finally keeping the better alternative with ``ChooseBestSolution`` (Algo. 6):
   need no comparison), prefer the one that better exchanges big cores for
   little ones, and otherwise the one using fewer cores in total.
 
-The exploration is exponential in the number of stages (worst case ``O(2^n)``
+On a ``k``-type platform the two choices become ``k`` choices per stage, and
+``ChooseBestSolution`` compares usages by *efficiency mass* (cores weighted
+by their type index) against *performance mass* (cores weighted by the
+reversed index): a candidate wins outright when it uses strictly more
+efficient and strictly less performant capacity.  At ``k = 2`` the masses
+are exactly the little- and big-core counts, so the pairwise rule — and the
+left fold applying it across the per-type branches in type order, later
+branch winning ties — reproduces Algo. 6 decision for decision.
+
+The exploration is exponential in the number of stages (worst case ``O(k^n)``
 per probe when each stage holds one task).  A memoized variant — an extension
 over the paper, returning identical solutions because a subproblem is fully
-determined by ``(start, big, little)`` at fixed target period — is available
-through ``memoize=True`` and ablated in the benchmarks.
+determined by ``(start, remaining budget)`` at fixed target period — is
+available through ``memoize=True`` and ablated in the benchmarks.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from .packing import compute_stage, stage_fits
 from .solution import Solution
 from .stage import Stage
 from .task import TaskChain
-from .types import CoreType, Resources
+from .types import Resources
 
 __all__ = ["twocatac_compute_solution", "twocatac", "choose_best"]
 
@@ -34,12 +43,39 @@ __all__ = ["twocatac_compute_solution", "twocatac", "choose_best"]
 @dataclass(frozen=True, slots=True)
 class _Partial:
     """A partial solution: stages from some start to the end of the chain,
-    with accumulated core usage (the paper amortizes the usage sums the same
-    way, Algo. 5 line 13)."""
+    with accumulated per-type core usage (the paper amortizes the usage sums
+    the same way, Algo. 5 line 13)."""
 
     stages: tuple[Stage, ...]
-    used_big: int
-    used_little: int
+    used: tuple[int, ...]
+
+    @property
+    def used_big(self) -> int:
+        """Cores of type 0 (big) used."""
+        return self.used[0]
+
+    @property
+    def used_little(self) -> int:
+        """Cores of type 1 (little) used."""
+        return self.used[1] if len(self.used) > 1 else 0
+
+
+def _masses(used: tuple[int, ...]) -> tuple[int, int]:
+    """``(performance mass, efficiency mass)`` of a usage vector.
+
+    Performance mass weights cores by reversed type index, efficiency mass
+    by the type index itself; at ``k = 2`` they are exactly
+    ``(big_used, little_used)`` (the k=2 shortcut also keeps this off the
+    two-type hot path's profile).
+    """
+    if len(used) == 2:
+        return used[0], used[1]
+    k = len(used)
+    performance = efficiency = 0
+    for v, c in enumerate(used):
+        efficiency += c * v
+        performance += c * (k - 1 - v)
+    return performance, efficiency
 
 
 def choose_best(
@@ -49,14 +85,16 @@ def choose_best(
 
     Both candidates, when present, already respect the target period and the
     core budget; the comparison is purely about the secondary objective.
+    The first argument is the more-performant-type branch (``S_B`` at
+    ``k = 2``); ties go to the second (``S_L``), as in the paper.
     """
     if big_branch is None:
         return little_branch
     if little_branch is None:
         return big_branch
 
-    bb, bl = big_branch.used_big, big_branch.used_little
-    lb, ll = little_branch.used_big, little_branch.used_little
+    bb, bl = _masses(big_branch.used)
+    lb, ll = _masses(little_branch.used)
     if bl > ll and bb < lb:
         return big_branch  # S_B makes better usage of little cores
     if bl < ll and bb > lb:
@@ -79,53 +117,59 @@ def twocatac_compute_solution(
         profile: precomputed chain statistics.
         resources: the platform budget.
         period: target period ``P``.
-        memoize: cache subproblems on ``(start, big, little)``.  This is an
-            extension over the paper: it bounds the exploration by
-            ``n * b * l`` states while returning the same solutions, since a
-            subproblem's outcome depends only on those three values.
+        memoize: cache subproblems on ``(start, remaining budget)``.  This is
+            an extension over the paper: it bounds the exploration by
+            ``n * prod(counts)`` states while returning the same solutions,
+            since a subproblem's outcome depends only on those values.
     """
     last = profile.n - 1
-    cache: dict[tuple[int, int, int], "_Partial | None"] | None = (
+    types = resources.types()
+    cache: "dict[tuple[int, tuple[int, ...]], _Partial | None] | None" = (
         {} if memoize else None
     )
 
-    def solve(start: int, big: int, little: int) -> "_Partial | None":
-        if cache is not None:
-            key = (start, big, little)
-            if key in cache:
-                return cache[key]
+    def solve(start: int, remaining: tuple[int, ...]) -> "_Partial | None":
+        key = (start, remaining)
+        if cache is not None and key in cache:
+            return cache[key]
 
-        branches: dict[CoreType, "_Partial | None"] = {}
-        for core_type in (CoreType.BIG, CoreType.LITTLE):
-            available = big if core_type is CoreType.BIG else little
+        best: "_Partial | None" = None
+        for core_type in types:
+            index = int(core_type)
+            available = remaining[index]
             plan = compute_stage(profile, start, available, core_type, period)
+            candidate: "_Partial | None"
             if not stage_fits(
                 profile, start, plan, available, core_type, period
             ):
-                branches[core_type] = None
-                continue
-            stage = Stage(start, plan.end, plan.cores, core_type)
-            used_b = plan.cores if core_type is CoreType.BIG else 0
-            used_l = plan.cores if core_type is CoreType.LITTLE else 0
-            if plan.end == last:
-                branches[core_type] = _Partial((stage,), used_b, used_l)
-                continue
-            rest = solve(plan.end + 1, big - used_b, little - used_l)
-            if rest is None:
-                branches[core_type] = None
+                candidate = None
             else:
-                branches[core_type] = _Partial(
-                    (stage, *rest.stages),
-                    used_b + rest.used_big,
-                    used_l + rest.used_little,
-                )
+                stage = Stage(start, plan.end, plan.cores, core_type)
+                if plan.end == last:
+                    usage = [0] * len(remaining)
+                    usage[index] = plan.cores
+                    candidate = _Partial((stage,), tuple(usage))
+                else:
+                    left = list(remaining)
+                    left[index] -= plan.cores
+                    rest = solve(plan.end + 1, tuple(left))
+                    if rest is None:
+                        candidate = None
+                    else:
+                        usage = list(rest.used)
+                        usage[index] += plan.cores
+                        candidate = _Partial(
+                            (stage, *rest.stages), tuple(usage)
+                        )
+            # Left fold in type order, later branch winning ties: at k = 2
+            # this is exactly choose_best(branches[BIG], branches[LITTLE]).
+            best = candidate if best is None else choose_best(best, candidate)
 
-        best = choose_best(branches[CoreType.BIG], branches[CoreType.LITTLE])
         if cache is not None:
             cache[key] = best
         return best
 
-    result = solve(0, resources.big, resources.little)
+    result = solve(0, resources.counts)
     if result is None:
         return Solution.empty()
     return Solution(result.stages)
@@ -142,7 +186,7 @@ def twocatac(
 
     Args:
         chain: the task chain (or a precomputed profile).
-        resources: the platform budget ``R = (b, l)``.
+        resources: the platform budget ``R = (b, l)`` (or a ``k``-type one).
         epsilon: binary-search tolerance, defaulting to ``1 / (b + l)``.
         memoize: enable the subproblem cache (see
             :func:`twocatac_compute_solution`).

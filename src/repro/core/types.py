@@ -2,9 +2,27 @@
 
 The paper models a heterogeneous multicore processor with two types of
 *unrelated* resources: big (performance) cores and little (efficient) cores.
-This module defines the :class:`CoreType` enumeration used throughout the
-library, together with the :class:`Resources` description of a platform's
-core budget ``R = (b, l)``.
+Its follow-up (*Energy-Aware Scheduling Strategies for Partially-Replicable
+Task Chains on Heterogeneous Processors*) generalizes the same problem to
+``k`` core types.  This module defines both views:
+
+* :class:`CoreType` — the paper's two named types, kept as the canonical
+  ``k = 2`` case (the enum doubles as the type *index*: ``BIG = 0``,
+  ``LITTLE = 1``);
+* :class:`Resources` — an ordered per-type core budget.  The two-argument
+  constructor ``Resources(b, l)`` is preserved verbatim; ``k``-type budgets
+  are built with :meth:`Resources.from_counts`.
+
+Type-index convention
+---------------------
+Core types are identified by non-negative integers ordered from the most
+*performant* (index 0, "big-like") to the most *efficient* (index
+``k - 1``, "little-like").  :class:`CoreType` members are ``IntEnum``
+values, so every index-based API accepts them unchanged — ``k = 2`` code
+keeps passing ``CoreType.BIG``/``CoreType.LITTLE`` and behaves bitwise
+identically.  :func:`core_types` yields the sanctioned iteration order:
+enum members at ``k = 2`` (so identity checks and renders are unchanged),
+plain indices otherwise.
 """
 
 from __future__ import annotations
@@ -12,23 +30,36 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
 from .errors import InvalidParameterError, InvalidPlatformError
 
-__all__ = ["CoreType", "Resources", "INFINITY"]
+__all__ = [
+    "CoreType",
+    "CoreIndex",
+    "Resources",
+    "INFINITY",
+    "core_types",
+    "type_symbol",
+    "type_name",
+    "format_usage",
+]
 
 #: Sentinel weight/period for infeasible configurations (Eq. (1), r = 0 case).
 INFINITY: float = math.inf
 
+#: A core-type designator: a :class:`CoreType` member or a plain type index.
+CoreIndex = int
+
 
 class CoreType(enum.IntEnum):
-    """The two kinds of resources of the platform.
+    """The two kinds of resources of the paper's platform (the ``k = 2`` case).
 
     ``BIG`` cores are high-performance cores (assumed to have the highest
     power consumption); ``LITTLE`` cores are high-efficiency cores.  The
     integer values are stable and used as array indices by the vectorized
-    code paths.
+    code paths; on a ``k``-type platform they are simply the first two
+    type indices.
     """
 
     BIG = 0
@@ -36,7 +67,11 @@ class CoreType(enum.IntEnum):
 
     @property
     def other(self) -> "CoreType":
-        """Return the opposite core type."""
+        """Return the opposite core type.
+
+        Two-type compatibility shim: shipped code iterates
+        :func:`core_types` instead (lint rule REP111 guards the idiom).
+        """
         return CoreType.LITTLE if self is CoreType.BIG else CoreType.BIG
 
     @property
@@ -57,6 +92,10 @@ class CoreType(enum.IntEnum):
         if isinstance(value, cls):
             return value
         if isinstance(value, int) and not isinstance(value, bool):
+            if value not in (0, 1):
+                raise InvalidParameterError(
+                    f"cannot interpret {value!r} as a CoreType"
+                )
             return cls(value)
         if isinstance(value, str):
             v = value.strip().lower()
@@ -67,53 +106,168 @@ class CoreType(enum.IntEnum):
         raise InvalidParameterError(f"cannot interpret {value!r} as a CoreType")
 
 
-@dataclass(frozen=True, slots=True)
+def core_types(ktype: int) -> tuple[CoreIndex, ...]:
+    """The sanctioned iteration order over a platform's core types.
+
+    Returns the :class:`CoreType` members for a two-type platform — keeping
+    identity checks, renders, and pickled values bitwise identical to the
+    historical code — and plain type indices ``0..k-1`` otherwise.
+
+    Raises:
+        InvalidPlatformError: for ``ktype < 1``.
+    """
+    if ktype < 1:
+        raise InvalidPlatformError(f"a platform needs >= 1 core type: {ktype}")
+    if ktype == 2:
+        return (CoreType.BIG, CoreType.LITTLE)
+    return tuple(range(ktype))
+
+
+def type_symbol(core_type: CoreIndex) -> str:
+    """Short symbol of a core type for rendered schedules.
+
+    ``B``/``L`` for the two canonical types (identical to
+    :attr:`CoreType.symbol`), ``T<i>`` for the additional types of a
+    ``k > 2`` platform.
+    """
+    index = int(core_type)
+    if index == 0:
+        return "B"
+    if index == 1:
+        return "L"
+    return f"T{index}"
+
+
+def type_name(core_type: CoreIndex) -> str:
+    """Spelled-out name of a core type (``big``/``little``/``type<i>``)."""
+    index = int(core_type)
+    if index == 0:
+        return "big"
+    if index == 1:
+        return "little"
+    return f"type{index}"
+
+
+def format_usage(counts: Sequence[int]) -> str:
+    """Render per-type core counts, e.g. ``(3B, 2L)`` or ``(3B, 2L, 1T2)``."""
+    return (
+        "("
+        + ", ".join(f"{c}{type_symbol(v)}" for v, c in enumerate(counts))
+        + ")"
+    )
+
+
+@dataclass(frozen=True, init=False)
 class Resources:
-    """A core budget ``R = (b, l)``: *b* big cores and *l* little cores.
+    """An ordered per-type core budget.
+
+    The canonical two-type form is the paper's ``R = (b, l)``: *b* big cores
+    and *l* little cores, built with the positional constructor
+    ``Resources(b, l)`` exactly as before.  A ``k``-type budget is built with
+    :meth:`from_counts`; type indices follow the performant-to-efficient
+    convention of this module.
 
     Instances are immutable; arithmetic helpers return new budgets.  A budget
-    may be empty (both counts zero) — it then represents an exhausted pool of
+    may be empty (all counts zero) — it then represents an exhausted pool of
     cores inside a partially-built schedule; the scheduling entry points
     reject empty *platform* budgets explicitly.
 
     Attributes:
-        big: number of big cores available (``b`` in the paper).
-        little: number of little cores available (``l`` in the paper).
+        counts: number of cores available per type index.
     """
 
-    big: int
-    little: int
+    counts: tuple[int, ...]
 
-    def __post_init__(self) -> None:
-        if self.big < 0 or self.little < 0:
+    def __init__(self, big: int, little: int) -> None:
+        object.__setattr__(self, "counts", (int(big), int(little)))
+        self._validate()
+
+    def _validate(self) -> None:
+        if any(c < 0 for c in self.counts):
             raise InvalidPlatformError(f"negative core counts are invalid: {self}")
+        if not self.counts:
+            raise InvalidPlatformError("a budget needs at least one core type")
+
+    @classmethod
+    def from_counts(cls, counts: Iterable[int]) -> "Resources":
+        """Build a ``k``-type budget from per-type core counts.
+
+        ``Resources.from_counts((b, l))`` equals ``Resources(b, l)``; longer
+        sequences open the ``k > 2`` scenario space.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "counts", tuple(int(c) for c in counts))
+        self._validate()
+        return self
+
+    # -- two-type accessors (the sanctioned k = 2 shim) ----------------------
+
+    @property
+    def big(self) -> int:
+        """Number of big cores (type 0; ``b`` in the paper)."""
+        return self.counts[0]
+
+    @property
+    def little(self) -> int:
+        """Number of little cores (type 1; ``l`` in the paper).
+
+        Raises:
+            InvalidPlatformError: on a single-type budget.
+        """
+        if len(self.counts) < 2:
+            raise InvalidPlatformError(
+                f"budget {self} has no little-core (type 1) pool"
+            )
+        return self.counts[1]
+
+    # -- generic accessors ----------------------------------------------------
+
+    @property
+    def ktype(self) -> int:
+        """Number of core types ``k`` of this budget."""
+        return len(self.counts)
 
     @property
     def total(self) -> int:
-        """Total number of cores ``b + l``."""
-        return self.big + self.little
+        """Total number of cores over every type."""
+        return sum(self.counts)
 
-    def count(self, core_type: CoreType) -> int:
+    def types(self) -> tuple[CoreIndex, ...]:
+        """Iteration order over this budget's core types (see :func:`core_types`)."""
+        return core_types(self.ktype)
+
+    def usable_types(self) -> tuple[CoreIndex, ...]:
+        """The core types with at least one core available."""
+        return tuple(v for v in self.types() if self.counts[int(v)] > 0)
+
+    def count(self, core_type: CoreIndex) -> int:
         """Number of cores of the given type."""
-        return self.big if core_type is CoreType.BIG else self.little
+        return self.counts[int(core_type)]
 
-    def minus(self, core_type: CoreType, amount: int) -> "Resources":
+    def minus(self, core_type: CoreIndex, amount: int) -> "Resources":
         """Return a budget with ``amount`` cores of ``core_type`` removed."""
-        if core_type is CoreType.BIG:
-            return Resources(self.big - amount, self.little)
-        return Resources(self.big, self.little - amount)
+        index = int(core_type)
+        return Resources.from_counts(
+            c - amount if v == index else c for v, c in enumerate(self.counts)
+        )
 
     def is_exhausted(self) -> bool:
         """True when no cores remain."""
-        return self.big == 0 and self.little == 0
+        return self.total == 0
 
-    def fits(self, used_big: int, used_little: int) -> bool:
-        """Check Eq. (3): the usage fits inside this budget."""
-        return used_big <= self.big and used_little <= self.little
+    def fits(self, *used: int) -> bool:
+        """Check Eq. (3): the per-type usage fits inside this budget.
+
+        Accepts one count per type (``fits(used_big, used_little)`` for the
+        two-type case, or ``fits(*usage)`` generally).  Missing trailing
+        counts are treated as zero.
+        """
+        if len(used) > len(self.counts):
+            return False
+        return all(u <= c for u, c in zip(used, self.counts))
 
     def __iter__(self) -> Iterator[int]:
-        yield self.big
-        yield self.little
+        return iter(self.counts)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"({self.big}B, {self.little}L)"
+        return format_usage(self.counts)

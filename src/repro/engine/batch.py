@@ -181,11 +181,12 @@ def _solve_cell(
             optimal=info.optimal,
             context=name,
         )
-    usage = outcome.solution.core_usage()
+    usage = outcome.solution.core_usage(resources.ktype)
     return InstanceResult(
         period=outcome.period,
-        big_used=usage.big,
-        little_used=usage.little,
+        big_used=usage.counts[0],
+        little_used=usage.counts[1] if usage.ktype > 1 else 0,
+        extra_used=usage.counts[2:],
     )
 
 

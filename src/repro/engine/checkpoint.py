@@ -16,10 +16,20 @@ complete row is skipped, never fatal — and duplicate keys are fine (last
 wins; a resumed run may legitimately re-append rows the first run already
 journaled).
 
-Format: one JSON object per line, e.g.::
+Format: one JSON object per line.  Two-type rows keep the original layout
+(journals written before the k-type platform layer replay unchanged)::
 
     {"fp": "3f9a...", "big": 10, "little": 10, "strategy": "fertac",
      "period": 12.375, "big_used": 3, "little_used": 2}
+
+Rows solved on a ``k > 2``-type budget carry the full type signature
+instead, so they can never collide with a two-type instance::
+
+    {"fp": "3f9a...", "counts": [10, 10, 4], "strategy": "ktype_ref",
+     "period": 12.375, "used": [3, 2, 1]}
+
+:func:`load_journal` accepts both layouts in the same file (a "mixed"
+journal, e.g. after a campaign grew a third core type mid-way).
 """
 
 from __future__ import annotations
@@ -38,19 +48,37 @@ _log = logging.getLogger(__name__)
 
 
 def _encode(key: MemoKey, result: InstanceResult) -> str:
-    fingerprint, big, little, strategy = key
-    return json.dumps(
-        {
+    fingerprint, counts, strategy = key
+    row: dict[str, object]
+    if len(counts) == 2 and not result.extra_used:
+        # Paper-exact two-type rows keep the original journal layout, so
+        # pre-k-type journals and freshly written ones stay interchangeable.
+        row = {
             "fp": fingerprint,
-            "big": big,
-            "little": little,
+            "big": counts[0],
+            "little": counts[1],
             "strategy": strategy,
             "period": result.period,
             "big_used": result.big_used,
             "little_used": result.little_used,
-        },
-        separators=(",", ":"),
-    )
+        }
+    else:
+        row = {
+            "fp": fingerprint,
+            "counts": list(counts),
+            "strategy": strategy,
+            "period": result.period,
+            "used": list(result.usage),
+        }
+    return json.dumps(row, separators=(",", ":"))
+
+
+def _int_list(value: object) -> "list[int] | None":
+    if not isinstance(value, list) or not all(
+        isinstance(item, int) for item in value
+    ):
+        return None
+    return value
 
 
 def _decode(line: str) -> "tuple[MemoKey, InstanceResult] | None":
@@ -61,27 +89,39 @@ def _decode(line: str) -> "tuple[MemoKey, InstanceResult] | None":
         return None
     if not isinstance(row, dict):
         return None
-    try:
-        fingerprint = row["fp"]
-        big = row["big"]
-        little = row["little"]
-        strategy = row["strategy"]
-        period = row["period"]
-        big_used = row["big_used"]
-        little_used = row["little_used"]
-    except KeyError:
-        return None
+    fingerprint = row.get("fp")
+    strategy = row.get("strategy")
+    period = row.get("period")
     if not (
         isinstance(fingerprint, str)
-        and isinstance(big, int)
-        and isinstance(little, int)
         and isinstance(strategy, str)
         and isinstance(period, (int, float))
+    ):
+        return None
+    if "counts" in row:  # k-type layout
+        counts = _int_list(row.get("counts"))
+        used = _int_list(row.get("used"))
+        if counts is None or used is None or len(used) < 2:
+            return None
+        key: MemoKey = (fingerprint, tuple(counts), strategy)
+        return key, InstanceResult(
+            period=float(period),
+            big_used=used[0],
+            little_used=used[1],
+            extra_used=tuple(used[2:]),
+        )
+    big = row.get("big")
+    little = row.get("little")
+    big_used = row.get("big_used")
+    little_used = row.get("little_used")
+    if not (
+        isinstance(big, int)
+        and isinstance(little, int)
         and isinstance(big_used, int)
         and isinstance(little_used, int)
     ):
         return None
-    key: MemoKey = (fingerprint, big, little, strategy)
+    key = (fingerprint, (big, little), strategy)
     return key, InstanceResult(
         period=float(period), big_used=big_used, little_used=little_used
     )

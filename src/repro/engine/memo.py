@@ -43,15 +43,30 @@ DEFAULT_MAXSIZE: int = 500_000
 
 
 class InstanceResult(NamedTuple):
-    """The campaign-relevant outcome of one scheduling instance."""
+    """The campaign-relevant outcome of one scheduling instance.
+
+    ``extra_used`` carries per-type usage for type indices >= 2 on k-type
+    platforms; it stays empty on the paper's two-type instances, so existing
+    three-field constructions and comparisons are unaffected.
+    """
 
     period: float
     big_used: int
     little_used: int
+    extra_used: tuple[int, ...] = ()
+
+    @property
+    def usage(self) -> tuple[int, ...]:
+        """Per-type usage vector, performant to efficient."""
+        return (self.big_used, self.little_used, *self.extra_used)
 
 
-#: ``(chain fingerprint, big budget, little budget, strategy name)``.
-MemoKey = tuple[str, int, int, str]
+#: ``(chain fingerprint, per-type budget counts, strategy name)``.
+#:
+#: The budget enters as the *full* counts tuple — the platform's type
+#: signature — so a k-type budget whose first two counts match a two-type
+#: one (e.g. ``(10, 10, 4)`` vs ``(10, 10)``) can never collide.
+MemoKey = tuple[str, tuple[int, ...], str]
 
 
 def make_key(
@@ -62,7 +77,7 @@ def make_key(
     ``strategy`` must already be a canonical registry name (the engine
     resolves aliases before keying).
     """
-    return (chain.fingerprint, resources.big, resources.little, strategy)
+    return (chain.fingerprint, resources.counts, strategy)
 
 
 @dataclass(frozen=True, slots=True)

@@ -30,6 +30,12 @@ Each rule guards one invariant the paper's correctness claims depend on
   clock (:mod:`repro.obs.clock`), so what a timestamp means is decided in
   exactly one audited module; scattered ``time.perf_counter()`` calls
   fragment that authority.
+* ``two-type-assumption`` — the platform layer is k-type; code that
+  hard-codes exactly two core types (``CoreType.other``, ``is`` identity
+  checks against ``CoreType`` members, literal ``(BIG, LITTLE)``
+  enumerations) silently breaks on k > 2 budgets, except inside the
+  sanctioned k = 2 shims that guard themselves with an explicit ktype
+  check.
 
 All rules are heuristic AST checks: they prefer false negatives over false
 positives, and intentional exceptions carry a per-line
@@ -53,6 +59,7 @@ __all__ = [
     "PicklableWorkersRule",
     "BroadExceptRule",
     "RawTimingRule",
+    "TwoTypeAssumptionRule",
 ]
 
 
@@ -905,6 +912,101 @@ class RawTimingRule(LintRule):
                 f"raw clock read {func.id}() (imported from time) outside "
                 "repro.obs",
             )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# REP111 — two-type-assumption
+# ---------------------------------------------------------------------------
+
+#: Modules allowed to assume exactly two core types.  Each either *defines*
+#: the two-type compatibility surface (``repro.core.types``) or is a paper
+#: algorithm specialized to two types behind an explicit ``ktype == 2``
+#: guard (HeRAD's DP, its literal-pseudocode oracle, and the
+#: no-replication optimal).
+_SANCTIONED_TWO_TYPE = (
+    "repro.core.types",
+    "repro.core.herad",
+    "repro.core.herad_reference",
+    "repro.core.norep",
+)
+
+
+@register
+class TwoTypeAssumptionRule(LintRule):
+    """Hard-coded two-type platform assumptions outside sanctioned shims."""
+
+    id = "REP111"
+    name = "two-type-assumption"
+    description = (
+        "the platform layer is k-type: CoreType.other, `is` identity checks "
+        "against CoreType members, and literal (BIG, LITTLE) enumerations "
+        "assume exactly two core classes and silently break on k > 2 "
+        "budgets; only the guarded k = 2 shims may assume two types"
+    )
+    hint = (
+        "iterate resources.types() / core_types(ktype), compare type "
+        "indices with == (CoreType is an IntEnum; plain int indices carry "
+        "no identity), and derive the complement from the index instead of "
+        ".other"
+    )
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro") and not ctx.module.startswith(
+            _SANCTIONED_TWO_TYPE
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "other":
+            ident = _identifier_of(node.value)
+            if ident is not None and (
+                ident == "CoreType" or "type" in _tokens(ident)
+            ):
+                self.report(
+                    node,
+                    "CoreType.other assumes a two-type platform (the "
+                    "complement of a type index is undefined for k > 2)",
+                )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        has_identity = any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        )
+        if has_identity and any(
+            (dotted := _dotted(operand)) is not None
+            and dotted.startswith("CoreType.")
+            for operand in operands
+        ):
+            self.report(
+                node,
+                "`is` identity check against a CoreType member: k-type "
+                "code passes plain int type indices, which never satisfy "
+                "enum identity",
+            )
+        self.generic_visit(node)
+
+    def _check_literal_enumeration(self, node: "ast.Tuple | ast.List") -> None:
+        members = {
+            _dotted(element)
+            for element in node.elts
+            if isinstance(element, ast.Attribute)
+        }
+        if {"CoreType.BIG", "CoreType.LITTLE"} <= members:
+            self.report(
+                node,
+                "literal (CoreType.BIG, CoreType.LITTLE) enumeration "
+                "hard-codes two core types",
+            )
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        self._check_literal_enumeration(node)
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        self._check_literal_enumeration(node)
         self.generic_visit(node)
 
 

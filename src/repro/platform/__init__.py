@@ -1,19 +1,24 @@
 """Platform models and the paper's platform presets."""
 
-from .model import Platform
+from .model import CoreClass, Platform
 from .presets import (
     MAC_STUDIO,
     REAL_CONFIGURATIONS,
     SIMULATION_BUDGETS,
     X7_TI,
+    X7_TI_3T,
+    ktype_simulation_platform,
     simulation_platform,
 )
 
 __all__ = [
+    "CoreClass",
     "Platform",
     "MAC_STUDIO",
     "X7_TI",
+    "X7_TI_3T",
     "SIMULATION_BUDGETS",
     "REAL_CONFIGURATIONS",
     "simulation_platform",
+    "ktype_simulation_platform",
 ]

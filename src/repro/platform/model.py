@@ -1,35 +1,71 @@
 """Platform descriptions.
 
-A :class:`Platform` couples a core budget ``R = (b, l)`` with metadata about
-the machine (names, nominal frequencies) used by reports and by the runtime
-simulator.  Scheduling itself only needs the budget — per-task speeds come
-from the profiled chain weights, since the resources are *unrelated* (the
-big/little latency ratio varies per task; see Table III of the paper).
+A :class:`Platform` couples a core budget with metadata about the machine
+(names, nominal frequencies) used by reports and by the runtime simulator.
+Scheduling itself only needs the budget — per-task speeds come from the
+profiled chain weights, since the resources are *unrelated* (the big/little
+latency ratio varies per task; see Table III of the paper).
+
+The paper's platforms have exactly two core classes; the model here admits
+an arbitrary ordered list of :class:`CoreClass` descriptions (performant
+first, matching the core layer's type-index convention) so k-type studies
+can describe, say, a P/E/LPE laptop part.  A platform built through the
+plain two-type constructor is bitwise-identical to the pre-k-type model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 from ..core.errors import InvalidPlatformError
-from ..core.types import CoreType, Resources
+from ..core.types import CoreIndex, Resources, format_usage, type_name
 
-__all__ = ["Platform"]
+__all__ = ["CoreClass", "Platform"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreClass:
+    """One homogeneous core class of a platform.
+
+    Attributes:
+        name: human-readable class name (``"P-core"``, ``"efficiency"``...).
+        count: number of cores of this class.
+        frequency_ghz: nominal frequency (informational; 0 = unknown).
+    """
+
+    name: str
+    count: int
+    frequency_ghz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise InvalidPlatformError(
+                f"core class {self.name!r}: count must be >= 0, got {self.count}"
+            )
+        if self.frequency_ghz < 0:
+            raise InvalidPlatformError(
+                f"core class {self.name!r}: frequency must be >= 0"
+            )
 
 
 @dataclass(frozen=True, slots=True)
 class Platform:
-    """A two-type multicore platform.
+    """A multicore platform with one or more core classes.
 
     Attributes:
         name: human-readable platform name.
-        resources: the core budget ``(b, l)``.
-        big_frequency_ghz: nominal big-core frequency (informational).
-        little_frequency_ghz: nominal little-core frequency (informational).
+        resources: the core budget, performant class first.
+        big_frequency_ghz: nominal frequency of class 0 (informational).
+        little_frequency_ghz: nominal frequency of class 1 (informational).
         interframe: number of frames processed per pipeline traversal by the
             streaming runtime on this platform (the DVB-S2 experiments use 4
             on the Mac Studio and 8 on the X7 Ti); task latencies profiled on
             a platform are *per batch* of ``interframe`` frames.
+        core_classes: optional per-class descriptions, performant first.
+            When given, they must agree with ``resources`` class for class;
+            when omitted (every two-type paper platform), class metadata is
+            derived from the big/little fields.
     """
 
     name: str
@@ -37,6 +73,7 @@ class Platform:
     big_frequency_ghz: float = 0.0
     little_frequency_ghz: float = 0.0
     interframe: int = 1
+    core_classes: tuple[CoreClass, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.resources.total <= 0:
@@ -45,42 +82,109 @@ class Platform:
             raise InvalidPlatformError(
                 f"platform {self.name!r}: interframe must be >= 1"
             )
+        if self.core_classes:
+            counts = tuple(cls.count for cls in self.core_classes)
+            if counts != self.resources.counts:
+                raise InvalidPlatformError(
+                    f"platform {self.name!r}: core classes {counts} disagree "
+                    f"with the budget {self.resources.counts}"
+                )
+
+    @classmethod
+    def from_core_classes(
+        cls,
+        name: str,
+        classes: "Iterable[CoreClass]",
+        *,
+        interframe: int = 1,
+    ) -> "Platform":
+        """Build a platform from an ordered core-class list (performant
+        first).  The big/little frequency fields are filled from the first
+        two classes so two-type consumers keep working unchanged."""
+        class_tuple = tuple(classes)
+        if not class_tuple:
+            raise InvalidPlatformError(f"platform {name!r} has no core classes")
+        return cls(
+            name=name,
+            resources=Resources.from_counts(c.count for c in class_tuple),
+            big_frequency_ghz=class_tuple[0].frequency_ghz,
+            little_frequency_ghz=(
+                class_tuple[1].frequency_ghz if len(class_tuple) > 1 else 0.0
+            ),
+            interframe=interframe,
+            core_classes=class_tuple,
+        )
+
+    @property
+    def ktype(self) -> int:
+        """Number of core classes."""
+        return self.resources.ktype
 
     @property
     def big(self) -> int:
-        """Number of big cores."""
+        """Number of cores of the most performant class."""
         return self.resources.big
 
     @property
     def little(self) -> int:
-        """Number of little cores."""
+        """Number of cores of class 1 (two-type platforms)."""
         return self.resources.little
 
-    def frequency(self, core_type: CoreType) -> float:
-        """Nominal frequency of the given core type (GHz; informational)."""
-        return (
-            self.big_frequency_ghz
-            if core_type is CoreType.BIG
-            else self.little_frequency_ghz
-        )
+    def class_name(self, core_type: CoreIndex) -> str:
+        """Name of the given core class (falls back to ``big``/``little``/
+        ``type2``... when no explicit class metadata was given)."""
+        index = int(core_type)
+        if self.core_classes:
+            return self.core_classes[index].name
+        if index >= self.ktype:
+            raise InvalidPlatformError(
+                f"platform {self.name!r} has no core class {index}"
+            )
+        return type_name(index)
+
+    def frequency(self, core_type: CoreIndex) -> float:
+        """Nominal frequency of the given core class (GHz; informational)."""
+        index = int(core_type)
+        if self.core_classes:
+            return self.core_classes[index].frequency_ghz
+        if index == 0:
+            return self.big_frequency_ghz
+        return self.little_frequency_ghz
 
     def halved(self) -> "Platform":
         """The paper's "half the cores" configuration of this platform.
 
-        Halves both pools (floor division), keeping at least one core in a
-        pool that was non-empty.
+        Halves every class pool (floor division), keeping at least one core
+        in a pool that was non-empty.
         """
-        big = max(1, self.big // 2) if self.big else 0
-        little = max(1, self.little // 2) if self.little else 0
+        counts = tuple(
+            max(1, count // 2) if count else 0
+            for count in self.resources.counts
+        )
+        classes = tuple(
+            replace(cls, count=count)
+            for cls, count in zip(self.core_classes, counts)
+        )
         return replace(
             self,
             name=f"{self.name} (half)",
-            resources=Resources(big, little),
+            resources=Resources.from_counts(counts),
+            core_classes=classes,
         )
 
     def with_resources(self, big: int, little: int) -> "Platform":
-        """A copy of this platform with a different core budget."""
-        return replace(self, resources=Resources(big, little))
+        """A copy of this platform with a different two-type core budget."""
+        return replace(
+            self, resources=Resources(big, little), core_classes=()
+        )
+
+    def with_counts(self, counts: "Iterable[int]") -> "Platform":
+        """A copy of this platform with a different k-type core budget."""
+        return replace(
+            self,
+            resources=Resources.from_counts(counts),
+            core_classes=(),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.name} R=({self.big}B, {self.little}L)"
+        return f"{self.name} R={format_usage(self.resources.counts)}"

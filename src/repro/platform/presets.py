@@ -16,14 +16,16 @@
 
 from __future__ import annotations
 
-from ..core.types import Resources
-from .model import Platform
+from ..core.types import Resources, format_usage
+from .model import CoreClass, Platform
 
 __all__ = [
     "MAC_STUDIO",
     "X7_TI",
+    "X7_TI_3T",
     "SIMULATION_BUDGETS",
     "simulation_platform",
+    "ktype_simulation_platform",
     "REAL_CONFIGURATIONS",
 ]
 
@@ -45,6 +47,20 @@ X7_TI = Platform(
     interframe=8,
 )
 
+#: The X7 Ti with its 2 low-power-efficiency cores enabled as a third class
+#: — the paper leaves them unused, so this is a k-type extension preset, not
+#: a paper configuration.  Class order follows the type-index convention:
+#: performant (P) first, then E, then LPE.
+X7_TI_3T = Platform.from_core_classes(
+    "X7 Ti (3 classes)",
+    (
+        CoreClass("P-core", 6, 5.1),
+        CoreClass("E-core", 8, 3.8),
+        CoreClass("LPE-core", 2, 2.5),
+    ),
+    interframe=8,
+)
+
 #: The three simulated budgets of the synthetic campaign (Table I, Figs. 1-2).
 SIMULATION_BUDGETS: tuple[Resources, ...] = (
     Resources(16, 4),
@@ -58,6 +74,19 @@ def simulation_platform(big: int, little: int) -> Platform:
     return Platform(
         name=f"synthetic ({big}B, {little}L)",
         resources=Resources(big, little),
+    )
+
+
+def ktype_simulation_platform(counts: "tuple[int, ...] | list[int]") -> Platform:
+    """A synthetic k-type platform with the given per-class budget.
+
+    Counts are ordered most performant first; at two classes this names and
+    budgets the platform exactly like :func:`simulation_platform`.
+    """
+    budget = Resources.from_counts(counts)
+    return Platform(
+        name=f"synthetic {format_usage(budget.counts)}",
+        resources=budget,
     )
 
 

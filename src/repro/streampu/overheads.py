@@ -147,7 +147,7 @@ class CalibratedOverhead:
         frame: int,
     ) -> float:
         factor = 1.0 + self.sync_fraction
-        if replicas > 1 and core_type is CoreType.LITTLE:
+        if replicas > 1 and core_type == CoreType.LITTLE:
             factor += self.little_replication_penalty
         if self.jitter_fraction:
             cache: np.ndarray = self._jitter_cache  # type: ignore[attr-defined]

@@ -8,13 +8,22 @@ from .generators import (
     inverted_speed_chain,
     uniform_chain,
 )
-from .synthetic import DEFAULT_CONFIG, GeneratorConfig, chain_batch, random_chain
+from .synthetic import (
+    DEFAULT_CONFIG,
+    GeneratorConfig,
+    chain_batch,
+    ktype_chain_batch,
+    random_chain,
+    random_ktype_chain,
+)
 
 __all__ = [
     "GeneratorConfig",
     "DEFAULT_CONFIG",
     "random_chain",
     "chain_batch",
+    "random_ktype_chain",
+    "ktype_chain_batch",
     "uniform_chain",
     "fully_replicable_chain",
     "fully_sequential_chain",

@@ -20,7 +20,14 @@ import numpy as np
 from ..core.errors import InvalidChainError
 from ..core.task import Task, TaskChain
 
-__all__ = ["GeneratorConfig", "random_chain", "chain_batch", "DEFAULT_CONFIG"]
+__all__ = [
+    "GeneratorConfig",
+    "random_chain",
+    "chain_batch",
+    "random_ktype_chain",
+    "ktype_chain_batch",
+    "DEFAULT_CONFIG",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +117,79 @@ def random_chain(
         for i in range(n)
     )
     return TaskChain(tasks, name=name or f"synthetic-n{n}-sr{config.stateless_ratio}")
+
+
+def random_ktype_chain(
+    rng: np.random.Generator,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    ktype: int = 2,
+    name: str | None = None,
+) -> TaskChain:
+    """Draw one task chain with ``ktype`` per-type weights.
+
+    The natural k-type extension of the paper's distribution: integer
+    weights for the most performant class, then one independent slowdown
+    column per remaining class drawn from the same
+    ``[slowdown_low, slowdown_high]`` interval and rounded with the ceiling
+    function.  The random stream is consumed in exactly the order of
+    :func:`random_chain` (performant weights, slowdown columns in class
+    order, replicable positions), so at ``ktype == 2`` the drawn chain is
+    bitwise identical to ``random_chain(rng, config, name)``.
+    """
+    if ktype < 2:
+        raise InvalidChainError(f"ktype must be >= 2, got {ktype}")
+    n = config.num_tasks
+    weights_big = rng.integers(
+        config.weight_low, config.weight_high, size=n, endpoint=True
+    ).astype(np.float64)
+    columns = [weights_big]
+    for _ in range(ktype - 1):
+        slowdowns = rng.uniform(
+            config.slowdown_low, config.slowdown_high, size=n
+        )
+        columns.append(np.ceil(weights_big * slowdowns))
+
+    replicable = np.zeros(n, dtype=bool)
+    chosen = rng.choice(n, size=config.num_replicable, replace=False)
+    replicable[chosen] = True
+
+    tasks = tuple(
+        Task(
+            name=f"tau_{i + 1}",
+            weight_big=float(columns[0][i]),
+            weight_little=float(columns[1][i]),
+            replicable=bool(replicable[i]),
+            extra_weights=tuple(
+                float(columns[v][i]) for v in range(2, ktype)
+            ),
+        )
+        for i in range(n)
+    )
+    return TaskChain(
+        tasks,
+        name=name or f"synthetic-k{ktype}-n{n}-sr{config.stateless_ratio}",
+    )
+
+
+def ktype_chain_batch(
+    count: int,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    ktype: int = 2,
+    seed: int = 0,
+) -> Iterator[TaskChain]:
+    """Yield ``count`` k-type chains from a deterministic seeded stream.
+
+    At ``ktype == 2`` each chain's weights match :func:`chain_batch` with the
+    same ``(count, config, seed)`` (the chain names differ, so fingerprints —
+    which hash content only — agree while labels advertise the class count).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = np.random.default_rng(seed)
+    for index in range(count):
+        yield random_ktype_chain(
+            rng, config, ktype, name=f"chain-k{ktype}-{seed}-{index}"
+        )
 
 
 def chain_batch(

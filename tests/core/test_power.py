@@ -73,6 +73,60 @@ class TestSolutionPower:
         assert solution_power(sol, chain, model).power == pytest.approx(7.0)
 
 
+class TestKTypePowerModel:
+    def test_extra_draws_cover_third_type(self):
+        model = PowerModel(extra_active=(0.5,), extra_idle=(0.05,))
+        assert model.ktype == 3
+        assert model.active(2) == 0.5
+        assert model.idle(2) == 0.05
+        # The two-type accessors are untouched.
+        assert model.active(CoreType.BIG) == 3.0
+        assert model.idle(CoreType.LITTLE) == 0.1
+
+    def test_uncovered_type_rejected(self):
+        model = PowerModel(extra_active=(0.5,), extra_idle=(0.05,))
+        with pytest.raises(ValueError):
+            model.active(3)
+        with pytest.raises(ValueError):
+            PowerModel().idle(2)
+
+    def test_mismatched_extra_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(extra_active=(0.5, 0.4), extra_idle=(0.05,))
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(extra_active=(-0.5,), extra_idle=(0.05,))
+
+    def test_solution_power_on_third_type(self):
+        chain = TaskChain.from_weight_matrix(
+            [[10.0, 10.0], [20.0, 20.0], [40.0, 40.0]], [False, False]
+        )
+        model = PowerModel(extra_active=(0.5,), extra_idle=(0.05,))
+        sol = Solution([Stage(0, 0, 1, 2), Stage(1, 1, 1, 2)])
+        report = solution_power(sol, chain, model)
+        # Both type-2 stages weigh 40 -> fully busy at P = 40.
+        assert report.period == 40.0
+        assert report.power == pytest.approx(1.0)
+        assert report.busy_fraction == pytest.approx(1.0)
+
+    def test_pareto_front_across_type_choices(self):
+        chain = TaskChain.from_weight_matrix(
+            [[10.0], [20.0], [40.0]], [True]
+        )
+        model = PowerModel(extra_active=(0.5,), extra_idle=(0.05,))
+        candidates = [
+            ("big", Solution([Stage(0, 0, 1, 0)])),
+            ("little", Solution([Stage(0, 0, 1, 1)])),
+            ("lpe", Solution([Stage(0, 0, 1, 2)])),
+        ]
+        front = pareto_front(candidates, chain, model)
+        labels = [label for label, _ in front]
+        # Strictly faster-and-hungrier candidates: all three survive, in
+        # increasing period order (big fastest, lpe cheapest).
+        assert labels == ["big", "little", "lpe"]
+
+
 class TestParetoFront:
     def test_dominated_budget_removed(self):
         chain = TaskChain.from_weights(

@@ -21,7 +21,7 @@ from repro.workloads.synthetic import GeneratorConfig, random_chain
 
 class TestChooseBest:
     def p(self, big: int, little: int) -> _Partial:
-        return _Partial(stages=(), used_big=big, used_little=little)
+        return _Partial(stages=(), used=(big, little))
 
     def test_single_valid_branch(self):
         only = self.p(1, 0)

@@ -29,7 +29,7 @@ def _assert_same_arrays(a, b):
         np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
 
 
-_KEY = ("fp0", 10, 4, "fertac")
+_KEY = ("fp0", (10, 4), "fertac")
 #: An awkward float: shortest-repr JSON must round-trip it bitwise.
 _RESULT = InstanceResult(period=0.1 + 0.2, big_used=3, little_used=1)
 
@@ -101,6 +101,81 @@ class TestJournalFile:
         journal.close()
         journal.close()
         assert journal.rows_written == 1
+
+
+class TestMixedJournal:
+    """A single journal holding both two-type and k-type rows (satellite of
+    the k-type platform refactor: the key carries the full type signature)."""
+
+    _K3_KEY = ("fp0", (10, 4, 2), "ktype_ref")
+    _K3_RESULT = InstanceResult(
+        period=7.25, big_used=2, little_used=1, extra_used=(2,)
+    )
+
+    def test_mixed_rows_roundtrip(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+            journal.record(self._K3_KEY, self._K3_RESULT)
+        rows = load_journal(path)
+        assert rows == {_KEY: _RESULT, self._K3_KEY: self._K3_RESULT}
+
+    def test_two_type_rows_keep_legacy_layout(self, tmp_path):
+        """k=2 rows must stay readable by (and written like) pre-k-type
+        journals: big/little keys, no counts field."""
+        import json
+
+        path = tmp_path / "mixed.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(_KEY, _RESULT)
+            journal.record(self._K3_KEY, self._K3_RESULT)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines[0] == {
+            "fp": "fp0",
+            "big": 10,
+            "little": 4,
+            "strategy": "fertac",
+            "period": _RESULT.period,
+            "big_used": 3,
+            "little_used": 1,
+        }
+        assert lines[1] == {
+            "fp": "fp0",
+            "counts": [10, 4, 2],
+            "strategy": "ktype_ref",
+            "period": 7.25,
+            "used": [2, 1, 2],
+        }
+
+    def test_same_prefix_budgets_do_not_collide(self, tmp_path):
+        """A (10, 4) and a (10, 4, 2) instance of the same chain/strategy are
+        different platforms and must replay to different memo entries."""
+        path = tmp_path / "mixed.jsonl"
+        two_key = ("fpX", (10, 4), "fertac")
+        three_key = ("fpX", (10, 4, 2), "fertac")
+        two = InstanceResult(period=3.0, big_used=1, little_used=1)
+        three = InstanceResult(
+            period=2.0, big_used=1, little_used=1, extra_used=(1,)
+        )
+        with CheckpointJournal(path) as journal:
+            journal.record(two_key, two)
+            journal.record(three_key, three)
+        memo = MemoCache()
+        assert CheckpointJournal(path).replay_into(memo) == 2
+        assert memo.get(two_key) == two
+        assert memo.get(three_key) == three
+
+    def test_torn_ktype_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.record(self._K3_KEY, self._K3_RESULT)
+        full_line = path.read_text()
+        path.write_text(full_line + full_line[: len(full_line) // 2])
+        assert load_journal(path) == {self._K3_KEY: self._K3_RESULT}
 
 
 class TestEngineJournaling:

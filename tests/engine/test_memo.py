@@ -19,7 +19,7 @@ class TestMakeKey:
     def test_key_components(self):
         chain = _chain()
         key = make_key(chain, Resources(3, 5), "herad")
-        assert key == (chain.fingerprint, 3, 5, "herad")
+        assert key == (chain.fingerprint, (3, 5), "herad")
 
     def test_same_content_same_key(self):
         a = TaskChain.from_weights([1, 2], [2, 4], [True, False], name="a")
@@ -33,6 +33,21 @@ class TestMakeKey:
         base = make_key(chain, Resources(1, 1), "fertac")
         assert make_key(chain, Resources(1, 2), "fertac") != base
         assert make_key(chain, Resources(1, 1), "herad") != base
+
+    def test_type_signature_distinguishes(self):
+        """A k-type budget sharing its first two counts with a two-type one
+        must key differently — the platform type signature is part of the
+        instance identity."""
+        chain = _chain()
+        two = make_key(chain, Resources(10, 10), "fertac")
+        three = make_key(
+            chain, Resources.from_counts((10, 10, 4)), "fertac"
+        )
+        padded = make_key(
+            chain, Resources.from_counts((10, 10, 0)), "fertac"
+        )
+        assert three != two
+        assert padded != two  # even a zero third class is a different platform
 
 
 class TestMemoCache:

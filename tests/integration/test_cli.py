@@ -175,6 +175,73 @@ def test_traced_run_matches_plain_and_writes_valid_trace(capsys, tmp_path):
     assert "experiment" in names and "campaign" in names
 
 
+class TestSolveSubcommand:
+    def test_cores_spec_parses_labels_and_counts(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "--cores", "big=8,little=8,mid=4"])
+        resources, labels = args.cores
+        assert resources.counts == (8, 8, 4)
+        assert labels == ("big", "little", "mid")
+
+    def test_cores_spec_accepts_bare_counts(self):
+        parser = build_parser()
+        resources, labels = parser.parse_args(
+            ["solve", "--cores", "6,8"]
+        ).cores
+        assert resources.counts == (6, 8)
+        assert labels == ("big", "little")
+
+    def test_cores_spec_rejects_garbage(self):
+        parser = build_parser()
+        for spec in ("", "big=x", "big=-1", "=3", "0,0"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["solve", "--cores", spec])
+
+    def test_two_type_solve_runs(self, capsys):
+        assert main(["solve", "--cores", "big=4,little=4", "--chains", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "platform: big=4, little=4  (k=2)" in out
+        assert out.count("period=") == 2
+
+    def test_ktype_solve_certifies(self, capsys):
+        assert (
+            main(
+                [
+                    "solve", "--cores", "big=3,little=3,lpe=2",
+                    "--chains", "2", "--certify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(k=3)" in out
+        assert out.count("[certified]") == 2
+
+    def test_heuristics_run_on_ktype_platform(self, capsys):
+        assert (
+            main(
+                [
+                    "solve", "--cores", "3,3,2",
+                    "--strategy", "fertac", "--strategy", "2catac",
+                    "--chains", "2", "--certify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("fertac") == 2 and out.count("2catac") == 2
+
+    def test_two_type_only_strategy_rejected_on_ktype(self, capsys):
+        assert (
+            main(["solve", "--cores", "3,3,2", "--strategy", "herad"]) == 2
+        )
+
+    def test_unknown_strategy_rejected(self):
+        assert (
+            main(["solve", "--cores", "4,4", "--strategy", "nope"]) == 2
+        )
+
+
 def test_metrics_flag_prints_run_report(capsys):
     from repro.engine import reset_default_engine
 

@@ -47,6 +47,7 @@ class TestEngine:
         assert [rule.id for rule in RULE_REGISTRY.values()] == [
             *(f"REP10{i}" for i in range(1, 10)),
             "REP110",
+            "REP111",
         ]
 
     def test_directory_walk_finds_violations(self, violation_file: Path):

@@ -682,3 +682,124 @@ class TestRawTiming:
             rules=["raw-timing"],
         )
         assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# REP111 — two-type-assumption
+# ---------------------------------------------------------------------------
+
+
+class TestTwoTypeAssumption:
+    """REP111: k-type platform discipline outside the sanctioned k=2 shims."""
+
+    def test_flags_coretype_other(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import CoreType
+
+            def flip(core_type: CoreType) -> CoreType:
+                return core_type.other
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert _ids(findings) == ["REP111"]
+        assert "two-type" in findings[0].message
+        assert "core_types" in findings[0].hint
+
+    def test_flags_identity_check_against_member(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import CoreType
+
+            def is_big(core_type) -> bool:
+                return core_type is CoreType.BIG
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert _ids(findings) == ["REP111"]
+        assert "identity" in findings[0].message
+
+    def test_flags_literal_two_type_enumeration(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import CoreType
+
+            def walk():
+                for core_type in (CoreType.BIG, CoreType.LITTLE):
+                    yield core_type
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert _ids(findings) == ["REP111"]
+        assert "hard-codes two core types" in findings[0].message
+
+    def test_allows_ktype_iteration_idiom(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import Resources
+
+            def walk(resources: Resources):
+                for core_type in resources.types():
+                    yield resources.count(core_type)
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert findings == ()
+
+    def test_allows_equality_against_member(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import CoreType
+
+            def is_little(core_type) -> bool:
+                return core_type == CoreType.LITTLE
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert findings == ()
+
+    def test_sanctioned_shims_are_exempt(self, lint_source):
+        source = """
+            from repro.core.types import CoreType
+
+            def walk(core_type):
+                for vtype in (CoreType.BIG, CoreType.LITTLE):
+                    if vtype is CoreType.BIG:
+                        yield core_type.other
+        """
+        for shim in ("herad", "herad_reference", "norep"):
+            findings = lint_source(
+                source,
+                relpath=f"src/repro/core/{shim}.py",
+                rules=["two-type-assumption"],
+            )
+            assert findings == ()
+        # ...but the same code in an ordinary core module is flagged.
+        findings = lint_source(
+            source,
+            relpath="src/repro/core/sample.py",
+            rules=["two-type-assumption"],
+        )
+        assert len(findings) == 3
+
+    def test_unrelated_other_attribute_is_not_flagged(self, lint_source):
+        findings = lint_source(
+            """
+            def pick(pair):
+                return pair.other
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert findings == ()
+
+    def test_pragma_suppresses(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.core.types import CoreType
+
+            def flip(core_type: CoreType) -> CoreType:
+                return core_type.other  # lint: ignore[two-type-assumption]
+            """,
+            rules=["two-type-assumption"],
+        )
+        assert findings == ()

@@ -6,12 +6,14 @@ import pytest
 
 from repro.core.errors import InvalidPlatformError
 from repro.core.types import CoreType, Resources
-from repro.platform.model import Platform
+from repro.platform.model import CoreClass, Platform
 from repro.platform.presets import (
     MAC_STUDIO,
     REAL_CONFIGURATIONS,
     SIMULATION_BUDGETS,
     X7_TI,
+    X7_TI_3T,
+    ktype_simulation_platform,
     simulation_platform,
 )
 
@@ -54,6 +56,70 @@ class TestPlatform:
         assert MAC_STUDIO.frequency(CoreType.LITTLE) == 2.0
 
 
+class TestKTypePlatform:
+    def _p3(self):
+        return Platform.from_core_classes(
+            "p3",
+            (
+                CoreClass("P", 4, 5.0),
+                CoreClass("E", 6, 3.0),
+                CoreClass("LPE", 2, 1.5),
+            ),
+            interframe=2,
+        )
+
+    def test_from_core_classes(self):
+        p = self._p3()
+        assert p.ktype == 3
+        assert p.resources.counts == (4, 6, 2)
+        assert p.big == 4 and p.little == 6
+        assert p.big_frequency_ghz == 5.0
+        assert p.little_frequency_ghz == 3.0
+        assert p.interframe == 2
+
+    def test_class_name_and_frequency_by_index(self):
+        p = self._p3()
+        assert [p.class_name(v) for v in range(3)] == ["P", "E", "LPE"]
+        assert p.frequency(2) == 1.5
+        # Derived names when no class metadata was given.
+        bare = Platform("bare", Resources(2, 3))
+        assert bare.class_name(0) == "big"
+        assert bare.class_name(1) == "little"
+        with pytest.raises(InvalidPlatformError):
+            bare.class_name(2)
+
+    def test_classes_must_agree_with_budget(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform(
+                "p",
+                Resources(2, 2),
+                core_classes=(CoreClass("P", 2), CoreClass("E", 3)),
+            )
+
+    def test_empty_class_list_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform.from_core_classes("p", ())
+
+    def test_negative_class_count_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            CoreClass("P", -1)
+
+    def test_halved_halves_every_class(self):
+        half = self._p3().halved()
+        assert half.resources.counts == (2, 3, 1)
+        assert [cls.count for cls in half.core_classes] == [2, 3, 1]
+        assert [cls.name for cls in half.core_classes] == ["P", "E", "LPE"]
+
+    def test_with_counts(self):
+        p = self._p3().with_counts((1, 1, 1))
+        assert p.resources.counts == (1, 1, 1)
+        assert p.core_classes == ()  # stale class metadata is dropped
+
+    def test_str_matches_two_type_rendering(self):
+        assert str(Platform("p", Resources(2, 3))) == "p R=(2B, 3L)"
+        assert str(self._p3()) == "p3 R=(4B, 6L, 2T2)"
+
+
 class TestPresets:
     def test_mac_studio_matches_paper(self):
         assert (MAC_STUDIO.big, MAC_STUDIO.little) == (16, 4)
@@ -83,3 +149,19 @@ class TestPresets:
         p = simulation_platform(4, 16)
         assert (p.big, p.little) == (4, 16)
         assert p.interframe == 1
+
+    def test_x7ti_3t_extends_the_paper_preset(self):
+        assert X7_TI_3T.ktype == 3
+        # Same P/E pools as the paper's X7 Ti, plus the two LPE cores the
+        # paper leaves unused.
+        assert X7_TI_3T.resources.counts == (6, 8, 2)
+        assert X7_TI_3T.interframe == X7_TI.interframe
+        assert X7_TI_3T.frequency(0) == X7_TI.big_frequency_ghz
+        assert X7_TI_3T.frequency(1) == X7_TI.little_frequency_ghz
+        assert X7_TI_3T.class_name(2) == "LPE-core"
+
+    def test_ktype_simulation_platform_builder(self):
+        p = ktype_simulation_platform((3, 3, 2))
+        assert p.resources.counts == (3, 3, 2)
+        assert p.ktype == 3
+        assert "(3B, 3L, 2T2)" in p.name
