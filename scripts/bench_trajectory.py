@@ -12,9 +12,10 @@ Usage::
     PYTHONPATH=src python scripts/bench_trajectory.py [--chains 200]
         [--jobs 8] [--out BENCH_engine.json]
 
-Notes on reading the numbers: the parallel speedup is bounded by the
-machine's core count (reported as ``cpu_count``); the memoized-replay tier
-is what the figure drivers hit when they revisit a campaign and is
+Notes on reading the numbers: the parallel speedup is bounded by the cores
+the process may actually use — reported as both ``cpu_count`` (machine
+total) and ``cpu_affinity`` (scheduler mask; smaller under container CPU
+limits) — while the memoized-replay and batch-kernel tiers are
 hardware-independent.
 """
 
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import functools
 import json
 import os
 import platform
@@ -51,6 +53,14 @@ TABLE1_BUDGETS = (Resources(16, 4), Resources(10, 10), Resources(4, 16))
 #: accept it (tracks what the k-type generalization costs on the hot path).
 KTYPE_BUDGET = Resources.from_counts((4, 4, 2))
 KTYPE_STRATEGIES = ("fertac", "2catac", "otac_b", "otac_l")
+#: Strategies with a batch kernel, timed python-vs-batch on the campaign.
+KERNEL_STRATEGIES = ("herad", "2catac")
+
+
+def _cpu_affinity() -> "int | None":
+    """Cores the scheduler lets this process use (``None`` if unknowable)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    return len(getter(0)) if getter is not None else None
 
 
 def _time(fn, repeats: int = 1) -> tuple[float, object]:
@@ -108,7 +118,8 @@ def main(argv: "list[str] | None" = None) -> int:
     print(
         f"campaign: {len(chains)} chains x {len(PAPER_ORDER)} strategies, "
         f"budget ({TABLE1_BUDGET.big}B,{TABLE1_BUDGET.little}L), "
-        f"jobs={jobs}, cpu_count={os.cpu_count()}"
+        f"jobs={jobs}, cpu_count={os.cpu_count()}, "
+        f"cpu_affinity={_cpu_affinity()}"
     )
 
     # Tier 1: serial, no cache (the pre-engine baseline path).
@@ -178,6 +189,40 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     print(f"  k-type latency  budget {ktype_key}: {ktype_latencies_us}")
 
+    # Kernel scenario: the same campaign through the scalar python solvers
+    # vs the batch-vectorized kernel tier, per batchable strategy.  Results
+    # must stay bitwise identical — the speedup is the entire point.
+    kernel_wall_s: dict[str, dict[str, float]] = {}
+    kernel_speedup: dict[str, float] = {}
+    kernel_mismatch = False
+    batch_engine = CampaignEngine(
+        jobs=1, backend="serial", memo=False, kernel="batch"
+    )
+    for name in KERNEL_STRATEGIES:
+        python_s, python_arrays = _time(
+            functools.partial(
+                serial_engine.solve_instances, chains, TABLE1_BUDGET, (name,)
+            ),
+            repeats=2,
+        )
+        batch_s, batch_arrays = _time(
+            functools.partial(
+                batch_engine.solve_instances, chains, TABLE1_BUDGET, (name,)
+            ),
+            repeats=3,
+        )
+        kernel_wall_s[name] = {
+            "python": round(python_s, 3),
+            "batch": round(batch_s, 3),
+        }
+        kernel_speedup[name] = round(python_s / batch_s, 2)
+        kernel_mismatch |= not _arrays_match(python_arrays, batch_arrays)
+        print(
+            f"  kernel {name:12s} python {python_s:6.2f}s  "
+            f"batch {batch_s:6.2f}s  x{python_s / batch_s:.2f}"
+        )
+    mismatch |= kernel_mismatch
+
     report = {
         "benchmark": "campaign engine trajectory",
         "scenario": {
@@ -190,6 +235,7 @@ def main(argv: "list[str] | None" = None) -> int:
         },
         "machine": {
             "cpu_count": os.cpu_count(),
+            "cpu_affinity": _cpu_affinity(),
             "python": platform.python_version(),
             "platform": platform.platform(),
             "git_sha": _git_sha(),
@@ -216,6 +262,14 @@ def main(argv: "list[str] | None" = None) -> int:
             "num_tasks": 12,
             "chains": args.latency_chains,
             "strategy_latency_us": ktype_latencies_us,
+        },
+        "kernel_vs_python": {
+            "chains": len(chains),
+            "num_tasks": args.tasks,
+            "budget": [TABLE1_BUDGET.big, TABLE1_BUDGET.little],
+            "wall_s": kernel_wall_s,
+            "speedup": kernel_speedup,
+            "mismatch": kernel_mismatch,
         },
         "engine_vs_serial_mismatch": mismatch,
     }

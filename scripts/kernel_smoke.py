@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Batch-kernel smoke: oracle replay through ``--kernel batch`` + bench.
+
+Two gates, both exiting non-zero on violation (CI ``kernel-smoke`` job):
+
+1. **Oracle replay** — every cell of the 1260-cell pre-refactor fixture
+   (``tests/data/k2_oracle.json``: 30 chains x 6 budgets x 7 strategies)
+   is solved through the batch kernel tier (an engine with
+   ``kernel="batch"``, i.e. exactly what ``--kernel batch`` runs) with
+   certification on, and compared bitwise — period bits and per-type core
+   usage — against the stored pre-refactor outputs.
+2. **Bench smoke** — the standard campaign scenario is timed on both
+   kernels per batchable strategy; the batch path must not be slower than
+   python (it is ~5-19x faster at full scale, so equality means a
+   regression).
+
+Usage::
+
+    PYTHONPATH=src python scripts/kernel_smoke.py [--chains 60]
+        [--num-tasks 20] [--jobs 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.types import Resources  # noqa: E402
+from repro.engine import CampaignEngine  # noqa: E402
+from repro.workloads import generators as g  # noqa: E402
+from repro.workloads.synthetic import GeneratorConfig, chain_batch  # noqa: E402
+
+FIXTURE = REPO_ROOT / "tests" / "data" / "k2_oracle.json"
+#: Strategies with a batch kernel (the bench-smoke subjects).
+KERNEL_STRATEGIES = ("herad", "2catac")
+
+
+def _oracle_chains():
+    """The fixture's chain population (same recipe as tests/core)."""
+    chains = []
+    for sr in (0.2, 0.5, 0.8):
+        cfg = GeneratorConfig(num_tasks=20, stateless_ratio=sr)
+        chains.extend(chain_batch(8, cfg, seed=int(sr * 10)))
+    chains += [
+        g.fully_replicable_chain(12),
+        g.fully_sequential_chain(12),
+        g.alternating_chain(15),
+        g.heavy_tail_chain(10),
+        g.inverted_speed_chain(14),
+        g.uniform_chain(1),
+    ]
+    return chains
+
+
+def _replay_oracle(jobs: int) -> int:
+    """Replay every fixture cell through the batch tier; count mismatches."""
+    oracle = json.loads(FIXTURE.read_text())
+    chains = _oracle_chains()
+    strategies = sorted({row["strategy"] for row in oracle["rows"]})
+    cells = {
+        (row["chain"], tuple(row["budget"]), row["strategy"]): row
+        for row in oracle["rows"]
+    }
+    engine = CampaignEngine(
+        jobs=jobs,
+        backend="serial" if jobs == 1 else "process",
+        memo=False,
+        kernel="batch",
+    )
+    mismatches = 0
+    for budget in oracle["meta"]["budgets"]:
+        resources = Resources(*budget)
+        arrays = engine.solve_instances(
+            chains, resources, strategies, certify=True
+        )
+        for name in strategies:
+            record = arrays[name]
+            for index in range(len(chains)):
+                row = cells[index, tuple(budget), name]
+                got = (
+                    float(record.periods[index]).hex(),
+                    [int(record.big_used[index]), int(record.little_used[index])],
+                )
+                want = (row["period_hex"], row["usage"])
+                if got != want:
+                    mismatches += 1
+                    if mismatches <= 3:
+                        print(
+                            f"FAIL cell (chain {index}, {budget}, {name}): "
+                            f"want {want}, got {got}"
+                        )
+    total = len(cells)
+    print(
+        f"[kernel-smoke] oracle replay: {total - mismatches}/{total} cells "
+        f"bitwise-identical through --kernel batch (certified)"
+    )
+    return mismatches
+
+
+def _bench(chains, resources, jobs: int) -> bool:
+    """Time both kernels per strategy; True when batch is never slower."""
+    ok = True
+    python_engine = CampaignEngine(
+        jobs=jobs, backend="serial" if jobs == 1 else "process", memo=False
+    )
+    batch_engine = CampaignEngine(
+        jobs=jobs,
+        backend="serial" if jobs == 1 else "process",
+        memo=False,
+        kernel="batch",
+    )
+    for name in KERNEL_STRATEGIES:
+        timings = {}
+        results = {}
+        for label, engine in (("python", python_engine), ("batch", batch_engine)):
+            solve = functools.partial(
+                engine.solve_instances, chains, resources, (name,)
+            )
+            solve()  # warm-up: imports, allocator, worker spin-up
+            start = time.perf_counter()
+            results[label] = solve()
+            timings[label] = time.perf_counter() - start
+        slower = timings["batch"] > timings["python"]
+        parity = np.array_equal(
+            results["python"][name].periods, results["batch"][name].periods
+        )
+        verdict = "OK" if not slower and parity else "FAIL"
+        print(
+            f"[kernel-smoke] bench {name:12s} python {timings['python']:6.3f}s  "
+            f"batch {timings['batch']:6.3f}s  "
+            f"x{timings['python'] / timings['batch']:.2f}  {verdict}"
+        )
+        if slower:
+            print(f"FAIL {name}: batch kernel slower than python")
+            ok = False
+        if not parity:
+            print(f"FAIL {name}: batch kernel diverged from python")
+            ok = False
+    return ok
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=60,
+                        help="bench-smoke campaign size")
+    parser.add_argument("--num-tasks", type=int, default=20)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    mismatches = _replay_oracle(args.jobs)
+
+    config = GeneratorConfig(num_tasks=args.num_tasks, stateless_ratio=0.5)
+    chains = list(chain_batch(args.chains, config, seed=args.seed))
+    bench_ok = _bench(chains, Resources(10, 10), args.jobs)
+
+    if mismatches or not bench_ok:
+        print(f"[kernel-smoke] FAILED ({mismatches} oracle mismatches)")
+        return 1
+    print("[kernel-smoke] OK: oracle bitwise, certified, batch not slower")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

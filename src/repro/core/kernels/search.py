@@ -1,0 +1,129 @@
+"""Lockstep batched ``Schedule`` driver (Algo. 1 over a whole batch).
+
+:func:`repro.core.binary_search.schedule_by_binary_search` runs one
+bisection per chain; here every instance of a :class:`ChainPack` steps its
+bracket in lockstep rounds.  Each round gathers the still-open instances
+(``upper - lower >= eps``), computes all their midpoints at once, and asks a
+*batched* probe for all their candidate solutions in one vectorized call;
+converged instances are masked out and simply stop being probed.
+
+Per-instance state — bracket, best solution, probe log, iteration count —
+evolves independently, so instance ``i``'s sequence of probes is exactly the
+sequence the solo driver would produce, bitwise: the midpoint arithmetic,
+the bracket updates (upper tightens to the *achieved* period), the epsilon,
+and the 200-iteration cap are all identical.  The rare empty-best fallback
+(degenerate brackets, greedy builders defeated at the upper bound) probes
+per instance through the strategy's scalar python builder, which *is* the
+solo code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...obs.context import counter_add
+from ..binary_search import ScheduleOutcome
+from ..bounds import period_bounds, search_epsilon
+from ..chain_stats import ChainProfile
+from ..errors import InvalidPlatformError
+from ..solution import Solution
+from ..types import Resources
+from .pack import ChainPack
+
+__all__ = ["BatchProbeFn", "batched_binary_search"]
+
+#: Batched ``ComputeSolution``: given the active batch rows and one target
+#: period per row, return one candidate per row — ``None`` for "no valid
+#: schedule at this target".  The contract mirroring the solo driver: a
+#: solution must be returned exactly when the scalar builder's candidate
+#: would pass ``is_valid(profile, resources, target)``, and it must be that
+#: same solution.
+BatchProbeFn = Callable[[np.ndarray, np.ndarray], "Sequence[Solution | None]"]
+
+#: Scalar ``ComputeSolution`` used for the empty-best fallback probes.
+ScalarBuilderFn = Callable[[ChainProfile, Resources, float], Solution]
+
+
+def batched_binary_search(
+    pack: ChainPack,
+    resources: Resources,
+    probe: BatchProbeFn,
+    scalar_builder: ScalarBuilderFn,
+    *,
+    max_iterations: int = 200,
+) -> list[ScheduleOutcome]:
+    """Run the paper's ``Schedule`` for every instance of ``pack`` at once.
+
+    Returns one :class:`~repro.core.binary_search.ScheduleOutcome` per
+    packed profile, in batch order, bitwise identical to running
+    ``schedule_by_binary_search`` per instance with the corresponding
+    scalar builder.
+
+    Raises:
+        InvalidPlatformError: when the budget has no cores.
+    """
+    if resources.total <= 0:
+        raise InvalidPlatformError("scheduling requires at least one core")
+
+    bounds = [period_bounds(p, resources) for p in pack.profiles]
+    eps = search_epsilon(resources)
+    size = pack.size
+    lower = np.array([b.lower for b in bounds], dtype=np.float64)
+    upper = np.array([b.upper for b in bounds], dtype=np.float64)
+    best: list[Solution] = [Solution.empty() for _ in range(size)]
+    best_period: list[float] = [float("inf")] * size
+    probes: list[list[tuple[float, bool]]] = [[] for _ in range(size)]
+    iterations = [0] * size
+
+    for _ in range(max_iterations):
+        active = np.flatnonzero(upper - lower >= eps)
+        if active.size == 0:
+            break
+        targets = (upper[active] + lower[active]) / 2.0
+        candidates = probe(active, targets)
+        for pos, row in enumerate(active.tolist()):
+            iterations[row] += 1
+            target = float(targets[pos])
+            candidate = candidates[pos]
+            if candidate is not None:
+                best[row] = candidate
+                achieved = candidate.period(pack.profiles[row])
+                best_period[row] = achieved
+                # The achieved period can only shrink from here (line 10).
+                upper[row] = achieved
+            else:
+                lower[row] = target
+            probes[row].append((target, candidate is not None))
+
+    outcomes: list[ScheduleOutcome] = []
+    for row, profile in enumerate(pack.profiles):
+        solution = best[row]
+        period = best_period[row]
+        if solution.is_empty:
+            # Same fallback ladder as the solo driver: the upper bound, then
+            # the always-feasible whole-chain-on-one-core period.
+            fallbacks = [bounds[row].upper]
+            usable = resources.usable_types()
+            fallbacks.append(min(profile.total_weight(v) for v in usable))
+            for target in fallbacks:
+                candidate = scalar_builder(profile, resources, target)
+                feasible = candidate.is_valid(profile, resources, target)
+                probes[row].append((target, feasible))
+                if feasible:
+                    solution = candidate
+                    period = candidate.period(profile)
+                    break
+        counter_add("binary_search.calls")
+        counter_add("binary_search.iterations", iterations[row])
+        outcomes.append(
+            ScheduleOutcome(
+                solution=solution,
+                period=period,
+                iterations=iterations[row],
+                bounds=bounds[row],
+                probes=tuple(probes[row]),
+            )
+        )
+    return outcomes

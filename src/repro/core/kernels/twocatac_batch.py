@@ -1,0 +1,325 @@
+"""Batch-vectorized 2CATAC: a k=2 state-space DP replacing the recursion.
+
+The solo builder (:func:`repro.core.twocatac.twocatac_compute_solution`)
+explores, for one chain and one target period, a branch tree whose nodes are
+``(start task, remaining big, remaining little)`` states — at a fixed target
+the subproblem below a node depends only on that state (that is exactly why
+the memoized variant returns identical solutions).  This kernel evaluates
+the same state space *bottom-up* for every active instance of a batch at
+once:
+
+1. **Stage plans.**  ``ComputeStage`` (Algo. 2) is precomputed for every
+   ``(instance, start, available)`` triple of each core type as whole-array
+   formulas — ``MaxPacking`` becomes a vectorized count of prefix entries
+   under the limit (identical to the solo ``searchsorted`` with its
+   per-instance clipping), ``RequiredCores`` a gathered ceil-divide, and the
+   not-enough-cores / give-up-one-core branches ``np.where`` selections in
+   the solo branch order.
+2. **State sweep.**  Planes ``(instance, remaining_b, remaining_l)`` are
+   filled from the last start backwards.  Each state's two typed candidates
+   gather their successor state's feasibility and usage via fancy indexing,
+   and ``ChooseBestSolution`` (Algo. 6) is applied elementwise: the paper's
+   mass comparisons are plain integer comparisons at k=2.  Only the winning
+   *decision* (stage type) is stored per state; usages propagate so later
+   comparisons see exactly the totals the recursion would compare.
+3. **Backtrack.**  For each feasible instance the chosen stages are walked
+   out of the decision planes (a handful of scalar reads), and the achieved
+   period is recomputed in python from the stage list — so the value fed
+   back into the bisection bracket is bit-for-bit the one the solo driver
+   computes.
+
+Padded rows (``start >= n_i``) produce finite garbage that no real state
+reads: a real stage either ends at the instance's own last task (final — no
+successor read) or strictly before it (successor is a real state).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..binary_search import ScheduleOutcome
+from ..chain_stats import ChainProfile
+from ..errors import InvalidPlatformError
+from ..solution import Solution
+from ..stage import Stage
+from ..twocatac import twocatac_compute_solution
+from ..types import CoreType, Resources
+from .pack import ChainPack
+from .search import batched_binary_search
+
+__all__ = ["twocatac_batch", "twocatac_memo_batch"]
+
+
+class _Plans:
+    """``ComputeStage`` resolved for every (instance, start, available).
+
+    Arrays are ``(A, n, cap + 1)`` where the trailing axis is the number of
+    cores of this plan's type still available.  ``fits`` is the result of
+    ``stage_fits`` on the plan; ``final`` marks plans covering the chain's
+    (per-instance) last task.
+    """
+
+    __slots__ = ("end", "cores", "fits", "final")
+
+    def __init__(
+        self,
+        end: np.ndarray,
+        cores: np.ndarray,
+        fits: np.ndarray,
+        final: np.ndarray,
+    ) -> None:
+        self.end = end
+        self.cores = cores
+        self.fits = fits
+        self.final = final
+
+
+def _stage_plans(
+    prefix: np.ndarray,
+    nxt: np.ndarray,
+    last: np.ndarray,
+    targets: np.ndarray,
+    cap: int,
+) -> _Plans:
+    """Vectorized ``ComputeStage`` for one core type over the active batch.
+
+    Args:
+        prefix: the type's weight prefix rows, ``(A, n + 1)``.
+        nxt: next-sequential-task values for starts ``0..n-1``, ``(A, n)``.
+        last: per-instance last task indices, ``(A,)``.
+        targets: per-instance target periods (all positive), ``(A,)``.
+        cap: the platform's core count of this type.
+    """
+    count, n1 = prefix.shape
+    n = n1 - 1
+    rows = np.arange(count, dtype=np.intp)[:, None]
+    rows3 = rows[:, :, None]
+    s_grid = np.arange(n, dtype=np.int64)[None, :, None]
+    base = prefix[:, :n, None]
+    nxt3 = nxt[:, :, None]
+    last3 = last[:, None, None]
+    targets2 = targets[:, None]
+    targets3 = targets[:, None, None]
+    hi_rep = np.minimum(nxt3 - 1, last3)
+
+    def max_packing(cores: np.ndarray) -> np.ndarray:
+        """Solo ``MaxPacking`` with the searchsorted expressed as a count.
+
+        ``count(p <= limit) - 2`` equals ``searchsorted(p, limit, "right")
+        - 2`` exactly; padded prefix entries can only inflate a count that
+        the per-instance ``hi_rep``/``last`` clipping caps identically.
+        """
+        valid = cores >= 1
+        limit_rep = base + targets3 * cores
+        cnt = (prefix[:, None, None, :] <= limit_rep[..., None]).sum(axis=-1)
+        e_rep = np.minimum(cnt - 2, hi_rep)
+        take_rep = valid & (hi_rep >= s_grid) & (e_rep >= s_grid)
+        best = np.where(take_rep, e_rep, s_grid)
+        limit_seq = base + targets3
+        cnt = (prefix[:, None, None, :] <= limit_seq[..., None]).sum(axis=-1)
+        e_seq = np.minimum(cnt - 2, last3)
+        take_seq = valid & (nxt3 <= last3) & (e_seq >= nxt3)
+        return np.where(take_seq, np.maximum(best, e_seq), best)
+
+    def required(start_p: np.ndarray, end: np.ndarray) -> np.ndarray:
+        """Solo ``RequiredCores``: ``max(1, ceil(w / P))`` (exact: the
+        division is the same IEEE op and the quotients are far below 2^53,
+        so ``np.ceil`` + integer cast equals ``math.ceil``)."""
+        w = prefix[rows, end + 1] - start_p
+        return np.maximum(1, np.ceil(w / targets2)).astype(np.int64)
+
+    one = np.ones((1, 1, 1), dtype=np.int64)
+    start_p = prefix[:, :n]
+    lastm = last[:, None]
+
+    # Lines 1-2: single-core packing and its core requirement.
+    end0 = max_packing(one)[..., 0]
+    cores0 = required(start_p, end0)
+
+    # Lines 3-4: replicable non-final stages extend to FinalRepTask.
+    extend = (end0 != lastm) & (nxt > end0)
+    end1 = np.minimum(nxt - 1, lastm)
+    cores1 = required(start_p, end1)
+
+    # Lines 8-12: the give-up-one-core shrink (evaluated for every start,
+    # selected only where the solo guard holds).
+    shrinkable = extend & (end1 != lastm) & (cores1 >= 2)
+    shorter = max_packing((cores1 - 1)[:, :, None])[..., 0]
+    w_short = prefix[rows, shorter + 1] - start_p
+    sw_short = np.where(
+        nxt > shorter, w_short / np.maximum(cores1 - 1, 1), w_short
+    )
+    # required_cores(shorter + 1, end1 + 1): the gather index is clipped for
+    # rows where the guard is false (garbage in, masked out).
+    ride_end = np.minimum(end1 + 1, n - 1)
+    w_ride = prefix[rows, ride_end + 1] - prefix[rows, shorter + 1]
+    ride_cores = np.maximum(1, np.ceil(w_ride / targets2)).astype(np.int64)
+    shrink_ok = shrinkable & (sw_short <= targets2) & (ride_cores == 1)
+
+    # Assemble the per-available plan, in the solo branch order: extend,
+    # then not-enough-cores (lines 5-7), else the shrink.
+    avail = np.arange(cap + 1, dtype=np.int64)[None, None, :]
+    mp_avail = max_packing(avail)
+    base_end = np.where(extend, end1, end0)[:, :, None]
+    base_cores = np.where(extend, cores1, cores0)[:, :, None]
+    not_enough = extend[:, :, None] & (cores1[:, :, None] > avail)
+    shrink = shrink_ok[:, :, None] & ~not_enough
+    end_plan = np.where(
+        not_enough, mp_avail, np.where(shrink, shorter[:, :, None], base_end)
+    )
+    cores_plan = np.where(
+        not_enough, avail, np.where(shrink, (cores1 - 1)[:, :, None], base_cores)
+    )
+
+    # stage_fits: cores in [1, available] and stage weight within target.
+    w_plan = prefix[rows3, end_plan + 1] - base
+    sw_plan = np.where(
+        nxt3 > end_plan, w_plan / np.maximum(cores_plan, 1), w_plan
+    )
+    fits = (
+        (cores_plan >= 1) & (cores_plan <= avail) & (sw_plan <= targets3)
+    )
+    final = end_plan == last3
+    return _Plans(end=end_plan, cores=cores_plan, fits=fits, final=final)
+
+
+def _probe_batch(
+    pack: ChainPack,
+    resources: Resources,
+    active: np.ndarray,
+    targets: np.ndarray,
+) -> list[Solution | None]:
+    """One lockstep bisection round: solve every active instance's
+    ``ComputeSolution`` at its own target period."""
+    big, little = resources.big, resources.little
+    n = pack.n
+    count = int(active.size)
+    nxt = pack.next_seq[active][:, :n]
+    last = pack.last[active]
+    plans = {
+        CoreType.BIG: _stage_plans(
+            pack.prefix[0][active], nxt, last, targets, big
+        ),
+        CoreType.LITTLE: _stage_plans(
+            pack.prefix[1][active], nxt, last, targets, little
+        ),
+    }
+
+    # State planes over (instance, remaining big, remaining little); plane
+    # ``s`` answers "can tasks s..end be scheduled, and at what usage".
+    feas = np.zeros((count, n + 1, big + 1, little + 1), dtype=bool)
+    used_b = np.zeros((count, n + 1, big + 1, little + 1), dtype=np.int64)
+    used_l = np.zeros((count, n + 1, big + 1, little + 1), dtype=np.int64)
+    decision = np.full((count, n, big + 1, little + 1), -1, dtype=np.int8)
+    rb = np.arange(big + 1, dtype=np.int64)
+    rl = np.arange(little + 1, dtype=np.int64)
+    rows = np.arange(count, dtype=np.intp)[:, None, None]
+
+    pb, pl = plans[CoreType.BIG], plans[CoreType.LITTLE]
+    for s in range(n - 1, -1, -1):
+        # Big-stage candidate: the plan is indexed by the remaining big
+        # budget (axis 1 of the state plane).
+        e_b, c_b = pb.end[:, s, :], pb.cores[:, s, :]
+        fin_b = pb.final[:, s, :][:, :, None]
+        succ = (
+            rows,
+            (e_b + 1)[:, :, None],
+            np.clip(rb[None, :] - c_b, 0, big)[:, :, None],
+            rl[None, None, :],
+        )
+        cand_b = pb.fits[:, s, :][:, :, None] & (fin_b | feas[succ])
+        ub_b = c_b[:, :, None] + np.where(fin_b, 0, used_b[succ])
+        ul_b = np.where(fin_b, 0, used_l[succ])
+
+        # Little-stage candidate: plan indexed by the remaining little
+        # budget (axis 2).
+        e_l, c_l = pl.end[:, s, :], pl.cores[:, s, :]
+        fin_l = pl.final[:, s, :][:, None, :]
+        succ = (
+            rows,
+            (e_l + 1)[:, None, :],
+            rb[None, :, None],
+            np.clip(rl[None, :] - c_l, 0, little)[:, None, :],
+        )
+        cand_l = pl.fits[:, s, :][:, None, :] & (fin_l | feas[succ])
+        ub_l = np.where(fin_l, 0, used_b[succ])
+        ul_l = c_l[:, None, :] + np.where(fin_l, 0, used_l[succ])
+
+        # ChooseBestSolution (Algo. 6) elementwise; at k=2 the performance /
+        # efficiency masses are exactly the (big, little) usage counts.
+        both = cand_b & cand_l
+        big_wins = (ul_b > ul_l) & (ub_b < ub_l)
+        little_wins = (ul_b < ul_l) & (ub_b > ub_l)
+        prefer_big = big_wins | (
+            ~big_wins & ~little_wins & ((ub_b + ul_b) < (ub_l + ul_l))
+        )
+        choose_big = np.where(both, prefer_big, cand_b)
+        feas[:, s] = cand_b | cand_l
+        used_b[:, s] = np.where(choose_big, ub_b, ub_l)
+        used_l[:, s] = np.where(choose_big, ul_b, ul_l)
+        decision[:, s] = np.where(
+            cand_b | cand_l, np.where(choose_big, 0, 1), -1
+        )
+
+    solutions: list[Solution | None] = []
+    for row in range(count):
+        if not feas[row, 0, big, little]:
+            solutions.append(None)
+            continue
+        stages: list[Stage] = []
+        s, rem_b, rem_l = 0, big, little
+        last_row = int(last[row])
+        while True:
+            if int(decision[row, s, rem_b, rem_l]) == int(CoreType.BIG):
+                end = int(pb.end[row, s, rem_b])
+                cores = int(pb.cores[row, s, rem_b])
+                rem_b -= cores
+                core_type = CoreType.BIG
+            else:
+                end = int(pl.end[row, s, rem_l])
+                cores = int(pl.cores[row, s, rem_l])
+                rem_l -= cores
+                core_type = CoreType.LITTLE
+            stages.append(Stage(s, end, cores, core_type))
+            if end == last_row:
+                break
+            s = end + 1
+        solutions.append(Solution(stages))
+    return solutions
+
+
+def _twocatac_batch(
+    profiles: Sequence[ChainProfile], resources: Resources, memoize: bool
+) -> list[ScheduleOutcome]:
+    if resources.ktype != 2:
+        raise InvalidPlatformError(
+            "the 2CATAC batch kernel is specialized to two core types; "
+            f"got a {resources.ktype}-type budget"
+        )
+    pack = ChainPack(profiles)
+
+    def probe(active: np.ndarray, targets: np.ndarray) -> list[Solution | None]:
+        return _probe_batch(pack, resources, active, targets)
+
+    def scalar_builder(
+        profile: ChainProfile, res: Resources, period: float
+    ) -> Solution:
+        return twocatac_compute_solution(profile, res, period, memoize=memoize)
+
+    return batched_binary_search(pack, resources, probe, scalar_builder)
+
+
+def twocatac_batch(
+    profiles: Sequence[ChainProfile], resources: Resources
+) -> list[ScheduleOutcome]:
+    """Batched 2CATAC — bitwise identical to ``twocatac`` per instance."""
+    return _twocatac_batch(profiles, resources, False)
+
+
+def twocatac_memo_batch(
+    profiles: Sequence[ChainProfile], resources: Resources
+) -> list[ScheduleOutcome]:
+    """Batched memoized 2CATAC (the state DP *is* the memoized recursion)."""
+    return _twocatac_batch(profiles, resources, True)

@@ -12,13 +12,14 @@ plain identifiers (``otac_b``) are both accepted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from .binary_search import ScheduleOutcome
 from .chain_stats import ChainProfile
-from .errors import UnknownStrategyError
+from .errors import InvalidPlatformError, UnknownStrategyError
 from .fertac import fertac
 from .herad import herad
+from .kernels import herad_batch, twocatac_batch, twocatac_memo_batch
 from .otac import otac_big, otac_little
 from .reference import ktype_reference
 from .task import TaskChain
@@ -27,15 +28,29 @@ from .types import Resources
 
 __all__ = [
     "StrategyFn",
+    "BatchStrategyFn",
     "StrategyInfo",
     "STRATEGIES",
     "PAPER_ORDER",
     "get_strategy",
     "strategy_names",
     "run_strategies",
+    "solve_batch",
 ]
 
 StrategyFn = Callable[["TaskChain | ChainProfile", Resources], ScheduleOutcome]
+
+#: A batch kernel: solves many profiled chains at one budget in a single
+#: vectorized call, returning outcomes in batch order.  Must be bitwise
+#: identical to mapping the strategy's scalar ``func`` over the batch.
+BatchStrategyFn = Callable[
+    [Sequence[ChainProfile], Resources], "list[ScheduleOutcome]"
+]
+
+#: Instances handed to a batch kernel per call.  Larger batches amortize
+#: numpy dispatch further but grow the DP working set past cache; ~50 is the
+#: empirical sweet spot for the paper-scale scenario (20 tasks, (10B,10L)).
+_BATCH_SPAN: int = 50
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +60,11 @@ class StrategyInfo:
     ``two_type_only`` marks strategies whose implementation is specialized
     to the paper's two core types (they raise ``InvalidPlatformError`` on a
     ``k != 2`` budget); every other strategy accepts any ``k``-type budget.
+
+    ``batch_func`` is the strategy's vectorized batch kernel
+    (:mod:`repro.core.kernels`), or ``None`` when only the scalar python
+    implementation exists; :func:`solve_batch` is the entry point that
+    handles the fallback rules.
     """
 
     name: str
@@ -54,6 +74,7 @@ class StrategyInfo:
     heterogeneous: bool
     description: str
     two_type_only: bool = False
+    batch_func: "BatchStrategyFn | None" = None
 
 
 def _twocatac_memo(
@@ -84,6 +105,7 @@ STRATEGIES: dict[str, StrategyInfo] = {
                 "budgets (Eq. (4), Algos. 7-11)."
             ),
             two_type_only=True,
+            batch_func=herad_batch,
         ),
         StrategyInfo(
             name="2catac",
@@ -95,6 +117,7 @@ STRATEGIES: dict[str, StrategyInfo] = {
                 "Two-choice greedy: builds each stage with both core types "
                 "and explores both branches (Algos. 5-6)."
             ),
+            batch_func=twocatac_batch,
         ),
         StrategyInfo(
             name="2catac_memo",
@@ -106,6 +129,7 @@ STRATEGIES: dict[str, StrategyInfo] = {
                 "2CATAC with subproblem memoization — identical schedules, "
                 "polynomial state space (library extension)."
             ),
+            batch_func=twocatac_memo_batch,
         ),
         StrategyInfo(
             name="norep",
@@ -231,6 +255,44 @@ def run_strategies(
         get_info(name).name: get_info(name).func(chain, resources)
         for name in selected
     }
+
+
+def solve_batch(
+    chains: "Sequence[TaskChain | ChainProfile]",
+    resources: Resources,
+    strategy: str,
+) -> list[ScheduleOutcome]:
+    """Solve a whole batch of chains with one strategy at one budget.
+
+    The vectorized entry point of the ``--kernel batch`` tier: strategies
+    with a ``batch_func`` solve the batch in :data:`_BATCH_SPAN`-sized
+    sub-batches through their numpy kernel; everything else maps the scalar
+    python implementation over the batch.  Outcomes are returned in batch
+    order and are **bitwise identical** to ``[func(c, resources) for c in
+    chains]`` — the pure-python solvers remain the differential oracle.
+
+    Fallback rules (DESIGN.md §12): when a kernel rejects a sub-batch with
+    :class:`~repro.core.errors.InvalidPlatformError` — a ``k != 2`` budget,
+    a chain profiled without little-core weights, or an instance outside the
+    packed-key bit lanes — that sub-batch is re-solved per instance with the
+    scalar python strategy, which either handles the case or raises exactly
+    the error the solo campaign would.
+    """
+    info = get_info(strategy)
+    profiles = [
+        chain if isinstance(chain, ChainProfile) else ChainProfile(chain)
+        for chain in chains
+    ]
+    if info.batch_func is None:
+        return [info.func(profile, resources) for profile in profiles]
+    outcomes: list[ScheduleOutcome] = []
+    for base in range(0, len(profiles), _BATCH_SPAN):
+        sub = profiles[base : base + _BATCH_SPAN]
+        try:
+            outcomes.extend(info.batch_func(sub, resources))
+        except InvalidPlatformError:
+            outcomes.extend(info.func(profile, resources) for profile in sub)
+    return outcomes
 
 
 __all__.append("get_info")

@@ -36,6 +36,7 @@ from .batch import (
 from .checkpoint import CheckpointJournal, load_journal
 from .executor import (
     BACKENDS,
+    KERNELS,
     CampaignEngine,
     StrategyArrays,
     default_engine,
@@ -55,6 +56,7 @@ from .resilience import (
 
 __all__ = [
     "BACKENDS",
+    "KERNELS",
     "CampaignEngine",
     "StrategyArrays",
     "default_engine",

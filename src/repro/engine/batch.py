@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..core.binary_search import ScheduleOutcome
 from ..core.certify import certify_outcome
 from ..core.chain_stats import ChainProfile
 from ..core.errors import InvalidParameterError
-from ..core.registry import get_info
+from ..core.registry import get_info, solve_batch
 from ..core.task import TaskChain
 from ..core.types import Resources
 from ..obs.clock import monotonic
@@ -75,6 +76,12 @@ class WorkUnit:
             records into it, and ships the resulting payload home in its
             :class:`UnitOutcome` — the only channel observability data has
             out of a worker process.
+        kernel: solver tier for this chunk — ``"python"`` runs each cell
+            through the scalar strategy functions, ``"batch"`` groups the
+            chunk by strategy and solves each group in one vectorized
+            :func:`repro.core.registry.solve_batch` call (bitwise-identical
+            results; an armed fault plan forces the python path, since
+            faults trigger per cell).
     """
 
     pending: tuple[PendingInstance, ...]
@@ -83,6 +90,7 @@ class WorkUnit:
     faults: "FaultPlan | None" = None
     tier: str = "serial"
     obs: "ObsConfig | None" = None
+    kernel: str = "python"
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
@@ -181,6 +189,11 @@ def _solve_cell(
             optimal=info.optimal,
             context=name,
         )
+    return _result_of(outcome, resources)
+
+
+def _result_of(outcome: ScheduleOutcome, resources: Resources) -> InstanceResult:
+    """Collapse a schedule outcome into the campaign result scalars."""
     usage = outcome.solution.core_usage(resources.ktype)
     return InstanceResult(
         period=outcome.period,
@@ -211,23 +224,95 @@ def _solve_rows(unit: WorkUnit) -> UnitResult:
     return rows
 
 
+def _solve_rows_batch(unit: WorkUnit) -> UnitResult:
+    """Resolve a unit through the vectorized batch kernels.
+
+    The unit's instances are grouped by strategy (first-appearance order,
+    so the obs span sequence is deterministic) and each group goes through
+    one :func:`repro.core.registry.solve_batch` call — which guarantees
+    bitwise-identical outcomes to the scalar path, including the python
+    fallback for instances the kernels reject.  Certification audits every
+    batch-produced solution with the same independent checker as the scalar
+    path; the memoized result rows are constructed identically, so engine
+    assembly cannot tell the tiers apart.
+    """
+    profiles = [ChainProfile(item.chain) for item in unit.pending]
+    by_strategy: dict[str, list[int]] = {}
+    for position, item in enumerate(unit.pending):
+        for name in item.strategies:
+            by_strategy.setdefault(name, []).append(position)
+
+    results: list[dict[str, InstanceResult]] = [{} for _ in unit.pending]
+    obs = current()
+    for name, members in by_strategy.items():
+        if obs.active:
+            with obs.span(
+                "solve_batch",
+                "solve",
+                strategy=name,
+                tier=unit.tier,
+                instances=len(members),
+            ):
+                start = monotonic()
+                _solve_group(unit, name, members, profiles, results)
+                obs.metrics.observe(
+                    f"solve_batch.seconds.{name}", monotonic() - start
+                )
+                obs.metrics.add("solve.count", len(members))
+        else:
+            _solve_group(unit, name, members, profiles, results)
+
+    return [
+        (item.index, results[position])
+        for position, item in enumerate(unit.pending)
+    ]
+
+
+def _solve_group(
+    unit: WorkUnit,
+    name: str,
+    members: "list[int]",
+    profiles: "list[ChainProfile]",
+    results: "list[dict[str, InstanceResult]]",
+) -> None:
+    """Solve one strategy's group of a batched unit and record its rows."""
+    info = get_info(name)
+    group = [profiles[position] for position in members]
+    outcomes = solve_batch(group, unit.resources, name)
+    for position, outcome in zip(members, outcomes):
+        if unit.certify:
+            certify_outcome(
+                outcome,
+                profiles[position],
+                unit.resources,
+                optimal=info.optimal,
+                context=name,
+            )
+        results[position][name] = _result_of(outcome, unit.resources)
+
+
 def solve_unit(unit: WorkUnit) -> UnitOutcome:
     """Resolve one work unit (the process-pool entry point).
 
-    Profiles each chain once, then runs every requested strategy on it.
+    Profiles each chain once, then runs every requested strategy on it —
+    cell by cell on the python kernel, strategy-grouped through
+    :func:`repro.core.registry.solve_batch` on the batch kernel (an armed
+    fault plan forces the python path: faults target individual cells).
     With observability enabled on the unit, a fresh local context is built
     and activated for the duration — worker processes have no access to the
     engine's tracer, and thread-tier workers deliberately use the same
     ship-a-payload-home protocol so every tier aggregates identically.
     """
+    batched = unit.kernel == "batch" and unit.faults is None
+    solver = _solve_rows_batch if batched else _solve_rows
     if unit.obs is None or not unit.obs.enabled:
-        return UnitOutcome(rows=_solve_rows(unit))
+        return UnitOutcome(rows=solver(unit))
     context = unit.obs.create_context()
     with activate(context):
         with context.span(
             "unit", "engine", tier=unit.tier, instances=len(unit.pending)
         ):
-            rows = _solve_rows(unit)
+            rows = solver(unit)
     return UnitOutcome(rows=rows, obs=context.payload())
 
 
@@ -239,6 +324,7 @@ def chunk_pending(
     faults: "FaultPlan | None" = None,
     tier: str = "serial",
     obs: "ObsConfig | None" = None,
+    kernel: str = "python",
 ) -> list[WorkUnit]:
     """Split pending instances into work units of at most ``chunk_size``."""
     if chunk_size < 1:
@@ -251,6 +337,7 @@ def chunk_pending(
             faults=faults,
             tier=tier,
             obs=obs,
+            kernel=kernel,
         )
         for i in range(0, len(pending), chunk_size)
     ]

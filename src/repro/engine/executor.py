@@ -57,7 +57,7 @@ from ..obs.context import Observability, ObsConfig, activate
 from .batch import PendingInstance, UnitOutcome, WorkUnit, chunk_pending, solve_unit
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
-from .memo import InstanceResult, MemoCache, make_key
+from .memo import InstanceResult, MemoCache, MemoKey, make_key
 from .resilience import (
     FailureRecord,
     ResilienceConfig,
@@ -67,6 +67,7 @@ from .resilience import (
 
 __all__ = [
     "BACKENDS",
+    "KERNELS",
     "resolve_jobs",
     "StrategyArrays",
     "CampaignEngine",
@@ -76,6 +77,13 @@ __all__ = [
 
 #: Recognized backend names (``auto`` picks serial for 1 job, else process).
 BACKENDS: tuple[str, ...] = ("auto", "serial", "thread", "process")
+
+#: Recognized solver kernels: ``python`` solves cell by cell through the
+#: scalar strategy functions; ``batch`` groups each work unit by strategy
+#: and solves the groups through the vectorized kernels
+#: (:mod:`repro.core.kernels`) — bitwise-identical results, amortized
+#: dispatch.
+KERNELS: tuple[str, ...] = ("python", "batch")
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -139,6 +147,12 @@ class CampaignEngine:
             zero-overhead no-op implementation.  Spans and counters are
             recorded *about* the campaign, never consulted by it — results
             are bitwise identical with observability on or off (tested).
+        kernel: one of :data:`KERNELS` — the solver tier work units run on.
+            ``"batch"`` routes each unit through the vectorized kernels of
+            :mod:`repro.core.kernels` (grouped by strategy, python fallback
+            per instance where a kernel does not apply); results are
+            bitwise identical to the default ``"python"`` tier (tested),
+            only the throughput changes.
     """
 
     def __init__(
@@ -151,10 +165,15 @@ class CampaignEngine:
         journal: "CheckpointJournal | str | Path | None" = None,
         faults: "FaultPlan | None" = None,
         obs: "Observability | ObsConfig | bool | None" = None,
+        kernel: str = "python",
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidParameterError(
                 f"unknown backend {backend!r}; available: {BACKENDS}"
+            )
+        if kernel not in KERNELS:
+            raise InvalidParameterError(
+                f"unknown kernel {kernel!r}; available: {KERNELS}"
             )
         if chunk_size is not None and chunk_size < 1:
             raise InvalidParameterError(
@@ -163,6 +182,7 @@ class CampaignEngine:
         self.jobs = resolve_jobs(jobs)
         self.backend = backend
         self.chunk_size = chunk_size
+        self.kernel = kernel
         if memo is True:
             self.memo: MemoCache | None = MemoCache()
         elif memo is False or memo is None:
@@ -256,15 +276,20 @@ class CampaignEngine:
                         pending, resources, effective_jobs, certify=certify
                     ):
                         self.obs.absorb(outcome.obs)
+                        solved: list[tuple[MemoKey, InstanceResult]] = []
                         for index, results in outcome.rows:
                             chain = chains[index]
                             for name, result in results.items():
                                 self._store(arrays, index, name, result)
                                 key = make_key(chain, resources, name)
-                                if self.memo is not None:
-                                    self.memo.put(key, result)
+                                solved.append((key, result))
                                 if self.journal is not None:
                                     self.journal.record(key, result)
+                        if self.memo is not None and solved:
+                            # Bulk insert: one lock acquisition per work
+                            # unit, same LRU/eviction behavior as per-key
+                            # puts.
+                            self.memo.put_many(solved)
                         if self.journal is not None:
                             with self.obs.span("journal.commit", "journal"):
                                 self.journal.commit()
@@ -295,18 +320,34 @@ class CampaignEngine:
         names: Sequence[str],
         arrays: dict[str, StrategyArrays],
     ) -> list[PendingInstance]:
-        """Replay cached instances into ``arrays``; return what's left."""
+        """Replay cached instances into ``arrays``; return what's left.
+
+        The whole campaign is looked up in one
+        :meth:`~repro.engine.memo.MemoCache.get_many` call — a single lock
+        round-trip instead of ``chains x strategies`` of them — with hit and
+        miss counters identical to the per-instance lookups it replaced
+        (``tests/engine/test_memo.py`` pins the equivalence).
+        """
+        if self.memo is None:
+            flat: list["InstanceResult | None"] = [None] * (
+                len(chains) * len(names)
+            )
+        else:
+            keys = [
+                make_key(chain, resources, name)
+                for chain in chains
+                for name in names
+            ]
+            flat = self.memo.get_many(keys)
         pending: list[PendingInstance] = []
         hits = 0
         misses = 0
+        cursor = 0
         for index, chain in enumerate(chains):
             missing: list[str] = []
             for name in names:
-                cached = (
-                    self.memo.get(make_key(chain, resources, name))
-                    if self.memo is not None
-                    else None
-                )
+                cached = flat[cursor]
+                cursor += 1
                 if cached is None:
                     missing.append(name)
                 else:
@@ -367,6 +408,7 @@ class CampaignEngine:
             units = chunk_pending(
                 pending, resources, size, certify=certify,
                 faults=self.faults, tier=tier, obs=obs_config,
+                kernel=self.kernel,
             )
             report = ResilienceReport()
             self._last_report = report
@@ -384,6 +426,7 @@ class CampaignEngine:
                 units = chunk_pending(
                     pending, resources, size, certify=certify,
                     faults=self.faults, tier="serial", obs=obs_config,
+                    kernel=self.kernel,
                 )
             else:
                 units = [
@@ -394,6 +437,7 @@ class CampaignEngine:
                         faults=self.faults,
                         tier="serial",
                         obs=obs_config,
+                        kernel=self.kernel,
                     )
                 ]
             for unit in units:
@@ -403,6 +447,7 @@ class CampaignEngine:
         units = chunk_pending(
             pending, resources, size, certify=certify,
             faults=self.faults, tier=tier, obs=obs_config,
+            kernel=self.kernel,
         )
         workers = min(jobs, len(units))
         pool = pool_cls(max_workers=workers)

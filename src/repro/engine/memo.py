@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Iterable, NamedTuple, Sequence
 
 from ..core.chain_stats import ChainProfile
 from ..core.task import TaskChain
@@ -136,11 +136,52 @@ class MemoCache:
             self._hits += 1
             return result
 
+    def get_many(self, keys: "Sequence[MemoKey]") -> "list[InstanceResult | None]":
+        """Bulk lookup under a single lock acquisition.
+
+        Returns one entry per key, in order, with ``None`` for misses.  The
+        hit/miss counters and LRU recency update exactly as the equivalent
+        sequence of :meth:`get` calls would — bulk lookups are an overhead
+        optimization (one lock round-trip per work unit instead of one per
+        instance), never a semantic change
+        (``tests/engine/test_memo.py``).
+        """
+        results: list[InstanceResult | None] = []
+        with self._lock:
+            for key in keys:
+                result = self._data.get(key)
+                if result is None:
+                    self._misses += 1
+                else:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                results.append(result)
+        return results
+
     def put(self, key: MemoKey, result: InstanceResult) -> None:
         """Insert (or refresh) one result, evicting LRU entries if full."""
         with self._lock:
             self._data[key] = result
             self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def put_many(
+        self, items: "Iterable[tuple[MemoKey, InstanceResult]]"
+    ) -> None:
+        """Bulk insert under a single lock acquisition.
+
+        Equivalent to :meth:`put` per item: every inserted key becomes
+        most-recently-used in iteration order and LRU eviction respects
+        ``maxsize`` (deferring eviction to the end of the batch drops the
+        same entries as evicting after each insert, since fresh inserts are
+        always at the MRU end).
+        """
+        with self._lock:
+            for key, result in items:
+                self._data[key] = result
+                self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self._evictions += 1

@@ -1,0 +1,232 @@
+"""Differential tests for the batch-vectorized solver kernels.
+
+The ``--kernel batch`` tier promises **bitwise-identical** outcomes to the
+pure-python solvers, which stay the differential oracle.  These tests pin
+that promise at three levels: the packing layer's invariants, each kernel
+against its scalar twin over mixed batches and degenerate budgets (the full
+outcome — period bits, rendered schedule, probe log, iteration count,
+bounds), and :func:`repro.core.registry.solve_batch` against the 1260-cell
+pre-refactor oracle fixture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import InvalidChainError, InvalidPlatformError
+from repro.core.kernels import (
+    ChainPack,
+    herad_batch,
+    pack_profiles,
+    twocatac_batch,
+    twocatac_memo_batch,
+)
+from repro.core.registry import STRATEGIES, get_info, solve_batch
+from repro.core.types import Resources
+from repro.workloads import generators as g
+from repro.workloads.synthetic import (
+    GeneratorConfig,
+    chain_batch,
+    ktype_chain_batch,
+)
+
+_FIXTURE = Path(__file__).resolve().parent.parent / "data" / "k2_oracle.json"
+
+#: (strategy name, batch kernel) pairs under differential test.
+_KERNELS = (
+    ("herad", herad_batch),
+    ("2catac", twocatac_batch),
+    ("2catac_memo", twocatac_memo_batch),
+)
+
+#: Budgets covering the paper scenario plus every degenerate shape the
+#: kernels special-case (single type, single core, tiny planes).
+_BUDGETS = (
+    Resources(10, 10),
+    Resources(4, 4),
+    Resources(2, 6),
+    Resources(5, 1),
+    Resources(1, 5),
+    Resources(4, 0),
+    Resources(0, 4),
+    Resources(1, 1),
+)
+
+
+def _mixed_profiles():
+    """Chains of every length 1..20 plus the structured generators."""
+    chains = []
+    for n in range(1, 21):
+        cfg = GeneratorConfig(num_tasks=n, stateless_ratio=0.5)
+        chains.extend(chain_batch(1, cfg, seed=100 + n))
+    chains += [
+        g.fully_replicable_chain(12),
+        g.fully_sequential_chain(12),
+        g.alternating_chain(15),
+        g.heavy_tail_chain(10),
+        g.inverted_speed_chain(14),
+        g.uniform_chain(1),
+    ]
+    return [ChainProfile(c) for c in chains]
+
+
+def _signature(outcome):
+    """Every observable facet of an outcome, with periods as exact bits."""
+    return (
+        outcome.period.hex(),
+        outcome.solution.render(),
+        outcome.iterations,
+        tuple((target.hex(), feasible) for target, feasible in outcome.probes),
+        (outcome.bounds.lower.hex(), outcome.bounds.upper.hex()),
+    )
+
+
+class TestChainPack:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(InvalidChainError):
+            pack_profiles([])
+
+    def test_single_type_profile_rejected(self):
+        class OneTypeProfile:
+            """A profile shape the two-type kernels must refuse."""
+
+            ktype = 1
+
+        with pytest.raises(InvalidPlatformError):
+            pack_profiles([OneTypeProfile()])
+
+    def test_padding_invariants(self):
+        profiles = _mixed_profiles()
+        pack = ChainPack(profiles)
+        assert pack.n == max(p.n for p in profiles)
+        for row, profile in enumerate(pack.profiles):
+            for v in (0, 1):
+                plane = pack.prefix[v][row]
+                # Real prefix values, then the final value repeated.
+                assert list(plane[: profile.n + 1]) == list(profile.prefix[v])
+                assert (plane[profile.n :] == plane[profile.n]).all()
+                assert (plane[1:] >= plane[:-1]).all()
+            # Padded next-sequential entries point past the real chain.
+            assert (pack.next_seq[row, profile.n + 1 :] == profile.n).all()
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("budget", _BUDGETS, ids=str)
+    @pytest.mark.parametrize("name,batch_fn", _KERNELS, ids=lambda k: str(k))
+    def test_bitwise_equal_to_python(self, name, batch_fn, budget):
+        profiles = _mixed_profiles()
+        solo_fn = STRATEGIES[name].func
+        batch_outcomes = batch_fn(profiles, budget)
+        assert len(batch_outcomes) == len(profiles)
+        for profile, got in zip(profiles, batch_outcomes):
+            assert _signature(got) == _signature(solo_fn(profile, budget))
+
+    def test_k3_budget_rejected(self):
+        profiles = _mixed_profiles()[:3]
+        budget = Resources.from_counts((4, 4, 2))
+        for _, batch_fn in _KERNELS:
+            with pytest.raises(InvalidPlatformError):
+                batch_fn(profiles, budget)
+
+    def test_empty_budget_rejected(self):
+        profiles = _mixed_profiles()[:3]
+        for _, batch_fn in _KERNELS:
+            with pytest.raises(InvalidPlatformError):
+                batch_fn(profiles, Resources(0, 0))
+
+    def test_oversized_budget_exceeds_packed_key_lanes(self):
+        profiles = _mixed_profiles()[:1]
+        with pytest.raises(InvalidPlatformError):
+            herad_batch(profiles, Resources(1 << 15, 1))
+
+
+class TestSolveBatch:
+    def test_oracle_fixture_bitwise_through_batch_tier(self):
+        """The full 1260-cell oracle replays identically through solve_batch."""
+        oracle = json.loads(_FIXTURE.read_text())
+        chains = []
+        for sr in (0.2, 0.5, 0.8):
+            cfg = GeneratorConfig(num_tasks=20, stateless_ratio=sr)
+            chains.extend(chain_batch(8, cfg, seed=int(sr * 10)))
+        chains += [
+            g.fully_replicable_chain(12),
+            g.fully_sequential_chain(12),
+            g.alternating_chain(15),
+            g.heavy_tail_chain(10),
+            g.inverted_speed_chain(14),
+            g.uniform_chain(1),
+        ]
+        cells = {
+            (row["chain"], tuple(row["budget"]), row["strategy"]): row
+            for row in oracle["rows"]
+        }
+        groups = sorted({(budget, name) for _, budget, name in cells})
+        mismatches = []
+        for budget, name in groups:
+            resources = Resources(*budget)
+            outcomes = solve_batch(chains, resources, name)
+            for index, outcome in enumerate(outcomes):
+                row = cells[index, budget, name]
+                usage = outcome.solution.core_usage()
+                got = {
+                    "period_hex": outcome.period.hex(),
+                    "usage": [usage.big, usage.little],
+                    "render": outcome.solution.render(),
+                }
+                want = {
+                    "period_hex": row["period_hex"],
+                    "usage": row["usage"],
+                    "render": row["render"],
+                }
+                if got != want:
+                    mismatches.append((index, budget, name, want, got))
+        assert not mismatches, (
+            f"{len(mismatches)} oracle cells diverged through the batch "
+            f"tier; first: {mismatches[0]}"
+        )
+
+    def test_scalar_only_strategy_maps_python(self):
+        profiles = _mixed_profiles()[:5]
+        resources = Resources(6, 6)
+        assert get_info("fertac").batch_func is None
+        outcomes = solve_batch(profiles, resources, "fertac")
+        for profile, got in zip(profiles, outcomes):
+            assert _signature(got) == _signature(
+                get_info("fertac").func(profile, resources)
+            )
+
+    def test_k3_budget_falls_back_per_instance(self):
+        chains = list(
+            ktype_chain_batch(4, GeneratorConfig(num_tasks=8), ktype=3, seed=2)
+        )
+        resources = Resources.from_counts((3, 3, 2))
+        outcomes = solve_batch(chains, resources, "2catac")
+        solo_fn = get_info("2catac").func
+        for chain, got in zip(chains, outcomes):
+            assert _signature(got) == _signature(solo_fn(chain, resources))
+
+    def test_two_type_only_strategy_raises_like_python_at_k3(self):
+        chains = list(
+            ktype_chain_batch(2, GeneratorConfig(num_tasks=6), ktype=3, seed=3)
+        )
+        resources = Resources.from_counts((3, 3, 2))
+        with pytest.raises(InvalidPlatformError):
+            solve_batch(chains, resources, "herad")
+
+    def test_empty_batch_is_empty(self):
+        assert solve_batch([], Resources(4, 4), "herad") == []
+
+    def test_spans_sub_batches(self):
+        """A batch larger than the kernel sub-batch span stays in order."""
+        cfg = GeneratorConfig(num_tasks=10, stateless_ratio=0.5)
+        profiles = [ChainProfile(c) for c in chain_batch(120, cfg, seed=9)]
+        resources = Resources(5, 5)
+        solo_fn = get_info("herad").func
+        outcomes = solve_batch(profiles, resources, "herad")
+        assert len(outcomes) == len(profiles)
+        for profile, got in zip(profiles, outcomes):
+            assert _signature(got) == _signature(solo_fn(profile, resources))

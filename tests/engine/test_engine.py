@@ -5,11 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.errors import InvalidParameterError
 from repro.core.registry import PAPER_ORDER
 from repro.core.types import Resources
 from repro.engine import (
     BACKENDS,
+    KERNELS,
     CampaignEngine,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
     MemoCache,
     chunk_pending,
     default_engine,
@@ -252,3 +257,80 @@ class TestResilientDeterminism:
         assert report.timeouts == 0
         assert report.degradations == 0
         assert report.quarantined == 0
+
+
+class TestKernelTier:
+    """The batch kernel tier must be invisible in results, on every backend."""
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignEngine(kernel="simd")
+        assert KERNELS == ("python", "batch")
+
+    @pytest.mark.parametrize(
+        "backend,jobs", [("serial", 1), ("thread", 2), ("process", 4)]
+    )
+    def test_batch_kernel_bitwise_parity(self, backend, jobs):
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        python = CampaignEngine(jobs=1, backend="serial", memo=False)
+        batch = CampaignEngine(
+            jobs=jobs, backend=backend, memo=False, chunk_size=2, kernel="batch"
+        )
+        _assert_same_arrays(
+            python.solve_instances(chains, resources, PAPER_ORDER),
+            batch.solve_instances(chains, resources, PAPER_ORDER),
+        )
+
+    def test_batch_kernel_with_certification(self):
+        chains = _chains(4)
+        engine = CampaignEngine(
+            jobs=1, backend="serial", memo=False, kernel="batch"
+        )
+        arrays = engine.solve_instances(
+            chains, Resources(2, 3), PAPER_ORDER, certify=True
+        )
+        for name in PAPER_ORDER:
+            assert np.isfinite(arrays[name].periods).all()
+
+    def test_fault_plan_forces_python_path(self, tmp_path):
+        """Faults fire per cell, so an armed plan must bypass the batch tier."""
+        chains = _chains(2)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", strategy="herad"),),
+            state_dir=str(tmp_path),
+        )
+        unit = WorkUnit(
+            pending=tuple(
+                PendingInstance(index=i, chain=c, strategies=("herad",))
+                for i, c in enumerate(chains)
+            ),
+            resources=Resources(2, 2),
+            faults=plan,
+            kernel="batch",
+        )
+        with pytest.raises(InjectedFault):
+            solve_unit(unit)
+
+    def test_batch_kernel_memo_counters_match_python(self):
+        """Bulk memo fills count hits/misses exactly like per-instance gets."""
+        chains = _chains(5)
+        resources = Resources(3, 3)
+
+        def run(kernel, jobs=1, backend="serial"):
+            engine = CampaignEngine(
+                jobs=jobs, backend=backend, memo=MemoCache(), kernel=kernel
+            )
+            engine.solve_instances(chains, resources, PAPER_ORDER)
+            engine.solve_instances(chains, resources, PAPER_ORDER)
+            stats = engine.memo.stats
+            return stats.hits, stats.misses, stats.size
+
+        want = run("python")
+        assert want == (
+            len(chains) * len(PAPER_ORDER),
+            len(chains) * len(PAPER_ORDER),
+            len(chains) * len(PAPER_ORDER),
+        )
+        assert run("batch") == want
+        assert run("batch", jobs=4, backend="process") == want

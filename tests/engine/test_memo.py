@@ -86,6 +86,50 @@ class TestMemoCache:
         with pytest.raises(ValueError):
             MemoCache(maxsize=0)
 
+    def test_get_many_equals_sequential_gets(self):
+        """Bulk lookup is counter- and recency-identical to a get() loop."""
+        keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(6)]
+        bulk, solo = MemoCache(maxsize=4), MemoCache(maxsize=4)
+        for cache in (bulk, solo):
+            for i in (0, 1, 2, 3):
+                cache.put(keys[i], InstanceResult(float(i), i, 0))
+        # Mix of hits, misses, and repeats — order matters for LRU recency.
+        probe = [keys[4], keys[1], keys[0], keys[5], keys[1]]
+        got_bulk = bulk.get_many(probe)
+        got_solo = [solo.get(key) for key in probe]
+        assert got_bulk == got_solo
+        assert bulk.stats == solo.stats
+        assert bulk.stats.hits == 3 and bulk.stats.misses == 2
+        # Same recency order afterwards: inserting one entry evicts the
+        # same LRU victim from both caches.
+        bulk.put(keys[4], InstanceResult(9.0, 0, 0))
+        solo.put(keys[4], InstanceResult(9.0, 0, 0))
+        assert [bulk.get(k) is None for k in keys] == [
+            solo.get(k) is None for k in keys
+        ]
+
+    def test_put_many_equals_sequential_puts(self):
+        """Bulk insert evicts the same victims and counts the same."""
+        keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(8)]
+        bulk, solo = MemoCache(maxsize=3), MemoCache(maxsize=3)
+        items = [(keys[i], InstanceResult(float(i), i, 0)) for i in range(8)]
+        bulk.put_many(items)
+        for key, result in items:
+            solo.put(key, result)
+        assert bulk.stats == solo.stats
+        assert bulk.stats.evictions == 5
+        assert [bulk.get(k) for k in keys] == [solo.get(k) for k in keys]
+
+    def test_put_many_refreshes_recency(self):
+        keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(3)]
+        cache = MemoCache(maxsize=2)
+        cache.put_many((k, InstanceResult(1.0, 0, 0)) for k in keys[:2])
+        # Re-inserting key 0 makes it MRU, so key 1 is the eviction victim.
+        cache.put_many([(keys[0], InstanceResult(2.0, 0, 0))])
+        cache.put(keys[2], InstanceResult(3.0, 0, 0))
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == InstanceResult(2.0, 0, 0)
+
     def test_thread_safety_smoke(self):
         cache = MemoCache(maxsize=64)
         keys = [make_key(_chain(i), Resources(1, 1), "fertac") for i in range(8)]

@@ -172,6 +172,36 @@ class TestExactCounters:
         assert np.isnan(serial_arrays["fertac"].periods[2])
         assert len(engine.failures) == 1
 
+    def test_batch_kernel_memo_counters_match_serial(self):
+        """Bulk memo fills (get_many/put_many) count hit/miss exactly like
+        the per-instance gets of a serial python-kernel campaign — on the
+        same ``--jobs 4`` tiers the per-instance counters are pinned on."""
+        chains = _chains(6)
+        resources = Resources(3, 3)
+        cells = len(chains) * len(PAPER_ORDER)
+
+        def run(jobs, backend, kernel):
+            engine = CampaignEngine(
+                jobs=jobs, backend=backend, memo=True, chunk_size=1,
+                obs=ObsConfig(metrics=True), kernel=kernel,
+            )
+            engine.solve_instances(chains, resources, PAPER_ORDER)
+            engine.solve_instances(chains, resources, PAPER_ORDER)
+            counters = engine.obs.metrics.counters()
+            memo_counters = {
+                name: counters.get(name, 0.0)
+                for name in ("memo.hits", "memo.misses")
+            }
+            assert engine.memo.stats.hits == memo_counters["memo.hits"]
+            assert engine.memo.stats.misses == memo_counters["memo.misses"]
+            return memo_counters
+
+        serial = run(1, "serial", "python")
+        assert serial == {"memo.hits": float(cells), "memo.misses": float(cells)}
+        assert run(4, "process", "batch") == serial
+        assert run(2, "thread", "batch") == serial
+        assert run(4, "process", "python") == serial
+
     def test_memo_hit_counters_are_exact(self):
         chains = _chains(4)
         resources = Resources(2, 2)
