@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Project-lint smoke: seeded violations fire exactly where planted.
+
+Runs the REP201-REP206 project analyzer over the two fixture corpora under
+``tests/lint/project_fixtures/``:
+
+1. ``proj_bad`` seeds exactly one deliberate violation per rule (plus the
+   incidental ambient read that accompanies the seeded worker write); the
+   analyzer must report precisely those ``(rule, file, line)`` sites —
+   nothing missing (a false negative) and nothing extra (a false positive).
+2. ``proj_clean`` is the behaviorally-equivalent twin written with the
+   blessed patterns (locks held, frozen payloads, sanctioned clock wrapper);
+   the analyzer must stay silent on it.
+
+Any drift is printed as a missing/unexpected diff and exits non-zero, so CI
+can gate rule precision the same way ``fault_smoke.py`` gates recovery
+parity.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.lint import lint_project
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tests" / "lint" / "project_fixtures"
+
+#: The exact seeded-violation map: one row per planted defect.
+EXPECTED_BAD = {
+    ("REP201", "repro/core/solvers.py", 17),  # worker writes module global
+    ("REP202", "repro/engine/cache.py", 16),  # lock-free read of guarded attr
+    ("REP203", "repro/engine/dispatch.py", 22),  # live cache inside WorkUnit
+    ("REP204", "repro/core/uses_engine.py", 3),  # core imports engine (upward)
+    ("REP204", "repro/lint/helper.py", 3),  # lint must stay stdlib-only
+    ("REP205", "repro/core/solvers.py", 15),  # wall clock in strategy path
+    ("REP205", "repro/core/solvers.py", 16),  # ambient mutable read
+    ("REP205", "repro/core/solvers.py", 17),  # read half of the seeded write
+    ("REP206", "repro/obs/constants.py", 3),  # exported-but-unreferenced name
+}
+
+
+def _sites(report) -> set[tuple[str, str, int]]:
+    return {(f.rule_id, f.path, f.line) for f in report.findings}
+
+
+def _describe(sites: set[tuple[str, str, int]]) -> str:
+    return "\n".join(
+        f"    {rule} {path}:{line}" for rule, path, line in sorted(sites)
+    )
+
+
+def main() -> int:
+    failures = 0
+
+    bad = lint_project(FIXTURES / "proj_bad" / "repro", allowlist=())
+    got = _sites(bad)
+    missing = EXPECTED_BAD - got
+    unexpected = got - EXPECTED_BAD
+    if missing:
+        failures += 1
+        print(f"seeded violations NOT detected ({len(missing)}):")
+        print(_describe(missing))
+    if unexpected:
+        failures += 1
+        print(f"unseeded findings reported ({len(unexpected)}):")
+        print(_describe(unexpected))
+    if not missing and not unexpected:
+        print(
+            f"proj_bad: all {len(EXPECTED_BAD)} seeded violations detected, "
+            "no extras"
+        )
+
+    clean = lint_project(FIXTURES / "proj_clean" / "repro", allowlist=())
+    if clean.findings:
+        failures += 1
+        print(f"proj_clean is not silent ({len(clean.findings)}):")
+        print(_describe(_sites(clean)))
+    else:
+        print(f"proj_clean: silent across {clean.files_checked} files")
+
+    if failures:
+        print(f"lint smoke FAILED ({failures} check(s))")
+        return 1
+    print("lint smoke OK: every rule fires exactly where seeded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ from ..core.registry import get_info
 from ..core.task import TaskChain
 from ..core.types import Resources
 from ..obs.clock import monotonic
-from ..obs.context import Observability, ObsConfig, activate
+from ..obs.context import NULL_OBSERVABILITY, Observability, ObsConfig, activate
 from .batch import PendingInstance, UnitOutcome, WorkUnit, chunk_pending, solve_unit
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
@@ -209,7 +209,7 @@ class CampaignEngine:
         elif obs is True:
             self.obs = Observability(ObsConfig(trace=True, metrics=True))
         else:
-            self.obs = Observability()
+            self.obs = NULL_OBSERVABILITY
         self._last_report: ResilienceReport | None = None
         self._all_failures: list[FailureRecord] = []
 

@@ -123,7 +123,8 @@ class MemoCache:
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: MemoKey) -> InstanceResult | None:
         """Return the cached result, or None (counted as a miss)."""

@@ -27,7 +27,15 @@ from ..core.registry import get_info
 from ..core.types import Resources
 from .common import PAPER_STATELESS_RATIOS, TimingPoint, time_strategy
 
-__all__ = ["Fig3Result", "run", "render", "DEFAULT_TASK_COUNTS", "PAPER_TASK_COUNTS"]
+# PAPER_TASK_COUNTS: documentary constant (the paper's full Fig. 3 sweep),
+# kept importable for reproduction even though no shipped code runs it.
+__all__ = [  # lint: ignore[dead-public-symbol]
+    "Fig3Result",
+    "run",
+    "render",
+    "DEFAULT_TASK_COUNTS",
+    "PAPER_TASK_COUNTS",
+]
 
 #: Scaled-down default sweep (Python-friendly).
 DEFAULT_TASK_COUNTS: tuple[int, ...] = (10, 20, 30, 40)

@@ -20,13 +20,21 @@ Suppress an intentional violation with a justified per-line pragma::
 """
 
 from .base import RULE_REGISTRY, FileContext, LintRule, register, rules_by_name
-from .engine import LintReport, iter_python_files, lint_file, lint_paths
-from .findings import Finding, Severity
-from .reporters import render_json, render_text
+from .engine import LintReport, iter_python_files, lint_file, lint_paths, lint_project
+from .findings import EvidenceStep, Finding, Severity
+from .reporters import render_json, render_sarif, render_text
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .project import (
+    PROJECT_RULE_REGISTRY,
+    ProjectContext,
+    ProjectRule,
+    project_register,
+    project_rules_by_name,
+)
 
 __all__ = [
     "Finding",
+    "EvidenceStep",
     "Severity",
     "FileContext",
     "LintRule",
@@ -37,6 +45,13 @@ __all__ = [
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "render_text",
     "render_json",
+    "render_sarif",
+    "ProjectContext",
+    "ProjectRule",
+    "PROJECT_RULE_REGISTRY",
+    "project_register",
+    "project_rules_by_name",
 ]

@@ -10,7 +10,16 @@ lint the whole tree with one file walk.
 Suppression: a source line ending in ``# lint: ignore[rule-name]`` (or the
 blanket ``# lint: ignore``) silences findings reported on that line.  The
 pragma is per-line and per-rule by design — blanket file-level opt-outs are
-exactly the kind of drift this engine exists to prevent.
+exactly the kind of drift this engine exists to prevent.  Two narrow
+widenings keep that spirit while making the pragma writable in practice:
+
+* a pragma on *any* line of one multi-line **simple** statement covers every
+  line the statement spans (an expression split across parentheses is one
+  logical decision; compound statements — ``def``/``if``/``with``/... — are
+  not widened, so a pragma can never silence a whole suite);
+* a pragma on a ``def``/``class`` line also covers findings anchored to that
+  definition's decorator lines (the decorator belongs to the definition it
+  adorns).
 """
 
 from __future__ import annotations
@@ -54,6 +63,8 @@ class FileContext:
     tree: ast.Module
     _suppressions: dict[int, "set[str] | None"] = field(default_factory=dict)
 
+    _covering: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         for lineno, line in enumerate(self.source.splitlines(), start=1):
             match = _PRAGMA.search(line)
@@ -68,13 +79,51 @@ class FileContext:
                 if existing is None and lineno in self._suppressions:
                     continue  # blanket pragma already wins
                 self._suppressions[lineno] = (existing or set()) | parsed
+        self._map_statement_spans()
+
+    def _map_statement_spans(self) -> None:
+        """Map finding lines to the other lines whose pragmas also cover them.
+
+        A pragma on any line of a multi-line *simple* statement covers the
+        whole statement, and a pragma on a ``def``/``class`` line covers
+        findings anchored to its decorators.  Compound statements are never
+        widened: a pragma inside a function body must not silence the body.
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                for decorator in node.decorator_list:
+                    span = self._covering.setdefault(decorator.lineno, ())
+                    if node.lineno not in span:
+                        self._covering[decorator.lineno] = (*span, node.lineno)
+                continue
+            if not isinstance(node, ast.stmt) or isinstance(
+                node,
+                (
+                    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+                    ast.AsyncWith, ast.Try, ast.Match,
+                ),
+            ):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None or end <= node.lineno:
+                continue
+            lines = tuple(range(node.lineno, end + 1))
+            for lineno in lines:
+                span = self._covering.setdefault(lineno, ())
+                merged = span + tuple(n for n in lines if n not in span and n != lineno)
+                self._covering[lineno] = merged
 
     def is_suppressed(self, line: int, rule: "LintRule | type[LintRule]") -> bool:
-        """True when a pragma on ``line`` silences ``rule``."""
-        if line not in self._suppressions:
-            return False
-        names = self._suppressions[line]
-        return names is None or rule.name in names or rule.id in names
+        """True when a pragma covering ``line`` silences ``rule``."""
+        for candidate in (line, *self._covering.get(line, ())):
+            if candidate not in self._suppressions:
+                continue
+            names = self._suppressions[candidate]
+            if names is None or rule.name in names or rule.id in names:
+                return True
+        return False
 
     @property
     def in_core(self) -> bool:

@@ -1,6 +1,8 @@
 """``repro lint`` / ``python -m repro.lint`` — run the project lint.
 
-Exit codes: 0 clean, 1 error findings, 2 usage errors (argparse).
+Two tiers share this entry point: the per-file rules (REP1xx, default)
+and the whole-project rules (REP2xx, ``--project``).  Exit codes: 0
+clean, 1 error findings, 2 usage errors (argparse or unknown selectors).
 """
 
 from __future__ import annotations
@@ -9,7 +11,7 @@ import argparse
 from pathlib import Path
 
 from .base import RULE_REGISTRY
-from .engine import lint_paths
+from .engine import lint_paths, lint_project
 from .reporters import REPORTERS
 
 __all__ = ["add_lint_arguments", "build_parser", "run_lint", "main"]
@@ -28,6 +30,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "run the whole-project rules (REP201-REP206): symbol table, "
+            "import graph, call graph over the full tree"
+        ),
+    )
+    parser.add_argument(
         "--format",
         choices=sorted(REPORTERS),
         default="text",
@@ -40,6 +50,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="NAME[,NAME...]",
         help="restrict to specific rules (slug or id); repeatable",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        dest="rules",
+        metavar="NAME",
+        help="alias for --rules (one selector per flag)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="REPxxx",
+        help="print what a rule checks and why, then exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -61,19 +85,53 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific static analysis: float-comparison, "
             "immutability, error-hierarchy, determinism, typing, and "
-            "picklability rules guarding the paper's invariants."
+            "picklability rules guarding the paper's invariants — plus "
+            "whole-project race/fork-safety/layering rules (--project)."
         ),
     )
     add_lint_arguments(parser)
     return parser
 
 
+def _explain(selector: str) -> int:
+    """Print the long-form description of one rule (either tier)."""
+    from .project.base import PROJECT_RULE_REGISTRY
+
+    wanted = selector.strip()
+    for registry in (RULE_REGISTRY, PROJECT_RULE_REGISTRY):
+        for rule in registry.values():
+            if wanted.upper() == rule.id or wanted == rule.name:
+                print(f"{rule.id} [{rule.name}]")
+                print(f"  {rule.description}")
+                explanation = getattr(rule, "explanation", "")
+                if explanation:
+                    print()
+                    print(f"  {explanation}")
+                print()
+                print(f"  hint: {rule.hint}")
+                return 0
+    print(f"repro lint: unknown rule {selector!r}")
+    return 2
+
+
+def _list_rules() -> int:
+    from .project.base import PROJECT_RULE_REGISTRY
+
+    print("per-file rules:")
+    for rule in RULE_REGISTRY.values():
+        print(f"  {rule.id}  {rule.name:<22} {rule.description}")
+    print("project rules (--project):")
+    for rule in PROJECT_RULE_REGISTRY.values():
+        print(f"  {rule.id}  {rule.name:<22} {rule.description}")
+    return 0
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
+    if getattr(args, "explain", None):
+        return _explain(args.explain)
     if args.list_rules:
-        for rule in RULE_REGISTRY.values():
-            print(f"{rule.id}  {rule.name:<20} {rule.description}")
-        return 0
+        return _list_rules()
     selectors = None
     if args.rules:
         selectors = [
@@ -84,7 +142,12 @@ def run_lint(args: argparse.Namespace) -> int:
         ]
     paths = args.paths or [Path(p) for p in DEFAULT_TARGETS]
     try:
-        report = lint_paths(paths, rule_names=selectors, root=args.root)
+        if getattr(args, "project", False):
+            report = lint_project(
+                paths[0], rule_names=selectors, project_root=args.root
+            )
+        else:
+            report = lint_paths(paths, rule_names=selectors, root=args.root)
     except (FileNotFoundError, KeyError) as exc:
         print(f"repro lint: {exc}")
         return 2

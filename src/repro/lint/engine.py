@@ -16,7 +16,13 @@ from typing import Iterable, Sequence
 from .base import FileContext, LintRule, rules_by_name
 from .findings import Finding, Severity
 
-__all__ = ["LintReport", "iter_python_files", "lint_file", "lint_paths"]
+__all__ = [
+    "LintReport",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
@@ -146,3 +152,43 @@ def lint_paths(
         findings.extend(lint_file(path, rules, root=root_path))
     findings.sort(key=lambda f: f.sort_key)
     return LintReport(findings=tuple(findings), files_checked=len(files))
+
+
+def lint_project(
+    package_root: "Path | str" = "src/repro",
+    rule_names: "Iterable[str] | None" = None,
+    project_root: "Path | str | None" = None,
+    allowlist: "Sequence[object] | None" = None,
+) -> LintReport:
+    """Run the whole-project rules (REP201-REP206) over one package tree.
+
+    Parses every module under ``package_root`` once, builds the shared
+    :class:`~repro.lint.project.ProjectContext` (symbol table, import
+    graph, call graph), and runs the selected project rules over it.
+
+    Args:
+        package_root: directory of the analyzed package (default
+            ``src/repro`` relative to the current directory).
+        rule_names: project rule slugs/REP2xx ids (default: all).
+        project_root: repository root used for REP206 reference scanning
+            and for rendering finding paths (inferred when omitted).
+        allowlist: sanctioned-site entries; ``None`` selects the shipped
+            allowlist, pass ``()`` to disable (fixture corpora do).
+    """
+    from .project import ProjectContext, project_rules_by_name
+
+    pctx = ProjectContext.build(
+        package_root,
+        project_root=project_root,
+        allowlist=allowlist,  # type: ignore[arg-type]
+    )
+    rules = project_rules_by_name(
+        None if rule_names is None else list(rule_names)
+    )
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(rule_cls(pctx).run())
+    findings.sort(key=lambda f: f.sort_key)
+    return LintReport(
+        findings=tuple(findings), files_checked=len(pctx.files)
+    )

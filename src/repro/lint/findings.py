@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Severity", "Finding"]
+__all__ = ["Severity", "EvidenceStep", "Finding"]
 
 
 class Severity(enum.Enum):
@@ -31,6 +31,29 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True, slots=True)
+class EvidenceStep:
+    """One link in a cross-file evidence chain.
+
+    Project-wide rules justify a finding with the path that connects cause
+    to effect — definition site, call edges, violation site.  Each step is
+    one location plus a note saying what role it plays in the chain.
+    """
+
+    path: str
+    line: int
+    note: str
+
+    @property
+    def location(self) -> str:
+        """The clickable ``path:line`` anchor of this step."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One rule violation at one source location.
 
@@ -43,6 +66,8 @@ class Finding:
         line: 1-based source line.
         col: 0-based source column (AST convention).
         severity: :class:`Severity` of the finding.
+        evidence: cross-file chain (definition site → call path → violation
+            site) attached by project-wide rules; empty for per-file rules.
     """
 
     rule_id: str
@@ -53,6 +78,7 @@ class Finding:
     line: int
     col: int
     severity: Severity = Severity.ERROR
+    evidence: tuple[EvidenceStep, ...] = ()
 
     @property
     def location(self) -> str:
@@ -66,7 +92,7 @@ class Finding:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable representation (used by the JSON reporter)."""
-        return {
+        payload = {
             "rule_id": self.rule_id,
             "rule_name": self.rule_name,
             "severity": self.severity.value,
@@ -76,3 +102,6 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+        if self.evidence:
+            payload["evidence"] = [step.to_dict() for step in self.evidence]
+        return payload

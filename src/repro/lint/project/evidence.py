@@ -1,0 +1,85 @@
+"""Evidence-chain construction for project-wide findings.
+
+A cross-module finding is only actionable if the report shows *why* the
+analyzer believes it: the definition site of the entry point, the call
+edges that connect it to the offending function, and the violation site
+itself.  :func:`call_chain` rebuilds that path from the BFS parent
+pointers :meth:`ProjectContext.reachable_from` records.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..findings import EvidenceStep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import ProjectContext
+
+__all__ = ["call_chain", "definition_step", "entry_of"]
+
+
+def entry_of(reach: dict[str, tuple["str | None", int]], fid: str) -> str:
+    """The entry point whose BFS tree contains ``fid``."""
+    cursor = fid
+    while True:
+        parent, _ = reach[cursor]
+        if parent is None or parent == cursor:
+            return cursor
+        cursor = parent
+
+
+def definition_step(pctx: "ProjectContext", fid: str, note: str) -> EvidenceStep:
+    """An evidence step anchored at a function's ``def`` line."""
+    func = pctx.functions[fid]
+    rel = pctx.facts[func.module].rel
+    return EvidenceStep(path=rel, line=func.lineno, note=note)
+
+
+def call_chain(
+    pctx: "ProjectContext",
+    reach: dict[str, tuple["str | None", int]],
+    fid: str,
+    entry_note: str,
+) -> list[EvidenceStep]:
+    """Definition-site -> call-path evidence for ``fid``.
+
+    Args:
+        pctx: the project context.
+        reach: parent map returned by ``reachable_from``.
+        fid: the reached function the finding lives in.
+        entry_note: role of the path's entry point (e.g. ``"worker entry
+            point"``) — interpolated with the entry's qualname.
+    """
+    path: list[str] = []
+    cursor: "str | None" = fid
+    while cursor is not None:
+        path.append(cursor)
+        parent, _ = reach.get(cursor, (None, 0))
+        if parent == cursor:
+            break
+        cursor = parent
+    path.reverse()  # entry first
+
+    steps: list[EvidenceStep] = []
+    entry = path[0]
+    steps.append(
+        definition_step(
+            pctx, entry, f"{entry_note}: `{pctx.functions[entry].qualname}`"
+        )
+    )
+    for prev, nxt in zip(path, path[1:]):
+        _, lineno = reach[nxt]
+        prev_func = pctx.functions[prev]
+        rel = pctx.facts[prev_func.module].rel
+        steps.append(
+            EvidenceStep(
+                path=rel,
+                line=lineno,
+                note=(
+                    f"`{prev_func.qualname}` calls "
+                    f"`{pctx.functions[nxt].qualname}`"
+                ),
+            )
+        )
+    return steps

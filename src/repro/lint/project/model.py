@@ -1,0 +1,726 @@
+"""Per-module facts the project-wide analyzer extracts in one AST pass.
+
+The whole-project rules (REP201-REP206) never re-walk raw trees: each file
+is distilled once into a :class:`ModuleFacts` — imports, module-level
+bindings with a mutability classification, function summaries (calls,
+reads, writes, ``self`` attribute accesses with their guarding ``with``
+contexts), class summaries, and ``__all__`` exports.  Rules then reason
+over these summaries plus the graphs :mod:`repro.lint.project.context`
+derives from them.
+
+Everything here is deliberately *over-approximate in the safe direction
+for a linter*: when a construct cannot be resolved statically (a call
+through a variable, a dynamically-built name) it is recorded as unknown
+and the rules prefer a false negative over a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "ImportRecord",
+    "Binding",
+    "CallSite",
+    "ReadSite",
+    "WriteSite",
+    "SelfAccess",
+    "FunctionFacts",
+    "ClassFacts",
+    "ExportedName",
+    "ModuleFacts",
+    "extract_module_facts",
+    "annotation_tokens",
+]
+
+#: Constructors producing module-level *mutable* containers.
+_MUTABLE_CTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "array",
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+    }
+)
+
+#: Constructors producing immutable values (exact comparison is sound).
+_IMMUTABLE_CTORS = frozenset(
+    {"tuple", "frozenset", "int", "float", "str", "bytes", "bool", "complex"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    """Render a Name/Attribute chain as ``a.b.c`` (None for other shapes)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _base_name(node: ast.AST) -> "str | None":
+    """The root Name of an Attribute/Subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def annotation_tokens(node: "ast.expr | None") -> frozenset[str]:
+    """Identifier tokens mentioned by an annotation (handles string forms)."""
+    if node is None:
+        return frozenset()
+    tokens: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            for raw in sub.value.replace("|", " ").replace("[", " ").split():
+                token = raw.strip("\"'[](),. ")
+                if token.isidentifier():
+                    tokens.add(token)
+    return frozenset(tokens)
+
+
+@dataclass(frozen=True, slots=True)
+class ImportRecord:
+    """One import statement edge out of a module.
+
+    ``target`` is the imported module's dotted name with relative imports
+    resolved against the importing module; ``names`` holds the
+    ``from ... import`` bindings as ``(name, bound_as)`` pairs (empty for a
+    plain ``import``, which binds ``bound_as`` to the module itself).
+    """
+
+    target: str
+    names: tuple[tuple[str, str], ...]
+    bound_as: "str | None"
+    lineno: int
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    """One module-level name binding with its mutability classification.
+
+    ``mutability`` is ``"mutable"`` (container literal / mutable ctor /
+    instance of a non-frozen project class), ``"immutable"`` (constants,
+    frozen-dataclass instances, defs, imports), or ``"unknown"``.
+    ``value_class`` records ``Cls`` when the binding is ``name = Cls(...)``.
+    """
+
+    name: str
+    lineno: int
+    mutability: str
+    value_class: "str | None" = None
+    kind: str = "value"  # "value" | "function" | "class" | "import"
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call (or function reference) inside a function body."""
+
+    name: str  # dotted ("a.b.c"), "self.x", or bare
+    lineno: int
+    is_reference: bool = False  # a bare Name load, not a direct call
+
+
+@dataclass(frozen=True, slots=True)
+class ReadSite:
+    """A Name load of a non-local identifier inside a function body."""
+
+    name: str
+    lineno: int
+
+
+@dataclass(frozen=True, slots=True)
+class WriteSite:
+    """A write whose target resolves to a non-local base name.
+
+    ``kind`` is ``"global"`` (declared ``global`` and assigned),
+    ``"subscript"`` (``NAME[...] = ...``), ``"attribute"``
+    (``NAME.attr = ...``), or ``"mutcall"`` (``NAME.append(...)`` etc.).
+    """
+
+    name: str
+    lineno: int
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SelfAccess:
+    """One ``self.<attr>`` access inside a method.
+
+    ``guards`` lists the dotted context expressions of the ``with`` blocks
+    enclosing the access (e.g. ``("self._lock",)``), which is how the
+    lock-discipline rule decides whether the access was protected.
+    """
+
+    attr: str
+    lineno: int
+    write: bool
+    guards: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionFacts:
+    """Summary of one function or method."""
+
+    module: str
+    qualname: str
+    name: str
+    lineno: int
+    end_lineno: int
+    class_name: "str | None"
+    calls: tuple[CallSite, ...]
+    reads: tuple[ReadSite, ...]
+    writes: tuple[WriteSite, ...]
+    self_accesses: tuple[SelfAccess, ...]
+    global_decls: frozenset[str]
+    local_names: frozenset[str]
+    param_annotations: tuple[tuple[str, frozenset[str]], ...]
+    local_instances: tuple[tuple[str, str, int], ...]
+    is_generator: bool
+    decorators: tuple[str, ...]
+
+    @property
+    def fid(self) -> str:
+        """Project-unique function id, ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass(frozen=True, slots=True)
+class ClassFacts:
+    """Summary of one class: methods, attribute types, decorators."""
+
+    module: str
+    name: str
+    lineno: int
+    methods: tuple[FunctionFacts, ...]
+    attr_classes: tuple[tuple[str, str], ...]  # self.x = Cls(...) in any method
+    decorators: tuple[str, ...]
+    bases: tuple[str, ...]
+
+    @property
+    def is_frozen_dataclass(self) -> bool:
+        """True for ``@dataclass(frozen=True)`` classes (value objects)."""
+        return any("frozen=True" in d for d in self.decorators)
+
+
+@dataclass(frozen=True, slots=True)
+class ExportedName:
+    """One ``__all__`` entry with the line it appears on."""
+
+    name: str
+    lineno: int
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleFacts:
+    """Everything the project rules know about one module."""
+
+    module: str
+    rel: str
+    imports: tuple[ImportRecord, ...]
+    bindings: tuple[Binding, ...]
+    functions: tuple[FunctionFacts, ...]
+    classes: tuple[ClassFacts, ...]
+    exports: tuple[ExportedName, ...]
+    binding_map: dict[str, Binding] = field(default_factory=dict)
+
+    def binding(self, name: str) -> "Binding | None":
+        return self.binding_map.get(name)
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects call/read/write/self-access facts from one function body."""
+
+    def __init__(self, func: ast.AST, class_name: "str | None") -> None:
+        self.class_name = class_name
+        self.calls: list[CallSite] = []
+        self.reads: list[ReadSite] = []
+        self.writes: list[WriteSite] = []
+        self.self_accesses: list[SelfAccess] = []
+        self.global_decls: set[str] = set()
+        self.local_names: set[str] = set()
+        self.local_instances: list[tuple[str, str, int]] = []
+        self.is_generator = False
+        self._guards: list[str] = []
+        self._collect_locals(func)
+
+    def _collect_locals(self, func: ast.AST) -> None:
+        args = func.args  # type: ignore[attr-defined]
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ):
+            self.local_names.add(arg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                self.global_decls.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                self.local_names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func:
+                    self.local_names.add(node.name)
+        self.local_names -= self.global_decls
+
+    # -- traversal helpers ---------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs: their bodies still run in-process when called, so we
+        # keep scanning (their locals were already folded in).
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.is_generator = True
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.is_generator = True
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        added = []
+        for item in node.items:
+            dotted = _dotted(item.context_expr)
+            if dotted is None and isinstance(item.context_expr, ast.Call):
+                dotted = _dotted(item.context_expr.func)
+            if dotted is not None:
+                self._guards.append(dotted)
+                added.append(dotted)
+            # the context expression itself is evaluated unguarded
+            self._scan_expr(item.context_expr, guarded_before=len(added))
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in added:
+            self._guards.pop()
+
+    def _scan_expr(self, expr: ast.expr, guarded_before: int) -> None:
+        # Record self-accesses in the context expression with the guards
+        # active *before* this with-item acquired its own.
+        saved = self._guards
+        self._guards = saved[: len(saved) - guarded_before]
+        self.visit(expr)
+        self._guards = saved
+
+    # -- fact collection -----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call):
+            ctor = node.value.func
+            cname = (
+                ctor.id
+                if isinstance(ctor, ast.Name)
+                else (ctor.attr if isinstance(ctor, ast.Attribute) else None)
+            )
+            if cname is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_instances.append(
+                            (target.id, cname, node.lineno)
+                        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            self.calls.append(CallSite(name=dotted, lineno=node.lineno))
+            base = dotted.split(".", 1)[0]
+            if (
+                "." in dotted
+                and node.func.attr in _MUTATING_METHODS  # type: ignore[union-attr]
+                and base not in self.local_names
+                and base != "self"
+            ):
+                self.writes.append(
+                    WriteSite(
+                        name=base,
+                        lineno=node.lineno,
+                        kind="mutcall",
+                        detail=f"{dotted}()",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id not in self.local_names:
+                self.reads.append(ReadSite(name=node.id, lineno=node.lineno))
+                self.calls.append(
+                    CallSite(name=node.id, lineno=node.lineno, is_reference=True)
+                )
+        elif isinstance(node.ctx, ast.Store) and node.id in self.global_decls:
+            self.writes.append(
+                WriteSite(name=node.id, lineno=node.lineno, kind="global")
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = _base_name(node)
+        if base == "self" and isinstance(node.value, ast.Name):
+            self.self_accesses.append(
+                SelfAccess(
+                    attr=node.attr,
+                    lineno=node.lineno,
+                    write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    guards=tuple(self._guards),
+                )
+            )
+        elif (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and base is not None
+            and base not in self.local_names
+        ):
+            self.writes.append(
+                WriteSite(
+                    name=base,
+                    lineno=node.lineno,
+                    kind="attribute",
+                    detail=_dotted(node) or node.attr,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        base = _base_name(node.value)
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and base is not None
+            and base not in self.local_names
+            and base != "self"
+        ):
+            self.writes.append(
+                WriteSite(name=base, lineno=node.lineno, kind="subscript")
+            )
+        self.generic_visit(node)
+
+
+def _classify_value(value: "ast.expr | None") -> "tuple[str, str | None]":
+    """``(mutability, value_class)`` of a module-level assigned value."""
+    if value is None:
+        return "unknown", None
+    if isinstance(
+        value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return "mutable", None
+    if isinstance(value, (ast.Constant, ast.Tuple, ast.JoinedStr)):
+        return "immutable", None
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else (func.attr if isinstance(func, ast.Attribute) else None)
+        )
+        if name in _MUTABLE_CTORS:
+            return "mutable", None
+        if name in _IMMUTABLE_CTORS:
+            return "immutable", None
+        if name is not None and name.lstrip("_")[:1].isupper():
+            # instance of a class; frozen-ness resolved later by the context
+            return "instance", name
+    return "unknown", None
+
+
+def _scan_function(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    module: str,
+    class_name: "str | None",
+) -> FunctionFacts:
+    scanner = _FunctionScanner(node, class_name)
+    for stmt in node.body:
+        scanner.visit(stmt)
+    qualname = f"{class_name}.{node.name}" if class_name else node.name
+    params = tuple(
+        (arg.arg, annotation_tokens(arg.annotation))
+        for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+        if arg.annotation is not None
+    )
+    return FunctionFacts(
+        module=module,
+        qualname=qualname,
+        name=node.name,
+        lineno=node.lineno,
+        end_lineno=getattr(node, "end_lineno", node.lineno) or node.lineno,
+        class_name=class_name,
+        calls=tuple(scanner.calls),
+        reads=tuple(scanner.reads),
+        writes=tuple(scanner.writes),
+        self_accesses=tuple(scanner.self_accesses),
+        global_decls=frozenset(scanner.global_decls),
+        local_names=frozenset(scanner.local_names),
+        param_annotations=params,
+        local_instances=tuple(scanner.local_instances),
+        is_generator=scanner.is_generator,
+        decorators=tuple(
+            ast.unparse(d) for d in node.decorator_list
+        ),
+    )
+
+
+def _resolve_relative(module: str, level: int, target: "str | None") -> str:
+    """Resolve a relative import against the importing module's name."""
+    parts = module.split(".")[:-1]  # drop the module's own leaf
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    if target:
+        parts = [*parts, *target.split(".")]
+    return ".".join(parts)
+
+
+def extract_module_facts(
+    module: str, rel: str, tree: ast.Module
+) -> ModuleFacts:
+    """Distill one parsed module into its :class:`ModuleFacts`."""
+    imports: list[ImportRecord] = []
+    bindings: list[Binding] = []
+    functions: list[FunctionFacts] = []
+    classes: list[ClassFacts] = []
+    exports: list[ExportedName] = []
+
+    def record_binding(
+        name: str, lineno: int, value: "ast.expr | None", kind: str = "value"
+    ) -> None:
+        if kind in ("function", "class", "import"):
+            bindings.append(
+                Binding(name=name, lineno=lineno, mutability="immutable", kind=kind)
+            )
+            return
+        mutability, value_class = _classify_value(value)
+        bindings.append(
+            Binding(
+                name=name,
+                lineno=lineno,
+                mutability=mutability,
+                value_class=value_class,
+            )
+        )
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.append(
+                    ImportRecord(
+                        target=alias.name,
+                        names=(),
+                        bound_as=alias.asname or alias.name.split(".")[0],
+                        lineno=node.lineno,
+                    )
+                )
+                record_binding(
+                    alias.asname or alias.name.split(".")[0],
+                    node.lineno,
+                    None,
+                    kind="import",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            target = (
+                _resolve_relative(module, node.level, node.module)
+                if node.level
+                else (node.module or "")
+            )
+            imports.append(
+                ImportRecord(
+                    target=target,
+                    names=tuple(
+                        (alias.name, alias.asname or alias.name)
+                        for alias in node.names
+                    ),
+                    bound_as=None,
+                    lineno=node.lineno,
+                )
+            )
+            for alias in node.names:
+                record_binding(
+                    alias.asname or alias.name, node.lineno, None, kind="import"
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(_scan_function(node, module, None))
+            record_binding(node.name, node.lineno, None, kind="function")
+        elif isinstance(node, ast.ClassDef):
+            methods = [
+                _scan_function(sub, module, node.name)
+                for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            attr_classes: list[tuple[str, str]] = []
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    for target_node in sub.targets:
+                        if (
+                            isinstance(target_node, ast.Attribute)
+                            and isinstance(target_node.value, ast.Name)
+                            and target_node.value.id == "self"
+                            and isinstance(sub.value, ast.Call)
+                        ):
+                            ctor = sub.value.func
+                            cname = (
+                                ctor.id
+                                if isinstance(ctor, ast.Name)
+                                else (
+                                    ctor.attr
+                                    if isinstance(ctor, ast.Attribute)
+                                    else None
+                                )
+                            )
+                            if cname is not None:
+                                attr_classes.append((target_node.attr, cname))
+            classes.append(
+                ClassFacts(
+                    module=module,
+                    name=node.name,
+                    lineno=node.lineno,
+                    methods=tuple(methods),
+                    attr_classes=tuple(attr_classes),
+                    decorators=tuple(ast.unparse(d) for d in node.decorator_list),
+                    bases=tuple(
+                        filter(None, (_dotted(base) for base in node.bases))
+                    ),
+                )
+            )
+            functions.extend(methods)
+            record_binding(node.name, node.lineno, None, kind="class")
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            for target_node in targets:
+                if not isinstance(target_node, ast.Name):
+                    continue
+                if target_node.id == "__all__" and isinstance(
+                    value, (ast.List, ast.Tuple)
+                ):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exports.append(
+                                ExportedName(
+                                    name=element.value, lineno=element.lineno
+                                )
+                            )
+                    continue
+                record_binding(target_node.id, node.lineno, value)
+
+    facts = ModuleFacts(
+        module=module,
+        rel=rel,
+        imports=tuple(imports),
+        bindings=tuple(bindings),
+        functions=tuple(functions),
+        classes=tuple(classes),
+        exports=tuple(exports),
+    )
+    for binding in bindings:
+        facts.binding_map[binding.name] = binding
+    return facts
+
+
+def collect_reference_names(trees: Iterable[ast.Module]) -> set[str]:
+    """Identifiers referenced anywhere in the given trees (REP206 input).
+
+    A name counts as referenced when it appears as a Name load, an
+    attribute, an imported name, a segment of an imported module path, or
+    an identifier token inside any string constant (type annotations in
+    string form, doctests, documented API names).  Definitions (Name
+    stores, ``def``/``class`` statements) and ``__all__`` string entries do
+    NOT count — an export mentioned only by its own ``__all__`` is dead.
+    """
+    referenced: set[str] = set()
+    for tree in trees:
+        all_strings: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "__all__"
+                        and isinstance(node.value, (ast.List, ast.Tuple))
+                    ):
+                        for element in node.value.elts:
+                            all_strings.add(id(element))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Load, ast.Del)
+            ):
+                referenced.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                referenced.add(node.attr)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    referenced.add(alias.name)
+                if node.module:
+                    referenced.update(node.module.split("."))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    referenced.update(alias.name.split("."))
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in all_strings
+            ):
+                for raw in node.value.split():
+                    for token in (
+                        raw.replace("(", " ").replace(")", " ")
+                        .replace("[", " ").replace("]", " ")
+                        .replace(".", " ").replace(",", " ")
+                        .replace("`", " ").replace(":", " ").split()
+                    ):
+                        if token.isidentifier():
+                            referenced.add(token)
+    return referenced
+
+
+__all__.append("collect_reference_names")

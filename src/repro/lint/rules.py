@@ -373,6 +373,14 @@ _NONDETERMINISTIC_CALLS = frozenset(
 )
 
 
+#: Filesystem-enumeration calls whose result order is OS-dependent: ext4,
+#: APFS, and NFS each hand back directory entries in their own order, so
+#: iterating them unsorted is the same bug class as set-order iteration.
+_FS_ORDER_CALLS = frozenset(
+    {"os.listdir", "listdir", "glob.glob", "glob.iglob", "glob", "iglob", "scandir", "os.scandir"}
+)
+
+
 @register
 class DeterminismRule(LintRule):
     """No wall-clock, global RNG, or hash-ordered iteration in solver paths."""
@@ -382,7 +390,8 @@ class DeterminismRule(LintRule):
     description = (
         "repro/core and repro/engine must be bitwise deterministic for any "
         "--jobs: no time.time, no global/unseeded RNG, no set-order "
-        "iteration (time.perf_counter is allowed: measurement only)"
+        "iteration, no unsorted directory listings, no dict.popitem "
+        "(time.perf_counter is allowed: measurement only)"
     )
     hint = (
         "thread an explicit seeded np.random.default_rng(seed) through the "
@@ -395,6 +404,24 @@ class DeterminismRule(LintRule):
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "popitem"
+            and not node.args
+            and not node.keywords
+        ):
+            # OrderedDict.popitem(last=...) states its direction explicitly
+            # and stays legal; a bare popitem() pops in insertion-order-
+            # dependent LIFO order, which silently couples results to fill
+            # order.
+            self.report(
+                node,
+                "bare popitem() pops in fill-order-dependent order",
+                hint=(
+                    "pop an explicit key, or use OrderedDict.popitem("
+                    "last=...) to state the direction"
+                ),
+            )
         if dotted is not None:
             if dotted in _NONDETERMINISTIC_CALLS:
                 self.report(
@@ -451,6 +478,16 @@ class DeterminismRule(LintRule):
                 "hash-dependent order",
                 hint="iterate a tuple/list, or sorted(...) the set",
             )
+        elif isinstance(iterable, ast.Call):
+            dotted = _dotted(iterable.func)
+            if dotted in _FS_ORDER_CALLS:
+                self.report(
+                    iterable,
+                    f"iteration over unsorted {dotted}(...) follows the "
+                    "filesystem's directory order, which differs across "
+                    "OSes and mounts",
+                    hint=f"wrap it: sorted({dotted}(...))",
+                )
 
 
 # ---------------------------------------------------------------------------

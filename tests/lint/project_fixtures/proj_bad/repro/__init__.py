@@ -1,0 +1,1 @@
+"""Seeded-violation corpus: one deliberate REP201-REP206 hit per rule."""

@@ -1,0 +1,22 @@
+"""Seeded REP201/REP205 violations: worker-side global state and clocks."""
+
+import time
+
+from ..obs.constants import LIVE_LIMIT
+
+#: Module-level mutable state shared by every worker (the seeded race).
+_COUNTS: dict[str, int] = {}
+
+#: Ambient tuning table a pure solver must not read.
+_TUNING: dict[str, float] = {"alpha": 0.5}
+
+
+def solve_chain(profile: str) -> tuple[str, float, float]:
+    started = time.monotonic()  # SEED REP205: clock outside obs.clock
+    scale = _TUNING["alpha"]  # SEED REP205: ambient mutable read
+    _COUNTS[profile] = LIVE_LIMIT  # SEED REP201: worker-reachable write
+    return (profile, scale, started)
+
+
+def solve_chain_batch(profiles: list[str]) -> list[tuple[str, float, float]]:
+    return [solve_chain(profile) for profile in profiles]

@@ -1,0 +1,7 @@
+"""Seeded REP204 violation: a core module depending upward on engine."""
+
+from ..engine.cache import Cache  # SEED REP204: core -> engine is upward
+
+
+def make_cache() -> Cache:
+    return Cache()

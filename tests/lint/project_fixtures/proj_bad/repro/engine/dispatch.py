@@ -1,0 +1,24 @@
+"""Seeded REP203 violation: a lock-holding object flows into a WorkUnit."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from .cache import Cache
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    payload: Any
+    cache: Any
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    return unit.payload
+
+
+def launch(items: list[Any]) -> list[Any]:
+    cache = Cache()
+    units = [WorkUnit(payload=item, cache=cache) for item in items]  # SEED REP203
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_unit, units))

@@ -1,0 +1,6 @@
+"""Seeded REP206 violation: one exported name no code ever references."""
+
+__all__ = ["LIVE_LIMIT", "DEAD_LIMIT"]
+
+LIVE_LIMIT = 10
+DEAD_LIMIT = 99

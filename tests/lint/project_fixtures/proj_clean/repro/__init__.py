@@ -1,0 +1,1 @@
+"""Clean twin of the seeded corpus: every project rule must stay silent."""

@@ -1,0 +1,16 @@
+"""Pure solvers: state arrives through parameters, time through obs.clock."""
+
+from ..obs.clock import monotonic
+from ..obs.constants import HORIZON, WINDOW
+
+
+def solve_chain(profile: str, scale: float) -> tuple[str, float, float]:
+    started = monotonic()
+    bounded = min(scale * WINDOW, float(HORIZON))
+    return (profile, bounded, started)
+
+
+def solve_chain_batch(
+    profiles: list[str], scale: float
+) -> list[tuple[str, float, float]]:
+    return [solve_chain(profile, scale) for profile in profiles]

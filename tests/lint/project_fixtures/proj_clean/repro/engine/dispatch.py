@@ -1,0 +1,29 @@
+"""Only a frozen, picklable config crosses the process boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.solvers import solve_chain
+
+
+@dataclass(frozen=True)
+class Config:
+    scale: float
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    payload: Any
+    config: Config
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    return solve_chain(str(unit.payload), unit.config.scale)
+
+
+def launch(items: list[Any]) -> list[Any]:
+    config = Config(scale=1.5)
+    units = [WorkUnit(payload=item, config=config) for item in items]
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_unit, units))

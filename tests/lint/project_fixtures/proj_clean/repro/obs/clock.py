@@ -1,0 +1,7 @@
+"""Sanctioned clock wrapper: the one place allowed to touch time.*."""
+
+import time
+
+
+def monotonic() -> float:
+    return time.monotonic()

@@ -1,0 +1,6 @@
+"""Exported constants, both referenced by the solvers."""
+
+__all__ = ["WINDOW", "HORIZON"]
+
+WINDOW = 10
+HORIZON = 99

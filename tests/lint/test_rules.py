@@ -275,6 +275,71 @@ class TestDeterminism:
         )
         assert findings == ()
 
+    def test_flags_unsorted_listdir_iteration(self, lint_source):
+        findings = lint_source(
+            """
+            import os
+
+            def load(root):
+                for name in os.listdir(root):
+                    yield name
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+        assert "filesystem" in findings[0].message
+
+    def test_flags_unsorted_glob_comprehension(self, lint_source):
+        findings = lint_source(
+            """
+            import glob
+
+            def load(pattern):
+                return [p for p in glob.glob(pattern)]
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+
+    def test_allows_sorted_listdir_iteration(self, lint_source):
+        findings = lint_source(
+            """
+            import glob
+            import os
+
+            def load(root, pattern):
+                for name in sorted(os.listdir(root)):
+                    yield name
+                for path in sorted(glob.glob(pattern)):
+                    yield path
+            """,
+            rules=["determinism"],
+        )
+        assert findings == ()
+
+    def test_flags_bare_popitem(self, lint_source):
+        findings = lint_source(
+            """
+            def drain(table: dict):
+                while table:
+                    yield table.popitem()
+            """,
+            rules=["determinism"],
+        )
+        assert _ids(findings) == ["REP104"]
+        assert "popitem" in findings[0].message
+
+    def test_allows_directed_popitem(self, lint_source):
+        findings = lint_source(
+            """
+            def drain(table):
+                while table:
+                    yield table.popitem(last=False)
+            """,
+            rules=["determinism"],
+        )
+        assert findings == ()
+
 
 # ---------------------------------------------------------------------------
 # REP105 — numpy-scalar-leak
