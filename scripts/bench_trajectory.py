@@ -41,6 +41,7 @@ from repro.core.chain_stats import ChainProfile  # noqa: E402
 from repro.core.registry import PAPER_ORDER  # noqa: E402
 from repro.core.types import Resources  # noqa: E402
 from repro.engine import CampaignEngine  # noqa: E402
+from repro.sim import SimConfig, bursty_trace, simulate  # noqa: E402
 from repro.workloads.synthetic import (  # noqa: E402
     GeneratorConfig,
     chain_batch,
@@ -106,6 +107,8 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--latency-chains", type=int, default=20,
                         help="chains averaged per strategy latency point")
+    parser.add_argument("--sim-events", type=int, default=2000,
+                        help="events in the online-simulation scenario")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_engine.json")
     args = parser.parse_args(argv)
@@ -223,6 +226,31 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     mismatch |= kernel_mismatch
 
+    # Online-simulation scenario: steady-state throughput and rescheduling
+    # latency percentiles of the incremental scheduler on a bursty trace
+    # (repro.sim).  Records and counters must be run-to-run identical; the
+    # wall-clock latencies are what this scenario is here to track.
+    sim_trace = bursty_trace(args.sim_events, seed=args.seed)
+    sim_s, sim_result = _time(
+        functools.partial(simulate, sim_trace, SimConfig())
+    )
+    sim_repeat = simulate(sim_trace, SimConfig())
+    sim_mismatch = (
+        sim_result.records != sim_repeat.records
+        or sim_result.metrics.counters != sim_repeat.metrics.counters
+        or sim_result.scheduleless_intervals > 0
+        or sim_result.overcommit_events > 0
+    )
+    resched_ms = np.asarray(sim_result.resched_seconds) * 1e3
+    sim_p50_ms = float(np.percentile(resched_ms, 50))
+    sim_p99_ms = float(np.percentile(resched_ms, 99))
+    mismatch |= sim_mismatch
+    print(
+        f"  sim ({sim_result.num_events} events) {sim_s:6.2f}s  "
+        f"resched p50 {sim_p50_ms:.2f}ms  p99 {sim_p99_ms:.2f}ms  "
+        f"throughput {sim_result.aggregate_throughput():.4g}"
+    )
+
     report = {
         "benchmark": "campaign engine trajectory",
         "scenario": {
@@ -270,6 +298,26 @@ def main(argv: "list[str] | None" = None) -> int:
             "wall_s": kernel_wall_s,
             "speedup": kernel_speedup,
             "mismatch": kernel_mismatch,
+        },
+        "sim_scenario": {
+            "kind": "bursty",
+            "events": sim_result.num_events,
+            "seed": args.seed,
+            "wall_s": round(sim_s, 3),
+            "events_per_s": round(sim_result.num_events / sim_s, 1),
+            "steady_state_throughput": round(
+                sim_result.aggregate_throughput(), 6
+            ),
+            "resched_latency_ms": {
+                "p50": round(sim_p50_ms, 3),
+                "p99": round(sim_p99_ms, 3),
+                "max": round(float(resched_ms.max()), 3),
+            },
+            "ladder": {
+                action: int(sim_result.counter(f"sim.resched.{action}"))
+                for action in ("keep", "warm", "full", "reuse", "shed")
+            },
+            "mismatch": sim_mismatch,
         },
         "engine_vs_serial_mismatch": mismatch,
     }

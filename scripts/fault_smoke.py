@@ -14,6 +14,13 @@ nothing may be quarantined; any mismatch exits non-zero (CI ``fault-smoke``
 job). This is the end-to-end proof that crash recovery cannot change
 reproduced numbers.
 
+A third phase drives the online simulator through a core-failure storm
+(three overlapping failures on a populated platform, certification on) and
+asserts the availability invariant: every event leaves every chain either
+feasibly scheduled or explicitly shed (zero scheduleless intervals), no
+allocation ever exceeds the cores that are up (zero overcommit), and the
+platform is fully recovered by the end of the trace.
+
 Usage::
 
     PYTHONPATH=src python scripts/fault_smoke.py [--chains 40] [--jobs 4]
@@ -37,7 +44,54 @@ from repro.engine import (
     ResilienceConfig,
     RetryPolicy,
 )
+from repro.sim import SimConfig, failure_storm_trace, simulate
 from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def storm_failures(seed: int) -> int:
+    """Run the certified failure-storm simulation; returns failed checks."""
+    trace = failure_storm_trace(seed=seed)
+    result = simulate(trace, SimConfig(certify=True))
+    overlap = max(
+        sum(
+            1
+            for other in result.down_intervals
+            if other.start <= interval.start < other.end
+        )
+        for interval in result.down_intervals
+    )
+    actions = {
+        action: int(result.counter(f"sim.resched.{action}"))
+        for action in ("keep", "warm", "full", "reuse", "shed")
+    }
+    print(
+        f"[storm] {result.num_events} events, peak {overlap} cores down, "
+        f"ladder {actions}"
+    )
+    failures = 0
+    if overlap < 3:
+        print(f"FAIL: storm peaked at {overlap} overlapping failures, need >= 3")
+        failures += 1
+    if result.scheduleless_intervals:
+        print(
+            f"FAIL: {result.scheduleless_intervals} scheduleless interval(s) "
+            "— a chain was neither scheduled nor explicitly shed"
+        )
+        failures += 1
+    if result.overcommit_events:
+        print(
+            f"FAIL: {result.overcommit_events} overcommit event(s) "
+            "— allocations exceeded the cores currently up"
+        )
+        failures += 1
+    if result.records[-1].availability != 1.0:
+        print("FAIL: the platform did not fully recover by the end of the storm")
+        failures += 1
+    for action in ("warm", "full", "shed"):
+        if actions[action] < 1:
+            print(f"FAIL: ladder rung {action!r} was never exercised")
+            failures += 1
+    return failures
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -101,10 +155,14 @@ def main(argv: "list[str] | None" = None) -> int:
             if not np.array_equal(a, b):
                 print(f"FAIL: {name}.{column} differs from fault-free baseline")
                 failures += 1
+    failures += storm_failures(args.seed)
     if failures:
         print(f"fault smoke FAILED ({failures} check(s))")
         return 1
-    print("fault smoke OK: recovered arrays are bitwise identical")
+    print(
+        "fault smoke OK: recovered arrays are bitwise identical and the "
+        "storm held the availability invariant"
+    )
     return 0
 
 

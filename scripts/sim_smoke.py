@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Online-simulation smoke: 10k events, invariants held, deterministic, fast.
+
+Drives the discrete-event simulator (``repro.sim``) through a 10 000-event
+bursty trace twice and a certified failure storm once, asserting:
+
+* zero scheduleless intervals and zero overcommit events everywhere;
+* the two bursty runs are bitwise identical (records and counters);
+* the whole smoke completes within the budget (default 60 s) — the
+  regression guard for rescheduling-path performance.
+
+Any violation exits non-zero (CI ``sim-smoke`` job).
+
+Usage::
+
+    PYTHONPATH=src python scripts/sim_smoke.py [--events 10000] [--budget 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.clock import monotonic
+from repro.sim import SimConfig, bursty_trace, failure_storm_trace, simulate
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--budget", type=float, default=60.0, help="wall-clock budget, seconds"
+    )
+    args = parser.parse_args(argv)
+
+    start = monotonic()
+    failures = 0
+
+    trace = bursty_trace(args.events, seed=args.seed)
+    first = simulate(trace)
+    second = simulate(trace)
+    print(
+        f"[bursty] {first.num_events} events, "
+        f"scheduleless={first.scheduleless_intervals} "
+        f"overcommit={first.overcommit_events}"
+    )
+    if first.scheduleless_intervals or first.overcommit_events:
+        print("FAIL: bursty run violated a scheduling invariant")
+        failures += 1
+    if (
+        first.records != second.records
+        or first.metrics.counters != second.metrics.counters
+    ):
+        print("FAIL: two identical bursty runs were not bitwise identical")
+        failures += 1
+
+    storm = simulate(failure_storm_trace(seed=args.seed), SimConfig(certify=True))
+    print(
+        f"[storm] {storm.num_events} events (certified), "
+        f"scheduleless={storm.scheduleless_intervals} "
+        f"overcommit={storm.overcommit_events}"
+    )
+    if storm.scheduleless_intervals or storm.overcommit_events:
+        print("FAIL: storm run violated a scheduling invariant")
+        failures += 1
+
+    elapsed = monotonic() - start
+    print(f"[wall] {elapsed:.1f}s (budget {args.budget:.0f}s)")
+    if elapsed > args.budget:
+        print(f"FAIL: smoke took {elapsed:.1f}s, budget is {args.budget:.0f}s")
+        failures += 1
+    if failures:
+        print(f"sim smoke FAILED ({failures} check(s))")
+        return 1
+    print("sim smoke OK: invariants held, runs bitwise identical, under budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

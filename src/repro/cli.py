@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     repro lint                      # project-specific static analysis
     repro solve --cores big=6,little=8           # paper-style two-type solve
     repro solve --cores big=6,little=8,lpe=2 --certify   # k-type platform
+    repro simulate --kind storm --certify        # online failure-storm sim
+    repro simulate --kind bursty --events 1000 --deadline 16 --journal sim.jsonl
 
 or equivalently ``python -m repro <command> [options]``.
 """
@@ -34,6 +36,15 @@ from .engine import KERNELS, CampaignEngine, CheckpointJournal, ResilienceConfig
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
 from .lint.cli import add_lint_arguments, run_lint
 from .obs import Observability, ObsConfig, RunReport, monotonic, write_chrome_trace
+from .sim import (
+    SimConfig,
+    SimTrace,
+    bursty_trace,
+    diurnal_trace,
+    failure_storm_trace,
+    simulate,
+    write_sim_trace,
+)
 from .workloads.synthetic import GeneratorConfig, ktype_chain_batch
 
 __all__ = ["main", "build_parser"]
@@ -348,6 +359,132 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         help="verbosity of the 'repro' logger hierarchy on stderr",
     )
+    sim_parser = subparsers.add_parser(
+        "simulate",
+        help="online fault-tolerant simulation (chains and cores come and go)",
+        description=(
+            "Run the discrete-event simulator (repro.sim): chains arrive, "
+            "depart and mutate while cores fail and recover; after every "
+            "event the incremental scheduler re-establishes a feasible "
+            "schedule for each surviving chain within the rescheduling "
+            "deadline, degrading warm -> full -> reuse -> shed but never "
+            "leaving a chain scheduleless.  Exits non-zero if any "
+            "invariant (scheduleless interval / overcommit) is violated."
+        ),
+    )
+    sim_parser.add_argument(
+        "--kind",
+        choices=("storm", "bursty", "diurnal"),
+        default="storm",
+        help=(
+            "generated workload: 'storm' is the failure-storm acceptance "
+            "scenario (>= 3 overlapping core failures), 'bursty' flash "
+            "crowds, 'diurnal' a day/night arrival sinusoid"
+        ),
+    )
+    sim_parser.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        metavar="TRACE",
+        help="simulate a trace file written by --save-trace instead of generating one",
+    )
+    sim_parser.add_argument(
+        "--events",
+        type=_positive_int,
+        default=200,
+        help="events in a bursty/diurnal trace (the storm skeleton is fixed)",
+    )
+    sim_parser.add_argument(
+        "--chains",
+        type=_positive_int,
+        default=8,
+        help="arrivals in the storm skeleton (storm only)",
+    )
+    sim_parser.add_argument(
+        "--cores",
+        type=_parse_cores,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "initial per-class core counts, e.g. 'big=3,little=3' "
+            "(default: 3,3 for storm, 4,4 otherwise)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--seed", type=int, default=0, help="trace generator seed"
+    )
+    sim_parser.add_argument(
+        "--strategy",
+        default="2catac",
+        metavar="NAME",
+        help="cold-solve strategy (registry name; default: 2catac)",
+    )
+    sim_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="COST",
+        help=(
+            "rescheduling budget per event in modeled cost units (a warm "
+            "start costs 1, a cold solve costs the chain's task count; "
+            "default: unbounded)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "audit every warm-started and cold solution with the "
+            "independent certificate checker"
+        ),
+    )
+    sim_parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only decision journal; an existing journal replays its "
+            "prefix without re-solving (interrupt + resume, bitwise "
+            "identical to an uninterrupted run)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--stop-after",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process at most N events (interrupt on purpose; use with --journal)",
+    )
+    sim_parser.add_argument(
+        "--save-trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the generated trace (JSONL) for later --input runs",
+    )
+    sim_parser.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Chrome trace-event JSON of the run: one lane per "
+            "concrete core (down intervals) plus a scheduler event lane"
+        ),
+    )
+    sim_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the sim.* counters (events, ladder actions, invariants)",
+    )
+    sim_parser.add_argument(
+        "--log-level",
+        choices=sorted(_LOG_LEVELS),
+        default="info",
+        help="verbosity of the 'repro' logger hierarchy on stderr",
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the project-specific static analysis (repro.lint)",
@@ -530,6 +667,78 @@ def run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _latency_percentile(sorted_seconds: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending latency sample."""
+    rank = min(len(sorted_seconds) - 1, int(q * (len(sorted_seconds) - 1) + 0.5))
+    return sorted_seconds[rank]
+
+
+def run_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: online fault-tolerant discrete-event simulation."""
+    if args.input is not None:
+        trace = SimTrace.read(args.input)
+    else:
+        counts = (
+            args.cores[0].counts
+            if args.cores is not None
+            else ((3, 3) if args.kind == "storm" else (4, 4))
+        )
+        if args.kind == "storm":
+            trace = failure_storm_trace(counts, seed=args.seed, chains=args.chains)
+        elif args.kind == "bursty":
+            trace = bursty_trace(args.events, counts, seed=args.seed)
+        else:
+            trace = diurnal_trace(args.events, counts, seed=args.seed)
+    if args.save_trace is not None:
+        _log.info("trace written to %s", trace.write(args.save_trace))
+    config = SimConfig(
+        strategy=args.strategy, deadline=args.deadline, certify=args.certify
+    )
+    try:
+        result = simulate(
+            trace, config, journal=args.journal, stop_after=args.stop_after
+        )
+    except SchedulingError as error:
+        _log.error("%s", error)
+        return 2
+    print(
+        f"trace: {result.name}  events: {result.num_events}/{trace.num_events}"
+        f"  platform: {','.join(str(c) for c in trace.initial_counts)}"
+    )
+    actions = "  ".join(
+        f"{action}={int(result.counter(f'sim.resched.{action}'))}"
+        for action in ("keep", "warm", "full", "reuse", "shed")
+    )
+    print(f"ladder:  {actions}")
+    scheduled = sum(1 for _, period in result.final_periods if period is not None)
+    print(
+        f"final:   {scheduled}/{len(result.final_periods)} chains scheduled, "
+        f"aggregate throughput {result.aggregate_throughput():.6g}"
+    )
+    if result.resched_seconds:
+        ordered = sorted(result.resched_seconds)
+        print(
+            "resched: "
+            f"p50={_latency_percentile(ordered, 0.50) * 1e3:.2f}ms  "
+            f"p99={_latency_percentile(ordered, 0.99) * 1e3:.2f}ms  "
+            f"max={ordered[-1] * 1e3:.2f}ms"
+        )
+    print(
+        f"invariants: scheduleless={result.scheduleless_intervals}  "
+        f"overcommit={result.overcommit_events}"
+    )
+    if args.chrome is not None:
+        _log.info("chrome trace written to %s", write_sim_trace(args.chrome, result))
+    if args.metrics:
+        for name, value in sorted(result.metrics.counters):
+            if name.startswith("sim."):
+                print(f"  {name} = {value:g}")
+    if result.scheduleless_intervals or result.overcommit_events:
+        _log.error("simulation violated a scheduling invariant")
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -538,6 +747,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.experiment == "solve":
         _configure_logging(args.log_level)
         return run_solve(args)
+    if args.experiment == "simulate":
+        _configure_logging(args.log_level)
+        return run_simulate(args)
     _configure_logging(args.log_level)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:

@@ -62,6 +62,7 @@ from .solution import CoreUsage, Solution
 from .stage import Stage
 from .task import Task, TaskChain
 from .twocatac import twocatac, twocatac_compute_solution
+from .warmstart import warm_start
 from .types import (
     INFINITY,
     CoreIndex,
@@ -74,6 +75,7 @@ from .types import (
 )
 
 __all__ = [
+    "warm_start",
     # model
     "Task",
     "TaskChain",

@@ -1,0 +1,119 @@
+"""Warm-started incremental scheduling.
+
+The online simulator (:mod:`repro.sim`) reschedules every active chain on
+each platform or workload change.  Cold solves (a full binary-search run per
+chain) are the expensive rung of its degradation ladder; this module
+provides the cheap rung: *reuse the previous solution's stage partition and
+replication structure* and merely re-fit the core assignment to the new
+budget and weights.
+
+:func:`warm_start` keeps the interval decomposition ``[start, end]`` of every
+stage fixed and re-derives ``(cores, core_type)`` deterministically:
+
+1. every stage is granted one core, preferring its previous core type and
+   falling back to the cheapest type with remaining budget when the previous
+   type is exhausted (or no longer exists on the shrunken platform);
+2. surplus cores are water-filled onto the current *bottleneck* stage while
+   it is replicable and its type has slack — the same greedy argument behind
+   the paper's replication step, restricted to the frozen partition.
+
+The result is a feasible :class:`~repro.core.binary_search.ScheduleOutcome`
+(``iterations=0`` — no binary-search probes were spent) or ``None`` when the
+frozen partition cannot fit the new budget at all (fewer cores than stages,
+or the chain length changed); the caller is expected to fall through to a
+full re-solve.  Warm-started outcomes carry fresh analytic
+:func:`~repro.core.bounds.period_bounds`, so callers can reject any warm
+period exceeding the proven feasibility upper bound of a cold solve and
+degrade instead — that gate is what keeps the fast path honest.
+"""
+
+from __future__ import annotations
+
+from .binary_search import ScheduleOutcome
+from .bounds import period_bounds
+from .chain_stats import ChainProfile, profile_of
+from .solution import Solution
+from .stage import Stage
+from .task import TaskChain
+from .types import Resources
+
+__all__ = ["warm_start"]
+
+
+def warm_start(
+    previous: ScheduleOutcome,
+    chain: "TaskChain | ChainProfile",
+    resources: Resources,
+) -> "ScheduleOutcome | None":
+    """Re-fit a previous outcome's stage structure to a new instance.
+
+    Args:
+        previous: the outcome whose stage partition is reused.
+        chain: the (possibly re-weighted) chain to schedule.
+        resources: the new platform budget.
+
+    Returns:
+        A valid outcome sharing ``previous``'s interval partition, or
+        ``None`` when the partition cannot fit (empty previous solution,
+        changed chain length, empty budget, or fewer cores than stages).
+    """
+    profile = profile_of(chain)
+    old = previous.solution
+    if old.is_empty or not old.covers(profile) or resources.total <= 0:
+        return None
+    if len(old.stages) > resources.total:
+        return None
+
+    ktype = resources.ktype
+    remaining = [resources.count(v) for v in range(ktype)]
+
+    # Phase 1: one core per stage, previous type first, cheapest fallback.
+    assigned: list[tuple[int, int, int]] = []  # (start, end, core_type)
+    for stage in old.stages:
+        previous_type = int(stage.core_type)
+        if previous_type < ktype and remaining[previous_type] > 0:
+            chosen = previous_type
+        else:
+            chosen = -1
+            chosen_weight = float("inf")
+            for v in range(ktype):
+                if remaining[v] <= 0:
+                    continue
+                weight = profile.interval_weight(stage.start, stage.end, v)
+                if weight < chosen_weight:
+                    chosen, chosen_weight = v, weight
+            if chosen < 0:
+                return None
+        remaining[chosen] -= 1
+        assigned.append((stage.start, stage.end, chosen))
+
+    # Phase 2: water-fill surplus cores onto the bottleneck stage while it
+    # is replicable and its type has slack.  Each grant strictly consumes
+    # one core, so the loop runs at most ``resources.total`` times.
+    cores = [1] * len(assigned)
+    while True:
+        bottleneck = -1
+        bottleneck_weight = -1.0
+        for index, (start, end, core_type) in enumerate(assigned):
+            weight = profile.stage_weight(start, end, cores[index], core_type)
+            if weight > bottleneck_weight:
+                bottleneck, bottleneck_weight = index, weight
+        start, end, core_type = assigned[bottleneck]
+        if remaining[core_type] <= 0 or not profile.is_replicable(start, end):
+            break
+        remaining[core_type] -= 1
+        cores[bottleneck] += 1
+
+    solution = Solution(
+        Stage(start, end, cores[index], core_type)
+        for index, (start, end, core_type) in enumerate(assigned)
+    )
+    if not solution.is_valid(profile, resources):
+        return None
+    return ScheduleOutcome(
+        solution=solution,
+        period=solution.period(profile),
+        iterations=0,
+        bounds=period_bounds(profile, resources),
+        probes=(),
+    )

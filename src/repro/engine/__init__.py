@@ -43,7 +43,13 @@ from .executor import (
     reset_default_engine,
     resolve_jobs,
 )
-from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+from .faults import (
+    FAULT_KINDS,
+    PLATFORM_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
 from .memo import DEFAULT_MAXSIZE, InstanceResult, MemoCache, MemoStats, make_key
 from .resilience import (
     TIERS,
@@ -76,6 +82,7 @@ __all__ = [
     "CheckpointJournal",
     "load_journal",
     "FAULT_KINDS",
+    "PLATFORM_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",

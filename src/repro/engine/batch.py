@@ -16,7 +16,7 @@ are bitwise identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..core.binary_search import ScheduleOutcome
@@ -80,8 +80,8 @@ class WorkUnit:
             through the scalar strategy functions, ``"batch"`` groups the
             chunk by strategy and solves each group in one vectorized
             :func:`repro.core.registry.solve_batch` call (bitwise-identical
-            results; an armed fault plan forces the python path, since
-            faults trigger per cell).
+            results; instances targeted by an armed fault plan are routed
+            to the python path per instance, since faults trigger per cell).
     """
 
     pending: tuple[PendingInstance, ...]
@@ -291,20 +291,58 @@ def _solve_group(
         results[position][name] = _result_of(outcome, unit.resources)
 
 
+def _solve_rows_routed(unit: WorkUnit) -> UnitResult:
+    """Batch-kernel unit with an armed fault plan: route per instance.
+
+    Every instance the plan *could* target (non-consuming
+    :meth:`~repro.engine.faults.FaultPlan.targets` check) goes through the
+    scalar per-cell path — the only place faults get their ``fire()``
+    consultation — while the rest of the unit keeps the vectorized batch
+    kernels.  Routing all-or-nothing here used to silently bypass injection
+    whenever a batched unit mixed targeted and untargeted instances; the
+    split keeps injection unconditional without giving up batching.
+    """
+    assert unit.faults is not None
+    targeted = tuple(
+        item
+        for item in unit.pending
+        if unit.faults.targets(item.chain.fingerprint, item.strategies)
+    )
+    untargeted = tuple(
+        item
+        for item in unit.pending
+        if not unit.faults.targets(item.chain.fingerprint, item.strategies)
+    )
+    rows: UnitResult = []
+    if targeted:
+        rows.extend(_solve_rows(replace(unit, pending=targeted)))
+    if untargeted:
+        rows.extend(
+            _solve_rows_batch(replace(unit, pending=untargeted, faults=None))
+        )
+    return rows
+
+
 def solve_unit(unit: WorkUnit) -> UnitOutcome:
     """Resolve one work unit (the process-pool entry point).
 
     Profiles each chain once, then runs every requested strategy on it —
     cell by cell on the python kernel, strategy-grouped through
-    :func:`repro.core.registry.solve_batch` on the batch kernel (an armed
-    fault plan forces the python path: faults target individual cells).
-    With observability enabled on the unit, a fresh local context is built
+    :func:`repro.core.registry.solve_batch` on the batch kernel.  An armed
+    fault plan routes *fault-targeted* instances to the scalar per-cell
+    path unconditionally (faults trigger per cell); the remaining instances
+    of the same unit still go through the batch kernels.  With
+    observability enabled on the unit, a fresh local context is built
     and activated for the duration — worker processes have no access to the
     engine's tracer, and thread-tier workers deliberately use the same
     ship-a-payload-home protocol so every tier aggregates identically.
     """
-    batched = unit.kernel == "batch" and unit.faults is None
-    solver = _solve_rows_batch if batched else _solve_rows
+    if unit.kernel != "batch":
+        solver = _solve_rows
+    elif unit.faults is None:
+        solver = _solve_rows_batch
+    else:
+        solver = _solve_rows_routed
     if unit.obs is None or not unit.obs.enabled:
         return UnitOutcome(rows=solver(unit))
     context = unit.obs.create_context()

@@ -26,6 +26,13 @@ Fault kinds (:data:`FAULT_KINDS`):
   the tampered claim — the test that proves the auditor earns its keep.
 * ``interrupt`` — raise :class:`KeyboardInterrupt` (a Ctrl-C mid-campaign; the
   retry machinery must *not* swallow it).
+* ``core_failure`` / ``core_recovery`` — *timed platform events* (see
+  :data:`PLATFORM_FAULT_KINDS`): at simulated time :attr:`FaultSpec.at`,
+  :attr:`FaultSpec.cores` cores of type :attr:`FaultSpec.core_type` go down
+  (respectively come back).  These kinds never fire in the per-cell batch
+  path — :meth:`FaultSpec.matches` is ``False`` for them — they are consumed
+  by the discrete-event simulator (:mod:`repro.sim`), so one
+  :class:`FaultPlan` can drive the batch engine and the simulator together.
 
 Determinism: a fault fires based only on the instance fingerprint, strategy,
 execution tier, and a firing counter — never on wall-clock or entropy.  The
@@ -50,10 +57,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FAULT_KINDS",
+    "PLATFORM_FAULT_KINDS",
     "InjectedFault",
     "FaultSpec",
     "FaultPlan",
 ]
+
+#: Timed platform-event kinds, consumed by the simulator (never per-cell).
+PLATFORM_FAULT_KINDS: tuple[str, ...] = (
+    "core_failure",
+    "core_recovery",
+)
 
 #: Recognized fault kinds (see module docstring).
 FAULT_KINDS: tuple[str, ...] = (
@@ -63,6 +77,7 @@ FAULT_KINDS: tuple[str, ...] = (
     "hang",
     "corrupt",
     "interrupt",
+    *PLATFORM_FAULT_KINDS,
 )
 
 #: Exit status used by ``crash`` faults (distinctive in worker post-mortems).
@@ -89,6 +104,10 @@ class FaultSpec:
         seconds: sleep duration of ``hang`` faults.
         factor: multiplier applied to the claimed period by ``corrupt``
             faults (0.5 claims an impossibly good schedule).
+        at: simulated time of a timed platform event (``core_failure`` /
+            ``core_recovery`` only; ignored by per-cell kinds).
+        core_type: platform type index the timed event acts on.
+        cores: number of cores the timed event takes down / brings back.
     """
 
     kind: str
@@ -98,6 +117,9 @@ class FaultSpec:
     times: int = 1
     seconds: float = 0.75
     factor: float = 0.5
+    at: float = 0.0
+    core_type: int = 0
+    cores: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -114,9 +136,31 @@ class FaultSpec:
             raise InvalidParameterError(
                 f"factor must be > 0, got {self.factor}"
             )
+        if self.at < 0:
+            raise InvalidParameterError(f"at must be >= 0, got {self.at}")
+        if self.core_type < 0:
+            raise InvalidParameterError(
+                f"core_type must be >= 0, got {self.core_type}"
+            )
+        if self.cores < 1:
+            raise InvalidParameterError(
+                f"cores must be >= 1, got {self.cores}"
+            )
+
+    @property
+    def is_timed(self) -> bool:
+        """True for timed platform events (simulator-only kinds)."""
+        return self.kind in PLATFORM_FAULT_KINDS
 
     def matches(self, fingerprint: str, strategy: str, tier: str) -> bool:
-        """Whether this rule targets the given instance on the given tier."""
+        """Whether this rule targets the given instance on the given tier.
+
+        Timed platform events never match a per-cell solve: they describe
+        the *platform* over simulated time, not an instance, and are
+        consumed by :mod:`repro.sim` instead.
+        """
+        if self.is_timed:
+            return False
         if self.fingerprint is not None and self.fingerprint != fingerprint:
             return False
         if self.strategy is not None and self.strategy != strategy:
@@ -178,6 +222,41 @@ class FaultPlan:
                 return spec
             return None
         return None
+
+    def targets(self, fingerprint: str, strategies: "tuple[str, ...]") -> bool:
+        """Whether *any* rule could fire on this instance on *any* tier.
+
+        Non-consuming (no ledger access) and deliberately tier-agnostic and
+        firing-count-agnostic: the batch engine uses it to route instances a
+        plan might touch through the scalar per-cell path, where the armed
+        fault actually gets its :meth:`fire` consultation.  Over-approximating
+        (routing an already-exhausted target to the scalar path) only costs
+        the vectorized speedup for that instance — results stay identical.
+        """
+        for spec in self.specs:
+            if spec.is_timed:
+                continue
+            if spec.fingerprint is not None and spec.fingerprint != fingerprint:
+                continue
+            if spec.strategy is not None and spec.strategy not in strategies:
+                continue
+            return True
+        return False
+
+    def platform_events(self) -> "tuple[FaultSpec, ...]":
+        """The timed platform events, sorted by time (stable in spec order).
+
+        This is the bridge to :mod:`repro.sim`: the simulator turns these
+        into ``core_failure`` / ``core_recovery`` events on its clock, so a
+        single plan drives per-cell solver faults *and* platform dynamics.
+        """
+        timed = [
+            (spec.at, index, spec)
+            for index, spec in enumerate(self.specs)
+            if spec.is_timed
+        ]
+        timed.sort(key=lambda item: (item[0], item[1]))
+        return tuple(spec for _, _, spec in timed)
 
     def firings(self, index: int, fingerprint: str, strategy: str) -> int:
         """How often rule ``index`` has fired for one concrete instance."""

@@ -86,6 +86,7 @@ LAYER_RANKS: dict[str, int] = {
     "platform": 20,
     "workloads": 20,
     "engine": 30,
+    "sim": 35,
     "streampu": 40,
     "sdr": 50,
     "analysis": 60,

@@ -1,0 +1,59 @@
+"""Online fault-tolerant simulation of partially-replicable task chains.
+
+``repro.sim`` is the repo's discrete-event layer: chains arrive, depart and
+mutate while cores fail and recover, and after *every* event the
+:class:`IncrementalScheduler` re-establishes a feasible schedule for each
+surviving chain within a configurable rescheduling deadline — degrading
+gracefully (warm start → full re-solve → reuse → shed) but never leaving a
+chain scheduleless.  See ``DESIGN.md`` §14.
+
+The package splits into:
+
+* :mod:`~repro.sim.events` — the deterministic event queue and event model;
+* :mod:`~repro.sim.trace` — the on-disk trace format (JSONL, versioned);
+* :mod:`~repro.sim.generators` — seeded bursty / diurnal / failure-storm
+  workload generators;
+* :mod:`~repro.sim.platform_state` — which cores are up, over time;
+* :mod:`~repro.sim.scheduler` — the degradation-ladder scheduler;
+* :mod:`~repro.sim.journal` — the append-only decision journal
+  (interrupt + resume);
+* :mod:`~repro.sim.simulator` — the event loop, invariants, and the
+  Chrome-trace export.
+"""
+
+from .events import EVENT_KINDS, EventQueue, SimEvent
+from .generators import bursty_trace, diurnal_trace, failure_storm_trace
+from .journal import EventRecord, SimJournal
+from .platform_state import DownInterval, PlatformState
+from .scheduler import (
+    RESCHED_ACTIONS,
+    WARM_COST,
+    ChainDecision,
+    IncrementalScheduler,
+)
+from .simulator import SimConfig, SimResult, sim_spans, simulate, write_sim_trace
+from .trace import TRACE_FORMAT, SimTrace
+
+__all__ = [
+    "EVENT_KINDS",
+    "RESCHED_ACTIONS",
+    "TRACE_FORMAT",
+    "WARM_COST",
+    "ChainDecision",
+    "DownInterval",
+    "EventQueue",
+    "EventRecord",
+    "IncrementalScheduler",
+    "PlatformState",
+    "SimConfig",
+    "SimEvent",
+    "SimJournal",
+    "SimResult",
+    "SimTrace",
+    "bursty_trace",
+    "diurnal_trace",
+    "failure_storm_trace",
+    "sim_spans",
+    "simulate",
+    "write_sim_trace",
+]

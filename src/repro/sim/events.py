@@ -1,0 +1,142 @@
+"""Deterministic event core of the online simulator.
+
+Two pieces live here:
+
+* :class:`SimEvent` — one timed change to the simulated world: a chain
+  arriving, departing, or mutating its weights, or cores of one type
+  failing / recovering.  Events are frozen values so traces are hashable
+  and picklable.
+
+* :class:`EventQueue` — the deterministic priority queue every simulation
+  loop in the project drains.  Heap entries are ``(time, *tiebreak, seq,
+  payload)``: the caller-supplied ``tiebreak`` tuple resolves simultaneous
+  events *by policy* (e.g. the dynamic-scheduler baseline orders completions
+  by ``(core, frame, task)``), and the monotonically increasing ``seq``
+  counter both breaks remaining ties by insertion order and guarantees the
+  payload itself is never compared — so payloads need not be orderable.
+  Pop order is therefore a pure function of the push sequence: two runs
+  that push the same entries pop them identically, which is the bitwise
+  determinism the simulator tests demand.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from ..core.errors import InvalidParameterError
+from ..core.task import TaskChain
+
+__all__ = ["EVENT_KINDS", "SimEvent", "EventQueue"]
+
+#: Recognized simulation event kinds.
+EVENT_KINDS: tuple[str, ...] = (
+    "chain_arrival",
+    "chain_departure",
+    "chain_mutation",
+    "core_failure",
+    "core_recovery",
+)
+
+PayloadT = TypeVar("PayloadT")
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One timed change to the simulated platform or workload.
+
+    Attributes:
+        kind: one of :data:`EVENT_KINDS`.
+        time: simulated time the event takes effect (non-negative).
+        chain: the arriving chain (``chain_arrival``) or the replacement
+            chain carrying the new weights (``chain_mutation``; matched to
+            the live chain by name).
+        name: the affected chain's name (departures and mutations; filled
+            from ``chain.name`` automatically when a chain is given).
+        core_type: platform type index of a core event.
+        cores: number of cores a core event takes down / brings back.
+    """
+
+    kind: str
+    time: float
+    chain: "TaskChain | None" = None
+    name: str = ""
+    core_type: int = 0
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise InvalidParameterError(
+                f"unknown event kind {self.kind!r}; available: {EVENT_KINDS}"
+            )
+        if self.time < 0:
+            raise InvalidParameterError(f"time must be >= 0, got {self.time}")
+        if self.kind in ("chain_arrival", "chain_mutation"):
+            if self.chain is None:
+                raise InvalidParameterError(f"{self.kind} requires a chain")
+            if not self.name:
+                object.__setattr__(self, "name", self.chain.name)
+        elif self.kind == "chain_departure":
+            if not self.name:
+                raise InvalidParameterError("chain_departure requires a name")
+        else:  # core_failure / core_recovery
+            if self.core_type < 0:
+                raise InvalidParameterError(
+                    f"core_type must be >= 0, got {self.core_type}"
+                )
+            if self.cores < 1:
+                raise InvalidParameterError(
+                    f"cores must be >= 1, got {self.cores}"
+                )
+
+
+class EventQueue(Generic[PayloadT]):
+    """Deterministic min-heap of timed payloads.
+
+    Entries order by ``(time, *tiebreak, seq)`` where ``seq`` is the push
+    counter.  All pushes into one queue must use tiebreak tuples of the
+    same length (heterogeneous lengths would compare a tiebreak element
+    against a ``seq`` integer).
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: "list[tuple[object, ...]]" = []
+        self._seq: int = 0
+
+    def push(
+        self,
+        time: float,
+        payload: PayloadT,
+        tiebreak: "tuple[float | int, ...]" = (),
+    ) -> None:
+        """Insert ``payload`` at ``time`` (ties resolved by ``tiebreak``,
+        then insertion order)."""
+        heapq.heappush(self._heap, (time, *tiebreak, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> "tuple[float, PayloadT]":
+        """Remove and return the earliest ``(time, payload)`` entry."""
+        if not self._heap:
+            raise InvalidParameterError("pop from an empty EventQueue")
+        entry = heapq.heappop(self._heap)
+        time = entry[0]
+        payload = entry[-1]
+        assert isinstance(time, (int, float))
+        return float(time), payload  # type: ignore[return-value]
+
+    def peek_time(self) -> float:
+        """Time of the earliest entry (queue must be non-empty)."""
+        if not self._heap:
+            raise InvalidParameterError("peek on an empty EventQueue")
+        time = self._heap[0][0]
+        assert isinstance(time, (int, float))
+        return float(time)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,219 @@
+"""Seeded trace generators: bursty, diurnal, and failure-storm workloads.
+
+Each generator is a pure function of its arguments — the returned
+:class:`~repro.sim.trace.SimTrace` is bitwise reproducible from
+``(kind, seed, parameters)`` — and draws chains from the paper's synthetic
+distribution (:mod:`repro.workloads.synthetic`) with one weight column per
+platform type.
+
+* :func:`bursty_trace` — arrivals come in bursts (flash crowds), balanced
+  by departures and weight mutations; stresses admission and shedding.
+* :func:`diurnal_trace` — the arrival rate follows a day/night sinusoid;
+  stresses slow capacity drift and warm-start reuse.
+* :func:`failure_storm_trace` — a deterministic storm skeleton: at least
+  three *overlapping* core failures over a populated platform, with
+  mutations mid-storm and staggered recoveries; the acceptance scenario
+  for the degradation ladder (warm → full → shed all exercised).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..workloads.synthetic import GeneratorConfig, random_ktype_chain
+from .events import SimEvent
+from .trace import SimTrace
+
+__all__ = ["bursty_trace", "diurnal_trace", "failure_storm_trace"]
+
+#: Chain shape used by the generators unless overridden: short chains keep
+#: a 10k-event trace solvable in seconds.
+SIM_CONFIG = GeneratorConfig(num_tasks=8, stateless_ratio=0.5)
+
+
+def _check_platform(initial_counts: "tuple[int, ...]") -> int:
+    if len(initial_counts) < 2:
+        raise InvalidParameterError(
+            "sim traces need at least two core types (the chain model "
+            f"carries one weight column per type); got {initial_counts}"
+        )
+    if any(c < 1 for c in initial_counts):
+        raise InvalidParameterError(
+            f"every type needs at least one core, got {initial_counts}"
+        )
+    return len(initial_counts)
+
+
+def bursty_trace(
+    num_events: int,
+    initial_counts: "tuple[int, ...]" = (4, 4),
+    seed: int = 0,
+    config: "GeneratorConfig | None" = None,
+    burst: int = 6,
+    mean_gap: float = 1.0,
+    max_active: int = 12,
+) -> SimTrace:
+    """Flash-crowd workload: arrival bursts, departures, mutations."""
+    if num_events < 1:
+        raise InvalidParameterError(f"num_events must be >= 1, got {num_events}")
+    ktype = _check_platform(tuple(initial_counts))
+    cfg = config if config is not None else SIM_CONFIG
+    rng = np.random.default_rng(seed)
+    events: "list[SimEvent]" = []
+    active: "list[str]" = []
+    time = 0.0
+    born = 0
+    while len(events) < num_events:
+        time += float(rng.exponential(mean_gap))
+        roll = float(rng.random())
+        if not active or (roll < 0.45 and len(active) < max_active):
+            size = int(rng.integers(1, burst + 1))
+            for _ in range(min(size, num_events - len(events))):
+                chain = random_ktype_chain(
+                    rng, cfg, ktype, name=f"bursty-{seed}-{born}"
+                )
+                born += 1
+                events.append(SimEvent("chain_arrival", time, chain=chain))
+                active.append(chain.name)
+        elif roll < 0.75 or len(active) >= max_active:
+            index = int(rng.integers(len(active)))
+            events.append(
+                SimEvent("chain_departure", time, name=active.pop(index))
+            )
+        else:
+            index = int(rng.integers(len(active)))
+            chain = random_ktype_chain(rng, cfg, ktype, name=active[index])
+            events.append(SimEvent("chain_mutation", time, chain=chain))
+    return SimTrace(
+        initial_counts=tuple(initial_counts),
+        events=tuple(events),
+        name=f"bursty-{seed}",
+        metadata=(("kind", "bursty"), ("num_events", num_events), ("seed", seed)),
+    )
+
+
+def diurnal_trace(
+    num_events: int,
+    initial_counts: "tuple[int, ...]" = (4, 4),
+    seed: int = 0,
+    config: "GeneratorConfig | None" = None,
+    day: float = 60.0,
+    mean_gap: float = 1.0,
+    max_active: int = 12,
+) -> SimTrace:
+    """Day/night workload: sinusoidally modulated arrival pressure."""
+    if num_events < 1:
+        raise InvalidParameterError(f"num_events must be >= 1, got {num_events}")
+    if day <= 0:
+        raise InvalidParameterError(f"day must be > 0, got {day}")
+    ktype = _check_platform(tuple(initial_counts))
+    cfg = config if config is not None else SIM_CONFIG
+    rng = np.random.default_rng(seed)
+    events: "list[SimEvent]" = []
+    active: "list[str]" = []
+    time = 0.0
+    born = 0
+    while len(events) < num_events:
+        time += float(rng.exponential(mean_gap))
+        daylight = 0.5 + 0.45 * math.sin(2.0 * math.pi * time / day)
+        roll = float(rng.random())
+        if not active or (roll < daylight and len(active) < max_active):
+            chain = random_ktype_chain(
+                rng, cfg, ktype, name=f"diurnal-{seed}-{born}"
+            )
+            born += 1
+            events.append(SimEvent("chain_arrival", time, chain=chain))
+            active.append(chain.name)
+        elif roll < daylight + 0.3 and len(active) > 1:
+            index = int(rng.integers(len(active)))
+            events.append(
+                SimEvent("chain_departure", time, name=active.pop(index))
+            )
+        else:
+            index = int(rng.integers(len(active)))
+            chain = random_ktype_chain(rng, cfg, ktype, name=active[index])
+            events.append(SimEvent("chain_mutation", time, chain=chain))
+    return SimTrace(
+        initial_counts=tuple(initial_counts),
+        events=tuple(events),
+        name=f"diurnal-{seed}",
+        metadata=(("kind", "diurnal"), ("num_events", num_events), ("seed", seed)),
+    )
+
+
+def failure_storm_trace(
+    initial_counts: "tuple[int, ...]" = (3, 3),
+    seed: int = 0,
+    chains: int = 8,
+    config: "GeneratorConfig | None" = None,
+) -> SimTrace:
+    """The acceptance storm: >= 3 overlapping core failures mid-workload.
+
+    Skeleton (times in simulated seconds, ``A = chains``):
+
+    * ``t = 0 .. A-1`` — one chain arrives per second;
+    * ``t = A+2 / A+4 / A+6`` — three failures land (two on type 0, one on
+      type 1), all three down simultaneously in ``[A+6, A+16]``;
+    * ``t = A+8 / A+10`` — two chains mutate mid-storm;
+    * ``t = A+16 / A+18 / A+20`` — staggered recoveries restore the
+      platform (reverse order), re-admitting shed chains;
+    * ``t = A+22`` — one late arrival proves post-storm admission.
+
+    With the default ``(3, 3)`` platform and 8 chains the storm floor is
+    two cores for eight chains — shedding is forced, warm starts carry the
+    survivors, and recoveries re-admit in arrival order.
+    """
+    if chains < 2:
+        raise InvalidParameterError(f"chains must be >= 2, got {chains}")
+    counts = tuple(initial_counts)
+    ktype = _check_platform(counts)
+    if counts[0] < 2:
+        raise InvalidParameterError(
+            f"the storm needs >= 2 cores of type 0, got {counts}"
+        )
+    cfg = config if config is not None else SIM_CONFIG
+    rng = np.random.default_rng(seed)
+    horizon = float(chains)
+    events: "list[SimEvent]" = []
+    names: "list[str]" = []
+    for index in range(chains):
+        chain = random_ktype_chain(
+            rng, cfg, ktype, name=f"storm-{seed}-{index}"
+        )
+        names.append(chain.name)
+        events.append(SimEvent("chain_arrival", float(index), chain=chain))
+    # Three overlapping failures: all down during [horizon+6, horizon+16].
+    events.append(
+        SimEvent("core_failure", horizon + 2.0, core_type=0, cores=1)
+    )
+    events.append(
+        SimEvent("core_failure", horizon + 4.0, core_type=1, cores=max(1, counts[1] - 1))
+    )
+    events.append(
+        SimEvent("core_failure", horizon + 6.0, core_type=0, cores=counts[0] - 2 + 1)
+    )
+    # Mid-storm weight churn on two surviving chains.
+    for offset, index in ((8.0, 0), (10.0, 1)):
+        chain = random_ktype_chain(rng, cfg, ktype, name=names[index])
+        events.append(SimEvent("chain_mutation", horizon + offset, chain=chain))
+    # Staggered recoveries (reverse order of the failures).
+    events.append(
+        SimEvent("core_recovery", horizon + 16.0, core_type=0, cores=counts[0] - 2 + 1)
+    )
+    events.append(
+        SimEvent("core_recovery", horizon + 18.0, core_type=1, cores=max(1, counts[1] - 1))
+    )
+    events.append(
+        SimEvent("core_recovery", horizon + 20.0, core_type=0, cores=1)
+    )
+    late = random_ktype_chain(rng, cfg, ktype, name=f"storm-{seed}-late")
+    events.append(SimEvent("chain_arrival", horizon + 22.0, chain=late))
+    return SimTrace(
+        initial_counts=counts,
+        events=tuple(events),
+        name=f"failure-storm-{seed}",
+        metadata=(("chains", chains), ("kind", "failure_storm"), ("seed", seed)),
+    )

@@ -23,7 +23,6 @@ schedules win — see ``benchmarks/bench_dynamic.py``.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +31,7 @@ from ..core.chain_stats import ChainProfile, profile_of
 from ..core.errors import InvalidPlatformError
 from ..core.task import TaskChain
 from ..core.types import CoreType, Resources
+from ..sim.events import EventQueue
 from .metrics import steady_state_period
 
 __all__ = ["DynamicScheduleResult", "simulate_dynamic_scheduler"]
@@ -98,11 +98,13 @@ def simulate_dynamic_scheduler(
     }
     replicable = profile.replicable_mask
 
-    # Core pool: (free_time, core_type) — kept as two idle lists plus a
-    # busy heap of (free_time, core_index).
+    # Core pool: an idle set plus a busy queue of in-flight work items
+    # keyed by completion time (the shared deterministic event core from
+    # ``repro.sim``; the ``(core, frame, task)`` tiebreak reproduces the
+    # legacy heap order exactly).
     core_types = [CoreType.BIG] * resources.big + [CoreType.LITTLE] * resources.little
     idle: set[int] = set(range(len(core_types)))
-    busy: list[tuple[float, int]] = []
+    busy: "EventQueue[tuple[int, int, int]]" = EventQueue()
 
     # done_task[t]: last frame index whose task t completed; task_done[f][t]
     # is tracked implicitly with per-frame progress pointers.
@@ -153,7 +155,11 @@ def simulate_dynamic_scheduler(
                     if best_finish is None or finish < best_finish:
                         best_core, best_finish = core, finish
                 idle.remove(best_core)
-                heapq.heappush(busy, (best_finish, best_core, f, t))
+                busy.push(
+                    best_finish,
+                    (best_core, f, t),
+                    tiebreak=(best_core, f, t),
+                )
                 busy_time += best_finish - now
                 dispatches += 1
                 progressed = True
@@ -169,7 +175,7 @@ def simulate_dynamic_scheduler(
             raise RuntimeError("dynamic scheduler deadlocked (internal bug)")
 
         # Advance to the next completion.
-        now, core, f, t = heapq.heappop(busy)
+        now, (core, f, t) = busy.pop()
         idle.add(core)
         frame_ready_time[f] = now
         if not replicable[t]:

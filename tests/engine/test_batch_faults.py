@@ -1,0 +1,152 @@
+"""Regression tests: fault injection must fire under ``--kernel batch``.
+
+The batch kernel used to route a unit to the vectorized path whenever *any*
+batching was possible, silently bypassing an armed fault plan for the whole
+unit.  ``solve_unit`` now splits a faulted batch unit per instance: every
+instance the plan could target goes through the scalar per-cell path (the
+only place ``FaultPlan.fire`` is consulted), the rest keep the batch
+kernels, and the merged rows stay bitwise identical to the python kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.errors import CertificationError
+from repro.core.types import Resources
+from repro.engine import FaultPlan, FaultSpec, InjectedFault, solve_unit
+from repro.engine.batch import PendingInstance, WorkUnit
+from repro.obs.context import ObsConfig
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+
+def _chains(count=4, seed=0):
+    config = GeneratorConfig(num_tasks=8, stateless_ratio=0.5)
+    return list(chain_batch(count, config, seed=seed))
+
+
+def _unit(chains, strategies=("fertac",), **kwargs):
+    return WorkUnit(
+        pending=tuple(
+            PendingInstance(index=i, chain=c, strategies=strategies)
+            for i, c in enumerate(chains)
+        ),
+        resources=Resources(2, 2),
+        **kwargs,
+    )
+
+
+def _rows_by_index(outcome):
+    return dict(outcome.rows)
+
+
+class TestTargeting:
+    def test_targets_matches_scoped_specs(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", fingerprint="abc", strategy="fertac"),),
+            state_dir=str(tmp_path),
+        )
+        assert plan.targets("abc", ("fertac",))
+        assert plan.targets("abc", ("herad", "fertac"))
+        assert not plan.targets("xyz", ("fertac",))
+        assert not plan.targets("abc", ("herad",))
+
+    def test_timed_specs_never_target_cells(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="core_failure", at=1.0, cores=2),),
+            state_dir=str(tmp_path),
+        )
+        assert not plan.targets("abc", ("fertac",))
+
+
+class TestBatchKernelInjection:
+    def test_corrupt_fires_under_batch_kernel(self, tmp_path):
+        """The regression: a targeted instance in a batched unit is hit."""
+        chains = _chains(4)
+        target = ChainProfile(chains[2]).fingerprint
+        clean = _rows_by_index(solve_unit(_unit(chains, kernel="batch")))
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.5, fingerprint=target),),
+            state_dir=str(tmp_path),
+        )
+        tampered = _rows_by_index(
+            solve_unit(_unit(chains, kernel="batch", faults=plan))
+        )
+        assert tampered[2]["fertac"].period == pytest.approx(
+            clean[2]["fertac"].period * 0.5
+        )
+
+    def test_untargeted_instances_stay_bitwise_identical(self, tmp_path):
+        chains = _chains(4)
+        target = ChainProfile(chains[2]).fingerprint
+        clean = _rows_by_index(solve_unit(_unit(chains, kernel="batch")))
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.5, fingerprint=target),),
+            state_dir=str(tmp_path),
+        )
+        tampered = _rows_by_index(
+            solve_unit(_unit(chains, kernel="batch", faults=plan))
+        )
+        for index in (0, 1, 3):
+            assert tampered[index] == clean[index]
+
+    def test_raise_fires_under_batch_kernel(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise"),), state_dir=str(tmp_path)
+        )
+        with pytest.raises(InjectedFault):
+            solve_unit(_unit(_chains(2), kernel="batch", faults=plan))
+
+    def test_certify_catches_batch_corruption(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.5),),
+            state_dir=str(tmp_path),
+        )
+        with pytest.raises(CertificationError):
+            solve_unit(
+                _unit(_chains(2), kernel="batch", faults=plan, certify=True)
+            )
+
+    def test_wildcard_plan_matches_python_kernel_results(self, tmp_path):
+        """With every instance targeted, the routed path must equal the
+        python kernel bitwise (it is the same scalar code)."""
+        chains = _chains(5, seed=3)
+        plan_a = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.25),),
+            state_dir=str(tmp_path / "a"),
+        )
+        plan_b = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.25),),
+            state_dir=str(tmp_path / "b"),
+        )
+        strategies = ("fertac", "herad")
+        batch = _rows_by_index(
+            solve_unit(_unit(chains, strategies, kernel="batch", faults=plan_a))
+        )
+        python = _rows_by_index(
+            solve_unit(_unit(chains, strategies, kernel="python", faults=plan_b))
+        )
+        assert batch == python
+
+    def test_mixed_unit_records_both_solve_paths(self, tmp_path):
+        """A routed unit runs scalar cells for targeted instances and the
+        vectorized kernels for the rest — visible in the obs metrics."""
+        chains = _chains(4)
+        target = ChainProfile(chains[1]).fingerprint
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="corrupt", factor=0.5, fingerprint=target),),
+            state_dir=str(tmp_path),
+        )
+        outcome = solve_unit(
+            _unit(
+                chains,
+                kernel="batch",
+                faults=plan,
+                obs=ObsConfig(trace=False, metrics=True),
+            )
+        )
+        assert outcome.obs is not None
+        counters = dict(outcome.obs.metrics.histograms)
+        assert any(name.startswith("solve.seconds.") for name in counters)
+        assert any(name.startswith("solve_batch.seconds.") for name in counters)

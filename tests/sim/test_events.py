@@ -1,0 +1,105 @@
+"""Tests for the deterministic event core (repro.sim.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.task import TaskChain
+from repro.sim import EVENT_KINDS, EventQueue, SimEvent
+
+
+def _chain(name="c"):
+    return TaskChain.from_weights([4, 10, 3], [9, 21, 8], [True, True, False], name=name)
+
+
+class TestSimEventValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError, match="event kind"):
+            SimEvent("explode", 0.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(InvalidParameterError, match="time"):
+            SimEvent("core_failure", -1.0)
+
+    def test_arrival_requires_chain(self):
+        with pytest.raises(InvalidParameterError, match="chain"):
+            SimEvent("chain_arrival", 0.0)
+
+    def test_arrival_fills_name_from_chain(self):
+        event = SimEvent("chain_arrival", 0.0, chain=_chain("alpha"))
+        assert event.name == "alpha"
+
+    def test_departure_requires_name(self):
+        with pytest.raises(InvalidParameterError, match="name"):
+            SimEvent("chain_departure", 1.0)
+
+    def test_core_event_bounds(self):
+        with pytest.raises(InvalidParameterError, match="core_type"):
+            SimEvent("core_failure", 0.0, core_type=-1)
+        with pytest.raises(InvalidParameterError, match="cores"):
+            SimEvent("core_recovery", 0.0, cores=0)
+
+    def test_all_kinds_constructible(self):
+        chain = _chain()
+        for kind in EVENT_KINDS:
+            if kind in ("chain_arrival", "chain_mutation"):
+                event = SimEvent(kind, 1.0, chain=chain)
+            elif kind == "chain_departure":
+                event = SimEvent(kind, 1.0, name="x")
+            else:
+                event = SimEvent(kind, 1.0, core_type=0, cores=2)
+            assert event.kind == kind
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue: "EventQueue[str]" = EventQueue()
+        queue.push(3.0, "late")
+        queue.push(1.0, "early")
+        queue.push(2.0, "mid")
+        assert [queue.pop() for _ in range(3)] == [
+            (1.0, "early"),
+            (2.0, "mid"),
+            (3.0, "late"),
+        ]
+
+    def test_equal_times_pop_in_insertion_order(self):
+        queue: "EventQueue[int]" = EventQueue()
+        for i in range(10):
+            queue.push(5.0, i)
+        assert [queue.pop()[1] for _ in range(10)] == list(range(10))
+
+    def test_tiebreak_beats_insertion_order(self):
+        queue: "EventQueue[str]" = EventQueue()
+        queue.push(1.0, "b", tiebreak=(2,))
+        queue.push(1.0, "a", tiebreak=(1,))
+        assert queue.pop() == (1.0, "a")
+        assert queue.pop() == (1.0, "b")
+
+    def test_payloads_are_never_compared(self):
+        class Opaque:  # no __lt__ on purpose
+            pass
+
+        queue: "EventQueue[Opaque]" = EventQueue()
+        first, second = Opaque(), Opaque()
+        queue.push(1.0, first)
+        queue.push(1.0, second)
+        assert queue.pop()[1] is first
+        assert queue.pop()[1] is second
+
+    def test_len_bool_peek(self):
+        queue: "EventQueue[str]" = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(2.5, "x")
+        assert queue and len(queue) == 1
+        assert queue.peek_time() == 2.5
+        queue.pop()
+        assert not queue
+
+    def test_empty_pop_and_peek_raise(self):
+        queue: "EventQueue[str]" = EventQueue()
+        with pytest.raises(InvalidParameterError, match="empty"):
+            queue.pop()
+        with pytest.raises(InvalidParameterError, match="empty"):
+            queue.peek_time()

@@ -1,0 +1,90 @@
+"""Tests for the platform availability state machine (repro.sim.platform_state)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.sim import PlatformState
+
+
+class TestFailRecover:
+    def test_fail_reduces_availability(self):
+        state = PlatformState((3, 3))
+        assert state.fail(0, 2, time=1.0) == 2
+        assert state.available_counts() == (1, 3)
+        assert state.availability() == pytest.approx(4 / 6)
+
+    def test_recover_restores(self):
+        state = PlatformState((3, 3))
+        state.fail(1, 3, time=1.0)
+        assert state.recover(1, 2, time=5.0) == 2
+        assert state.available_counts() == (3, 2)
+
+    def test_fail_is_clamped(self):
+        state = PlatformState((2, 2))
+        assert state.fail(0, 5, time=0.0) == 2
+        assert state.available_counts() == (0, 2)
+        assert state.clamp_events == 1
+
+    def test_recover_is_clamped(self):
+        state = PlatformState((2, 2))
+        state.fail(0, 1, time=0.0)
+        assert state.recover(0, 5, time=1.0) == 1
+        assert state.available_counts() == (2, 2)
+        assert state.clamp_events == 1
+
+    def test_whole_platform_can_go_dark(self):
+        state = PlatformState((2, 1))
+        state.fail(0, 2, time=0.0)
+        state.fail(1, 1, time=0.0)
+        assert state.available_counts() == (0, 0)
+        assert state.available().total == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InvalidParameterError, match="core_type"):
+            PlatformState((2, 2)).fail(5, 1, time=0.0)
+
+
+class TestCoreIdentity:
+    """Failures take the highest-numbered up core; recoveries revive the
+    lowest-numbered down core — fixed so timelines are deterministic."""
+
+    def test_fail_takes_highest_first(self):
+        state = PlatformState((3,))
+        state.fail(0, 1, time=0.0)
+        assert not state.is_up(0, 2)
+        assert state.is_up(0, 0) and state.is_up(0, 1)
+
+    def test_recover_revives_lowest_first(self):
+        state = PlatformState((3,))
+        state.fail(0, 3, time=0.0)
+        state.recover(0, 1, time=1.0)
+        assert state.is_up(0, 0)
+        assert not state.is_up(0, 1) and not state.is_up(0, 2)
+
+
+class TestDownIntervals:
+    def test_closed_and_open_intervals(self):
+        state = PlatformState((2, 1))
+        state.fail(0, 1, time=1.0)   # core (0,1) down
+        state.recover(0, 1, time=4.0)
+        state.fail(1, 1, time=2.0)   # core (1,0) still down at end
+        intervals = state.down_intervals(end_time=10.0)
+        assert [(d.core_type, d.core_index, d.start, d.end) for d in intervals] == [
+            (0, 1, 1.0, 4.0),
+            (1, 0, 2.0, 10.0),
+        ]
+
+    def test_two_identical_histories_agree(self):
+        def run():
+            state = PlatformState((3, 2))
+            state.fail(0, 2, time=1.0)
+            state.fail(1, 1, time=2.0)
+            state.recover(0, 1, time=3.0)
+            state.fail(0, 2, time=4.0)
+            state.recover(0, 3, time=6.0)
+            state.recover(1, 1, time=7.0)
+            return state.down_intervals(end_time=8.0)
+
+        assert run() == run()

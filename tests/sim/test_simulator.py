@@ -1,0 +1,203 @@
+"""End-to-end simulator tests: acceptance storm, determinism, resume, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import FaultPlan, FaultSpec
+from repro.obs.export import validate_chrome_trace
+from repro.sim import (
+    SimConfig,
+    SimEvent,
+    SimJournal,
+    SimTrace,
+    bursty_trace,
+    diurnal_trace,
+    failure_storm_trace,
+    sim_spans,
+    simulate,
+    write_sim_trace,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.task import TaskChain
+
+
+def _max_concurrent_downs(result):
+    """Peak number of simultaneously down cores over the run."""
+    edges = []
+    for interval in result.down_intervals:
+        edges.append((interval.start, 1))
+        edges.append((interval.end, -1))
+    edges.sort()
+    peak = level = 0
+    for _, delta in edges:
+        level += delta
+        peak = max(peak, level)
+    return peak
+
+
+class TestFailureStormAcceptance:
+    """The ISSUE acceptance scenario, certified."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(failure_storm_trace(seed=7), SimConfig(certify=True))
+
+    def test_storm_has_three_overlapping_core_failures(self, result):
+        assert _max_concurrent_downs(result) >= 3
+
+    def test_zero_scheduleless_intervals(self, result):
+        assert result.scheduleless_intervals == 0
+
+    def test_zero_overcommit(self, result):
+        assert result.overcommit_events == 0
+
+    def test_warm_full_and_shed_all_exercised_and_counted(self, result):
+        assert result.counter("sim.resched.warm") > 0
+        assert result.counter("sim.resched.full") > 0
+        assert result.counter("sim.resched.shed") > 0
+
+    def test_every_event_processed(self, result):
+        assert result.num_events == failure_storm_trace(seed=7).num_events
+
+    def test_platform_recovers_by_the_end(self, result):
+        assert result.records[-1].availability == 1.0
+
+    def test_survivors_hold_finite_periods(self, result):
+        scheduled = [p for _, p in result.final_periods if p is not None]
+        assert scheduled and all(p > 0 for p in scheduled)
+        assert result.aggregate_throughput() > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bitwise_identical(self):
+        trace = failure_storm_trace(seed=3)
+        a = simulate(trace, SimConfig(certify=True))
+        b = simulate(trace, SimConfig(certify=True))
+        assert a.records == b.records
+        assert a.metrics.counters == b.metrics.counters
+        assert a.final_periods == b.final_periods
+        assert a.down_intervals == b.down_intervals
+
+    def test_journal_presence_does_not_change_results(self, tmp_path):
+        trace = bursty_trace(40, seed=1)
+        bare = simulate(trace)
+        journaled = simulate(trace, journal=tmp_path / "j.jsonl")
+        assert bare.records == journaled.records
+        assert bare.metrics.counters == journaled.metrics.counters
+
+    def test_wall_clock_latencies_are_kept_apart(self):
+        trace = failure_storm_trace(seed=3)
+        result = simulate(trace)
+        # One latency sample per live-processed event, none in the records.
+        assert len(result.resched_seconds) == result.num_events
+
+
+class TestJournalResume:
+    def test_interrupt_and_resume_is_bitwise_identical(self, tmp_path):
+        trace = failure_storm_trace(seed=7)
+        reference = simulate(trace, SimConfig(certify=True))
+        journal = tmp_path / "run.jsonl"
+        partial = simulate(
+            trace, SimConfig(certify=True), journal=journal, stop_after=9
+        )
+        assert partial.num_events == 9
+        resumed = simulate(trace, SimConfig(certify=True), journal=journal)
+        assert resumed.records == reference.records
+        assert resumed.metrics.counters == reference.metrics.counters
+        assert resumed.final_periods == reference.final_periods
+
+    def test_resume_tolerates_torn_final_line(self, tmp_path):
+        trace = failure_storm_trace(seed=7)
+        reference = simulate(trace)
+        journal = tmp_path / "run.jsonl"
+        simulate(trace, journal=journal, stop_after=9)
+        text = journal.read_text()
+        journal.write_text(text[: len(text) - 30])  # tear the 9th record
+        resumed = simulate(trace, journal=journal)
+        assert resumed.records == reference.records
+
+    def test_journal_rows_round_trip_exactly(self, tmp_path):
+        trace = failure_storm_trace(seed=7)
+        journal_path = tmp_path / "run.jsonl"
+        result = simulate(trace, journal=journal_path)
+        loaded = SimJournal(journal_path).load()
+        assert loaded == result.records
+
+    def test_wrong_journal_is_rejected(self, tmp_path):
+        long_trace = bursty_trace(30, seed=0)
+        journal = tmp_path / "run.jsonl"
+        simulate(long_trace, journal=journal)
+        short_trace = failure_storm_trace(seed=0)
+        with pytest.raises(InvalidParameterError, match="journal"):
+            simulate(short_trace, journal=journal)
+
+    def test_stop_after_limits_processing(self):
+        trace = bursty_trace(50, seed=2)
+        result = simulate(trace, stop_after=10)
+        assert result.num_events == 10
+
+
+class TestInvariantsAcrossWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bursty_never_scheduleless(self, seed):
+        result = simulate(bursty_trace(60, seed=seed))
+        assert result.scheduleless_intervals == 0
+        assert result.overcommit_events == 0
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_diurnal_never_scheduleless(self, seed):
+        result = simulate(diurnal_trace(60, seed=seed))
+        assert result.scheduleless_intervals == 0
+        assert result.overcommit_events == 0
+
+    def test_deadline_bounded_storm_stays_feasible(self):
+        result = simulate(failure_storm_trace(seed=7), SimConfig(deadline=16.0))
+        assert result.scheduleless_intervals == 0
+        assert result.overcommit_events == 0
+
+
+class TestFaultPlanBridge:
+    """One FaultPlan drives both the batch engine and the simulator."""
+
+    def test_plan_platform_events_shape_the_run(self, tmp_path):
+        chain = TaskChain.from_weights(
+            [4, 10, 3], [9, 21, 8], [True, True, False], name="alpha"
+        )
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="core_failure", at=5.0, core_type=0, cores=2),
+                FaultSpec(kind="core_recovery", at=9.0, core_type=0, cores=2),
+            ),
+            state_dir=str(tmp_path),
+        )
+        trace = SimTrace.from_fault_plan(
+            plan, (2, 2), events=(SimEvent("chain_arrival", 0.0, chain=chain),)
+        )
+        result = simulate(trace)
+        availabilities = [r.availability for r in result.records]
+        assert availabilities == [1.0, 0.5, 1.0]
+        assert result.scheduleless_intervals == 0
+
+
+class TestChromeExport:
+    def test_trace_is_valid_and_has_core_lanes(self, tmp_path):
+        result = simulate(failure_storm_trace(seed=7))
+        path = tmp_path / "sim.json"
+        write_sim_trace(path, result)
+        validate_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        lanes = {e["tid"] for e in events if e.get("cat") == "sim.core"}
+        assert len(lanes) == len(
+            {(d.core_type, d.core_index) for d in result.down_intervals}
+        )
+        assert any(e.get("cat") == "sim.event" for e in events)
+
+    def test_span_ids_are_unique(self):
+        result = simulate(failure_storm_trace(seed=7))
+        spans = sim_spans(result)
+        ids = [span.span_id for span in spans]
+        assert len(ids) == len(set(ids))
