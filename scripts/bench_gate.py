@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI perf gate: run the bench trajectory, judge it, self-test the judge.
+
+Three steps, any failure exits non-zero:
+
+1. Run ``scripts/bench_trajectory.py`` (in-process) to produce a fresh
+   ``BENCH_engine.json`` — its own engine-vs-serial parity checks apply.
+2. Compare the fresh report against the committed baseline under
+   ``benchmarks/tolerances.json`` (the same evaluation as
+   ``repro bench compare``); any regression fails the gate.
+3. Sensitivity self-test: seed a synthetic 2x slowdown into the fresh
+   report (:func:`repro.bench.gate.seeded_slowdown`) and verify the gate
+   *rejects* it.  A perf gate that cannot see a 2x regression is
+   decorative, and this catches tolerance files loosened into vacuity.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py [--chains 40] [--jobs 2]
+        [--baseline benchmarks/baseline.json]
+        [--tolerances benchmarks/tolerances.json] [--out PATH]
+
+``--jobs`` defaults to 2 (not all cores) because the committed baseline
+pins ``speedup_vs_serial.process_jobs2``; keep the two in sync when
+refreshing the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import bench_trajectory  # noqa: E402
+
+from repro.bench import (  # noqa: E402
+    evaluate,
+    load_report,
+    load_tolerances,
+    render_results,
+    seeded_slowdown,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=40)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "benchmarks" / "baseline.json"
+    )
+    parser.add_argument(
+        "--tolerances",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "tolerances.json",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_engine.json"
+    )
+    args = parser.parse_args(argv)
+
+    code = bench_trajectory.main(
+        [
+            "--chains", str(args.chains),
+            "--jobs", str(args.jobs),
+            "--out", str(args.out),
+        ]
+    )
+    if code != 0:
+        print("bench gate: trajectory itself failed", file=sys.stderr)
+        return code
+
+    checks = load_tolerances(args.tolerances)
+    fresh = load_report(args.out)
+    results = evaluate(load_report(args.baseline), fresh, checks)
+    print(render_results(results))
+    if any(not result.passed for result in results):
+        print("bench gate: regression against baseline", file=sys.stderr)
+        return 1
+
+    seeded = evaluate(fresh, seeded_slowdown(fresh), checks)
+    if all(result.passed for result in seeded):
+        print(
+            "bench gate: sensitivity self-test failed — a seeded 2x slowdown "
+            "passed every check; tolerances are too loose",
+            file=sys.stderr,
+        )
+        print(render_results(seeded))
+        return 1
+    caught = sum(1 for result in seeded if not result.passed)
+    print(f"sensitivity self-test: seeded 2x slowdown rejected ({caught} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

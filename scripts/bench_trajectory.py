@@ -41,6 +41,8 @@ from repro.core.chain_stats import ChainProfile  # noqa: E402
 from repro.core.registry import PAPER_ORDER  # noqa: E402
 from repro.core.types import Resources  # noqa: E402
 from repro.engine import CampaignEngine  # noqa: E402
+from repro.obs import ObsConfig  # noqa: E402
+from repro.obs.sketch import DEFAULT_ALPHA, SKETCH_VERSION  # noqa: E402
 from repro.sim import SimConfig, bursty_trace, simulate  # noqa: E402
 from repro.workloads.synthetic import (  # noqa: E402
     GeneratorConfig,
@@ -197,9 +199,15 @@ def main(argv: "list[str] | None" = None) -> int:
     # must stay bitwise identical — the speedup is the entire point.
     kernel_wall_s: dict[str, dict[str, float]] = {}
     kernel_speedup: dict[str, float] = {}
+    kernel_latency_us: dict[str, dict[str, float]] = {}
     kernel_mismatch = False
     batch_engine = CampaignEngine(
         jobs=1, backend="serial", memo=False, kernel="batch"
+    )
+    # Untimed metrics-enabled pass: per-solve latency quantiles from the obs
+    # sketches (kept separate so obs overhead never touches the timed walls).
+    quantile_engine = CampaignEngine(
+        jobs=1, backend="serial", memo=False, obs=ObsConfig(metrics=True)
     )
     for name in KERNEL_STRATEGIES:
         python_s, python_arrays = _time(
@@ -220,9 +228,18 @@ def main(argv: "list[str] | None" = None) -> int:
         }
         kernel_speedup[name] = round(python_s / batch_s, 2)
         kernel_mismatch |= not _arrays_match(python_arrays, batch_arrays)
+        quantile_engine.solve_instances(chains, TABLE1_BUDGET, (name,))
+        sketch = quantile_engine.obs.metrics.sketch(f"solve.seconds.{name}")
+        kernel_latency_us[name] = {
+            "p50": round(sketch.p50 * 1e6, 1),
+            "p90": round(sketch.p90 * 1e6, 1),
+            "p99": round(sketch.p99 * 1e6, 1),
+        }
         print(
             f"  kernel {name:12s} python {python_s:6.2f}s  "
-            f"batch {batch_s:6.2f}s  x{python_s / batch_s:.2f}"
+            f"batch {batch_s:6.2f}s  x{python_s / batch_s:.2f}  "
+            f"(scalar p50 {kernel_latency_us[name]['p50']:.0f}us "
+            f"p99 {kernel_latency_us[name]['p99']:.0f}us)"
         )
     mismatch |= kernel_mismatch
 
@@ -241,9 +258,12 @@ def main(argv: "list[str] | None" = None) -> int:
         or sim_result.scheduleless_intervals > 0
         or sim_result.overcommit_events > 0
     )
-    resched_ms = np.asarray(sim_result.resched_seconds) * 1e3
-    sim_p50_ms = float(np.percentile(resched_ms, 50))
-    sim_p99_ms = float(np.percentile(resched_ms, 99))
+    # Percentiles come from the same obs-layer sketch the CLI reports, so
+    # this file and `repro simulate --metrics` can never disagree.
+    resched_sketch = sim_result.resched_sketch()
+    sim_p50_ms = resched_sketch.p50 * 1e3
+    sim_p90_ms = resched_sketch.p90 * 1e3
+    sim_p99_ms = resched_sketch.p99 * 1e3
     mismatch |= sim_mismatch
     print(
         f"  sim ({sim_result.num_events} events) {sim_s:6.2f}s  "
@@ -253,6 +273,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     report = {
         "benchmark": "campaign engine trajectory",
+        # Bucketing parameters of every percentile in this file, for
+        # forward compatibility when comparing reports across versions.
+        "sketch": {"alpha": DEFAULT_ALPHA, "version": SKETCH_VERSION},
         "scenario": {
             "chains": len(chains),
             "num_tasks": args.tasks,
@@ -297,6 +320,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "budget": [TABLE1_BUDGET.big, TABLE1_BUDGET.little],
             "wall_s": kernel_wall_s,
             "speedup": kernel_speedup,
+            "solve_latency_us": kernel_latency_us,
             "mismatch": kernel_mismatch,
         },
         "sim_scenario": {
@@ -310,8 +334,9 @@ def main(argv: "list[str] | None" = None) -> int:
             ),
             "resched_latency_ms": {
                 "p50": round(sim_p50_ms, 3),
+                "p90": round(sim_p90_ms, 3),
                 "p99": round(sim_p99_ms, 3),
-                "max": round(float(resched_ms.max()), 3),
+                "max": round(resched_sketch.maximum * 1e3, 3),
             },
             "ladder": {
                 action: int(sim_result.counter(f"sim.resched.{action}"))

@@ -7,7 +7,10 @@ Runs a small Table I-style campaign three ways:
 2. the identical campaign with tracing + metrics enabled, written out as
    Chrome trace-event JSON and re-validated from disk
    (:func:`repro.obs.validate_chrome_trace`: matched B/E pairs, per-thread
-   timestamp monotonicity, required fields);
+   timestamp monotonicity, required fields), plus a collapsed-stack
+   flamegraph re-validated from disk (:func:`repro.obs.validate_flamegraph`:
+   line grammar, stack roots match span roots, >= 95 % of traced wall-clock
+   attributed to leaf frames);
 3. a micro-benchmark of the disabled hook path (``counter_add`` with no
    active context), scaled by the number of hook events the campaign
    actually fired, to bound the no-op overhead below 2 % of the untraced
@@ -20,7 +23,7 @@ and any failed check exits non-zero (CI ``trace-smoke`` job).
 Usage::
 
     PYTHONPATH=src python scripts/trace_smoke.py [--chains 24] [--jobs 2]
-        [--out trace_smoke.json]
+        [--out trace_smoke.json] [--flamegraph trace_smoke.folded]
 """
 
 from __future__ import annotations
@@ -41,7 +44,9 @@ from repro.obs import (
     counter_add,
     monotonic,
     validate_chrome_trace,
+    validate_flamegraph,
     write_chrome_trace,
+    write_flamegraph,
 )
 from repro.workloads.synthetic import GeneratorConfig, chain_batch
 
@@ -63,6 +68,9 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=Path("trace_smoke.json"))
+    parser.add_argument(
+        "--flamegraph", type=Path, default=Path("trace_smoke.folded")
+    )
     args = parser.parse_args(argv)
 
     config = GeneratorConfig(num_tasks=12, stateless_ratio=0.5)
@@ -102,6 +110,16 @@ def main(argv: "list[str] | None" = None) -> int:
     errors = validate_chrome_trace(document)
     for error in errors:
         print(f"FAIL: trace: {error}")
+        failures += 1
+
+    # 1b. The collapsed-stack flamegraph must survive its structural oracle
+    # when re-read from disk: line grammar, stack roots drawn from actual
+    # root spans, and >= 95% of traced wall-clock attributed to leaf frames.
+    stacks = write_flamegraph(args.flamegraph, spans)
+    print(f"  wrote {args.flamegraph} ({stacks} stacks)")
+    flame_lines = args.flamegraph.read_text(encoding="utf-8").splitlines()
+    for error in validate_flamegraph(flame_lines, spans):
+        print(f"FAIL: flamegraph: {error}")
         failures += 1
 
     # 2. The expected phases must be present.

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     repro table1 --retries 5 --timeout 60   # harden a long campaign
     repro table1 --trace out.json   # Chrome-trace the run (chrome://tracing)
     repro table1 --metrics          # print the end-of-run RunReport
+    repro table1 --flamegraph out.folded   # collapsed-stack flamegraph
+    repro bench compare --baseline benchmarks/baseline.json \
+        --candidate BENCH_engine.json --tolerance-file benchmarks/tolerances.json
     repro lint                      # project-specific static analysis
     repro solve --cores big=6,little=8           # paper-style two-type solve
     repro solve --cores big=6,little=8,lpe=2 --certify   # k-type platform
@@ -27,15 +30,23 @@ import logging
 import sys
 from pathlib import Path
 
+from .bench import compare_files, render_results
 from .core.certify import certify_outcome
 from .core.chain_stats import ChainProfile
-from .core.errors import SchedulingError
+from .core.errors import InvalidParameterError, SchedulingError
 from .core.registry import get_info, solve_batch
 from .core.types import Resources, type_name
 from .engine import KERNELS, CampaignEngine, CheckpointJournal, ResilienceConfig, RetryPolicy, default_engine
 from .experiments import ablation, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3
 from .lint.cli import add_lint_arguments, run_lint
-from .obs import Observability, ObsConfig, RunReport, monotonic, write_chrome_trace
+from .obs import (
+    Observability,
+    ObsConfig,
+    RunReport,
+    monotonic,
+    write_chrome_trace,
+    write_flamegraph,
+)
 from .sim import (
     SimConfig,
     SimTrace,
@@ -240,6 +251,18 @@ def _experiment_options() -> argparse.ArgumentParser:
             "record a span trace of the run and write it as Chrome "
             "trace-event JSON (open in chrome://tracing or ui.perfetto.dev); "
             "results are bitwise identical with tracing on or off"
+        ),
+    )
+    parent.add_argument(
+        "--flamegraph",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's span forest as collapsed stacks "
+            "('root;child;leaf microseconds' per line, self time only) — "
+            "feed to flamegraph.pl or paste into speedscope.app; composes "
+            "with --trace (same spans, two views)"
         ),
     )
     parent.add_argument(
@@ -485,6 +508,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         help="verbosity of the 'repro' logger hierarchy on stderr",
     )
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="performance utilities (perf-regression gate over bench reports)",
+        description=(
+            "Benchmark utilities.  'compare' diffs a fresh BENCH_engine.json "
+            "against a committed baseline under per-metric tolerances and "
+            "exits non-zero on regression — the CI perf gate."
+        ),
+    )
+    bench_sub = bench_parser.add_subparsers(
+        dest="bench_command", required=True, metavar="action"
+    )
+    compare_parser = bench_sub.add_parser(
+        "compare",
+        help="judge a candidate bench report against a baseline",
+        description=(
+            "Evaluate every check in the tolerance file against the "
+            "(baseline, candidate) report pair.  Exit 0 when all checks "
+            "pass, 1 on regression, 2 on malformed inputs."
+        ),
+    )
+    compare_parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        metavar="PATH",
+        help="committed reference report (e.g. benchmarks/baseline.json)",
+    )
+    compare_parser.add_argument(
+        "--candidate",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        metavar="PATH",
+        help="fresh report to judge (default: BENCH_engine.json)",
+    )
+    compare_parser.add_argument(
+        "--tolerance-file",
+        type=Path,
+        required=True,
+        metavar="PATH",
+        help="per-metric checks (e.g. benchmarks/tolerances.json)",
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the project-specific static analysis (repro.lint)",
@@ -667,10 +732,15 @@ def run_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _latency_percentile(sorted_seconds: "list[float]", q: float) -> float:
-    """Nearest-rank percentile of an ascending latency sample."""
-    rank = min(len(sorted_seconds) - 1, int(q * (len(sorted_seconds) - 1) + 0.5))
-    return sorted_seconds[rank]
+def run_bench(args: argparse.Namespace) -> int:
+    """``repro bench compare``: the noise-aware perf-regression gate."""
+    try:
+        results = compare_files(args.baseline, args.candidate, args.tolerance_file)
+    except InvalidParameterError as error:
+        print(f"bench compare: {error}", file=sys.stderr)
+        return 2
+    print(render_results(results))
+    return 1 if any(not result.passed for result in results) else 0
 
 
 def run_simulate(args: argparse.Namespace) -> int:
@@ -716,12 +786,15 @@ def run_simulate(args: argparse.Namespace) -> int:
         f"aggregate throughput {result.aggregate_throughput():.6g}"
     )
     if result.resched_seconds:
-        ordered = sorted(result.resched_seconds)
+        # Percentiles come from the obs quantile sketch, not ad-hoc sorting,
+        # so this line agrees with the bench trajectory and RunReport.
+        sketch = result.resched_sketch()
         print(
             "resched: "
-            f"p50={_latency_percentile(ordered, 0.50) * 1e3:.2f}ms  "
-            f"p99={_latency_percentile(ordered, 0.99) * 1e3:.2f}ms  "
-            f"max={ordered[-1] * 1e3:.2f}ms"
+            f"p50={sketch.p50 * 1e3:.2f}ms  "
+            f"p90={sketch.p90 * 1e3:.2f}ms  "
+            f"p99={sketch.p99 * 1e3:.2f}ms  "
+            f"max={sketch.maximum * 1e3:.2f}ms"
         )
     print(
         f"invariants: scheduleless={result.scheduleless_intervals}  "
@@ -744,6 +817,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return run_lint(args)
+    if args.experiment == "bench":
+        return run_bench(args)
     if args.experiment == "solve":
         _configure_logging(args.log_level)
         return run_solve(args)
@@ -754,7 +829,10 @@ def main(argv: "list[str] | None" = None) -> int:
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    obs_config = ObsConfig(trace=args.trace is not None, metrics=args.metrics)
+    obs_config = ObsConfig(
+        trace=args.trace is not None or args.flamegraph is not None,
+        metrics=args.metrics,
+    )
     obs = Observability(obs_config) if obs_config.enabled else None
     engine = _build_engine(args, obs)
     sweep_start = monotonic()
@@ -784,6 +862,11 @@ def main(argv: "list[str] | None" = None) -> int:
                 args.trace, obs.spans(), obs.metrics.snapshot()
             )
             _log.info("trace written to %s", path)
+        if obs is not None and args.flamegraph is not None:
+            lines = write_flamegraph(args.flamegraph, obs.spans())
+            _log.info(
+                "flamegraph written to %s (%d stacks)", args.flamegraph, lines
+            )
     if obs is not None and args.metrics:
         wall = monotonic() - sweep_start
         print(RunReport.from_observability(obs, wall).render())

@@ -16,6 +16,8 @@ are bitwise identical.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
@@ -28,8 +30,9 @@ from ..core.task import TaskChain
 from ..core.types import Resources
 from ..obs.clock import monotonic
 from ..obs.context import ObsConfig, ObsPayload, activate, current
+from ..obs.metrics import MetricsLike
 from .faults import FaultPlan
-from .memo import InstanceResult
+from .memo import InstanceResult, MemoKey, make_key
 
 __all__ = [
     "PendingInstance",
@@ -82,6 +85,17 @@ class WorkUnit:
             :func:`repro.core.registry.solve_batch` call (bitwise-identical
             results; instances targeted by an armed fault plan are routed
             to the python path per instance, since faults trigger per cell).
+        worker_memo: consult the process-local worker memo shard
+            (:data:`_WORKER_MEMO`) before solving each cell.  Only honored
+            on the process tier (worker processes die with their pool, so
+            the shard's lifetime is one campaign) and bypassed entirely when
+            certifying or when a fault plan is armed.
+        dispatched_at: engine-side :func:`repro.obs.clock.monotonic` stamp
+            taken when the unit was chunked for a process pool (``None``
+            otherwise).  CLOCK_MONOTONIC is system-wide on Linux, so the
+            worker can subtract it from its own clock read on entry to
+            measure pool-wait (queueing) time.  Never consulted by the
+            result path.
     """
 
     pending: tuple[PendingInstance, ...]
@@ -91,6 +105,8 @@ class WorkUnit:
     tier: str = "serial"
     obs: "ObsConfig | None" = None
     kernel: str = "python"
+    worker_memo: bool = False
+    dispatched_at: "float | None" = None
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
@@ -154,6 +170,12 @@ def solve_instance(
                 )
                 obs.metrics.observe(f"solve.seconds.{name}", monotonic() - start)
                 obs.metrics.add("solve.count")
+                # Deterministic observation stream: the multiset of solved
+                # periods is identical across tiers (bitwise-identical
+                # results), so its sketch merges bitwise-identically too.
+                obs.metrics.observe(
+                    f"solve.period.{name}", results[name].period
+                )
         else:
             results[name] = _solve_cell(
                 profile, resources, name, certify, faults, tier
@@ -203,11 +225,71 @@ def _result_of(outcome: ScheduleOutcome, resources: Resources) -> InstanceResult
     )
 
 
+_WORKER_MEMO: "dict[MemoKey, InstanceResult]" = {}
+"""Process-local memo shard for process-tier workers.
+
+Keyed exactly like the engine's :class:`~repro.engine.memo.MemoCache`, but
+living (and dying) with the worker process: pools are campaign-scoped, so
+the shard never leaks results across campaigns, and the serial/thread tiers
+never touch it (their process is the engine's).  Values are a pure function
+of the key — the same guarantee the engine memo rests on — so a hit returns
+exactly what a fresh solve would, and the only observable difference is the
+``worker.<pid>.memo.*`` attribution counters.
+"""
+
+
+def _shard_usable(unit: WorkUnit) -> bool:
+    """Worker-shard gate: process tier only, never under certify or faults."""
+    return (
+        unit.worker_memo
+        and unit.tier == "process"
+        and not unit.certify
+        and unit.faults is None
+    )
+
+
+def _solve_with_shard(
+    unit: WorkUnit, item: PendingInstance, profile: ChainProfile
+) -> dict[str, InstanceResult]:
+    """Solve one instance through the worker memo shard."""
+    results: dict[str, InstanceResult] = {}
+    todo: list[str] = []
+    metrics = current().metrics
+    prefix = f"worker.{os.getpid()}.memo"
+    for name in item.strategies:
+        cached = _WORKER_MEMO.get(make_key(item.chain, unit.resources, name))
+        if cached is None:
+            todo.append(name)
+        else:
+            results[name] = cached
+            if metrics.enabled:
+                metrics.add(f"{prefix}.hits")
+    if todo:
+        fresh = solve_instance(
+            profile,
+            unit.resources,
+            tuple(todo),
+            certify=unit.certify,
+            faults=unit.faults,
+            tier=unit.tier,
+        )
+        for name, result in fresh.items():
+            _WORKER_MEMO[make_key(item.chain, unit.resources, name)] = result
+            if metrics.enabled:
+                metrics.add(f"{prefix}.misses")
+        results.update(fresh)
+    return results
+
+
 def _solve_rows(unit: WorkUnit) -> UnitResult:
     """Resolve a unit's instances into index-keyed rows."""
+    use_shard = _shard_usable(unit)
     rows: UnitResult = []
     for item in unit.pending:
         profile = ChainProfile(item.chain)
+        if use_shard:
+            rows.append((item.index, _solve_with_shard(unit, item, profile)))
+            continue
         rows.append(
             (
                 item.index,
@@ -279,6 +361,7 @@ def _solve_group(
     info = get_info(name)
     group = [profiles[position] for position in members]
     outcomes = solve_batch(group, unit.resources, name)
+    obs = current()
     for position, outcome in zip(members, outcomes):
         if unit.certify:
             certify_outcome(
@@ -288,7 +371,12 @@ def _solve_group(
                 optimal=info.optimal,
                 context=name,
             )
-        results[position][name] = _result_of(outcome, unit.resources)
+        result = _result_of(outcome, unit.resources)
+        if obs.metrics.enabled:
+            # Same deterministic period stream as the scalar path, so the
+            # sketch is kernel-invariant as well as tier-invariant.
+            obs.metrics.observe(f"solve.period.{name}", result.period)
+        results[position][name] = result
 
 
 def _solve_rows_routed(unit: WorkUnit) -> UnitResult:
@@ -323,6 +411,39 @@ def _solve_rows_routed(unit: WorkUnit) -> UnitResult:
     return rows
 
 
+def _attribute_worker_costs(
+    unit: WorkUnit, rows: UnitResult, arrived: float, metrics: "MetricsLike"
+) -> None:
+    """Record process-tier cost attribution under the ``worker.*`` namespace.
+
+    Everything here is keyed by the worker's pid and measured on wall
+    clocks, so it is inherently tier- and run-dependent: ``worker.*`` is the
+    one metric namespace exempt from the cross-tier counter-parity guarantee
+    (DESIGN.md §15).  The pickle costs are measured by re-serializing the
+    unit and its rows with the same protocol the pool uses — the bytes
+    counted are the bytes the IPC channel actually carried, the seconds are
+    a faithful re-run of the same work.
+    """
+    pid = os.getpid()
+    prefix = f"worker.{pid}"
+    metrics.add(f"{prefix}.units")
+    if unit.dispatched_at is not None:
+        wait = max(0.0, arrived - unit.dispatched_at)
+        metrics.add(f"{prefix}.pool_wait.seconds", wait)
+        metrics.observe("worker.pool_wait.seconds", wait)
+    start = monotonic()
+    bytes_in = len(pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL))
+    seconds_in = monotonic() - start
+    start = monotonic()
+    bytes_out = len(pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL))
+    seconds_out = monotonic() - start
+    metrics.add(f"{prefix}.pickle.bytes_in", bytes_in)
+    metrics.add(f"{prefix}.pickle.bytes_out", bytes_out)
+    metrics.add(f"{prefix}.pickle.seconds_in", seconds_in)
+    metrics.add(f"{prefix}.pickle.seconds_out", seconds_out)
+    metrics.observe("worker.pickle.seconds", seconds_in + seconds_out)
+
+
 def solve_unit(unit: WorkUnit) -> UnitOutcome:
     """Resolve one work unit (the process-pool entry point).
 
@@ -336,7 +457,12 @@ def solve_unit(unit: WorkUnit) -> UnitOutcome:
     and activated for the duration — worker processes have no access to the
     engine's tracer, and thread-tier workers deliberately use the same
     ship-a-payload-home protocol so every tier aggregates identically.
+
+    Process-tier units with metrics enabled additionally attribute their
+    IPC costs (pool wait, pickle bytes/seconds in and out) to the worker's
+    pid before the payload ships home — see :func:`_attribute_worker_costs`.
     """
+    arrived = monotonic()
     if unit.kernel != "batch":
         solver = _solve_rows
     elif unit.faults is None:
@@ -351,6 +477,8 @@ def solve_unit(unit: WorkUnit) -> UnitOutcome:
             "unit", "engine", tier=unit.tier, instances=len(unit.pending)
         ):
             rows = solver(unit)
+        if unit.tier == "process" and context.metrics.enabled:
+            _attribute_worker_costs(unit, rows, arrived, context.metrics)
     return UnitOutcome(rows=rows, obs=context.payload())
 
 
@@ -363,10 +491,21 @@ def chunk_pending(
     tier: str = "serial",
     obs: "ObsConfig | None" = None,
     kernel: str = "python",
+    worker_memo: bool = False,
 ) -> list[WorkUnit]:
-    """Split pending instances into work units of at most ``chunk_size``."""
+    """Split pending instances into work units of at most ``chunk_size``.
+
+    Process-tier units chunked with metrics enabled carry a
+    ``dispatched_at`` monotonic stamp so workers can attribute the
+    dispatch-to-start (pool queueing) latency of each unit.
+    """
     if chunk_size < 1:
         raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    dispatched_at = (
+        monotonic()
+        if tier == "process" and obs is not None and obs.metrics
+        else None
+    )
     return [
         WorkUnit(
             pending=tuple(pending[i : i + chunk_size]),
@@ -376,6 +515,8 @@ def chunk_pending(
             tier=tier,
             obs=obs,
             kernel=kernel,
+            worker_memo=worker_memo,
+            dispatched_at=dispatched_at,
         )
         for i in range(0, len(pending), chunk_size)
     ]

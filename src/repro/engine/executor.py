@@ -153,6 +153,15 @@ class CampaignEngine:
             per instance where a kernel does not apply); results are
             bitwise identical to the default ``"python"`` tier (tested),
             only the throughput changes.
+        worker_memo: arm the process-local worker memo shard
+            (:data:`repro.engine.batch._WORKER_MEMO`): process-tier workers
+            skip cells whose ``(fingerprint, budget, strategy)`` key they
+            already solved this campaign, reporting shard traffic under the
+            ``worker.<pid>.memo.*`` counters.  Results stay bitwise
+            identical (shard values are a pure function of the key); the
+            ``solve.*`` metrics count actual solves, so they legitimately
+            shrink when the shard elides work — which is why this is off by
+            default.
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class CampaignEngine:
         faults: "FaultPlan | None" = None,
         obs: "Observability | ObsConfig | bool | None" = None,
         kernel: str = "python",
+        worker_memo: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidParameterError(
@@ -183,6 +193,7 @@ class CampaignEngine:
         self.backend = backend
         self.chunk_size = chunk_size
         self.kernel = kernel
+        self.worker_memo = worker_memo
         if memo is True:
             self.memo: MemoCache | None = MemoCache()
         elif memo is False or memo is None:
@@ -408,7 +419,7 @@ class CampaignEngine:
             units = chunk_pending(
                 pending, resources, size, certify=certify,
                 faults=self.faults, tier=tier, obs=obs_config,
-                kernel=self.kernel,
+                kernel=self.kernel, worker_memo=self.worker_memo,
             )
             report = ResilienceReport()
             self._last_report = report
@@ -447,7 +458,7 @@ class CampaignEngine:
         units = chunk_pending(
             pending, resources, size, certify=certify,
             faults=self.faults, tier=tier, obs=obs_config,
-            kernel=self.kernel,
+            kernel=self.kernel, worker_memo=self.worker_memo,
         )
         workers = min(jobs, len(units))
         pool = pool_cls(max_workers=workers)

@@ -91,6 +91,7 @@ LAYER_RANKS: dict[str, int] = {
     "sdr": 50,
     "analysis": 60,
     "experiments": 70,
+    "bench": 75,
     "cli": 80,
     "": 80,
     "__init__": 80,

@@ -865,10 +865,22 @@ class BroadExceptRule(LintRule):
 # REP110 — raw-timing
 # ---------------------------------------------------------------------------
 
-#: Modules sanctioned to read raw clocks: the obs clock module itself (the
-#: single timing authority), its tracer (hot-path span timestamps), and the
-#: StreamPU profiler (models the C++ runtime's own instrumentation).
-_RAW_TIMING_ALLOWED = ("repro.obs.", "repro.streampu.profiler")
+#: Modules sanctioned to read raw clocks, named *exactly* — a new module
+#: under ``repro.obs`` does not inherit the exemption by location, it must
+#: be added here (with a reason) before it may touch ``time.*`` directly.
+_RAW_TIMING_ALLOWED = frozenset(
+    {
+        # The single timing authority: everything else imports monotonic()
+        # and wall() from here.
+        "repro.obs.clock",
+        # Self-time / flamegraph derivation; operates on recorded spans and
+        # is sanctioned so profiling helpers can stay in one module even if
+        # one ever needs a raw timestamp.
+        "repro.obs.profile",
+        # Models the C++ runtime's own instrumentation.
+        "repro.streampu.profiler",
+    }
+)
 
 #: ``time``-module functions that read a clock.  ``time.sleep`` is *not*
 #: timing (it consumes time, it doesn't measure it) and stays legal.
@@ -897,7 +909,8 @@ class RawTimingRule(LintRule):
     description = (
         "timing routes through repro.obs.clock (monotonic()/wall()) so the "
         "project has one audited place deciding what a timestamp means; "
-        "only repro/obs and the StreamPU profiler read time.* directly"
+        "only the modules named in the sanctioned-clock allowlist read "
+        "time.* directly"
     )
     hint = (
         "from repro.obs.clock import monotonic  # durations\n"
@@ -908,9 +921,7 @@ class RawTimingRule(LintRule):
     def applies(cls, ctx: FileContext) -> bool:
         if not ctx.module.startswith("repro"):
             return False
-        return ctx.module != "repro.obs" and not ctx.module.startswith(
-            _RAW_TIMING_ALLOWED
-        )
+        return ctx.module not in _RAW_TIMING_ALLOWED
 
     def __init__(self, ctx: FileContext) -> None:
         super().__init__(ctx)

@@ -60,7 +60,23 @@ from .metrics import (
     MetricsSnapshot,
     NullMetrics,
 )
-from .report import RunReport, SpanSink
+from .profile import (
+    FrameStat,
+    aggregate_self,
+    collapsed_stacks,
+    leaf_attribution,
+    self_seconds,
+    validate_flamegraph,
+    write_flamegraph,
+)
+from .report import RunReport, SpanSink, WorkerCost
+from .sketch import (
+    DEFAULT_ALPHA,
+    SKETCH_VERSION,
+    SketchBuilder,
+    SketchSnapshot,
+    sketch_of,
+)
 from .span import AttrValue, Span
 from .tracer import NULL_TRACER, NullTracer, Tracer, TracerLike
 
@@ -95,4 +111,17 @@ __all__ = [
     "validate_chrome_trace",
     "RunReport",
     "SpanSink",
+    "WorkerCost",
+    "DEFAULT_ALPHA",
+    "SKETCH_VERSION",
+    "SketchBuilder",
+    "SketchSnapshot",
+    "sketch_of",
+    "FrameStat",
+    "aggregate_self",
+    "collapsed_stacks",
+    "leaf_attribution",
+    "self_seconds",
+    "validate_flamegraph",
+    "write_flamegraph",
 ]

@@ -9,6 +9,13 @@ it: counters sum, histograms combine (count/total/min/max are all exactly
 mergeable), gauges last-write-wins.  Mean and other derived statistics are
 computed only at read time, so merging never loses information.
 
+Every :meth:`MetricsRegistry.observe` additionally feeds a deterministic
+log-bucket sketch (:mod:`repro.obs.sketch`) under the same name, so every
+histogram is quantile-grade: ``snapshot().sketches`` answers p50/p90/p99 at
+read time, and sketches of deterministic observation streams merge to
+*bitwise-identical* snapshots across serial and ``--jobs N`` tiers (integer
+bucket counts have no float-summation order dependence).
+
 Naming convention: dotted lowercase paths (``memo.hits``,
 ``solve.seconds.herad``, ``binary_search.iterations``) so the RunReport can
 group related metrics by prefix.
@@ -19,6 +26,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from typing import Protocol
+
+from .sketch import SketchBuilder, SketchSnapshot
 
 __all__ = [
     "HistogramStats",
@@ -67,10 +76,17 @@ class MetricsSnapshot:
     counters: tuple[tuple[str, float], ...] = ()
     gauges: tuple[tuple[str, float], ...] = ()
     histograms: tuple[tuple[str, HistogramStats], ...] = ()
+    sketches: tuple[tuple[str, SketchSnapshot], ...] = ()
 
     @property
     def empty(self) -> bool:
         return not (self.counters or self.gauges or self.histograms)
+
+    def sketch(self, name: str) -> SketchSnapshot | None:
+        for key, value in self.sketches:
+            if key == name:
+                return value
+        return None
 
 
 class MetricsLike(Protocol):
@@ -83,6 +99,8 @@ class MetricsLike(Protocol):
     def set_gauge(self, name: str, value: float) -> None: ...
 
     def observe(self, name: str, value: float) -> None: ...
+
+    def sketch(self, name: str) -> SketchSnapshot | None: ...
 
     def snapshot(self) -> MetricsSnapshot: ...
 
@@ -104,6 +122,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, HistogramStats] = {}
+        self._sketches: dict[str, SketchBuilder] = {}
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment counter ``name`` by ``value``."""
@@ -116,7 +135,7 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record one observation into histogram ``name``."""
+        """Record one observation into histogram ``name`` and its sketch."""
         with self._lock:
             prior = self._histograms.get(name)
             if prior is None:
@@ -128,6 +147,16 @@ class MetricsRegistry:
                     minimum=min(prior.minimum, value),
                     maximum=max(prior.maximum, value),
                 )
+            builder = self._sketches.get(name)
+            if builder is None:
+                builder = self._sketches[name] = SketchBuilder()
+            builder.observe(value)
+
+    def sketch(self, name: str) -> SketchSnapshot | None:
+        """Current sketch for histogram ``name`` (None if never observed)."""
+        with self._lock:
+            builder = self._sketches.get(name)
+            return builder.snapshot() if builder is not None else None
 
     def counter(self, name: str) -> float:
         """Current value of counter ``name`` (0.0 if never incremented)."""
@@ -146,6 +175,12 @@ class MetricsRegistry:
                 counters=tuple(sorted(self._counters.items())),
                 gauges=tuple(sorted(self._gauges.items())),
                 histograms=tuple(sorted(self._histograms.items())),
+                sketches=tuple(
+                    sorted(
+                        (name, builder.snapshot())
+                        for name, builder in self._sketches.items()
+                    )
+                ),
             )
 
     def merge(self, snapshot: MetricsSnapshot) -> None:
@@ -158,12 +193,18 @@ class MetricsRegistry:
             for name, stats in snapshot.histograms:
                 prior = self._histograms.get(name)
                 self._histograms[name] = stats if prior is None else prior.merged(stats)
+            for name, sk in snapshot.sketches:
+                builder = self._sketches.get(name)
+                if builder is None:
+                    builder = self._sketches[name] = SketchBuilder(alpha=sk.alpha)
+                builder.absorb(sk)
 
     def clear(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._sketches.clear()
 
 
 class NullMetrics:
@@ -178,6 +219,9 @@ class NullMetrics:
         return None
 
     def observe(self, name: str, value: float) -> None:
+        return None
+
+    def sketch(self, name: str) -> SketchSnapshot | None:
         return None
 
     def counter(self, name: str) -> float:

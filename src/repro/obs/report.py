@@ -1,15 +1,18 @@
 """RunReport: the human-readable end-of-run summary.
 
-Aggregates the session's spans and metrics into the three things someone
-tuning a campaign actually asks: *where did the wall-clock go* (top time
-sinks by span name), *did the memo help* (hit rate), and *did anything go
-wrong* (retries, degradations, quarantines).  The CLI prints
+Aggregates the session's spans and metrics into the things someone tuning a
+campaign actually asks: *where did the wall-clock go* (top time sinks by
+span name, inclusive **and** exclusive), *how bad are the tails* (p50/p90/p99
+from the quantile sketches), *did the memo help* (hit rate), *what did
+parallelism cost* (per-worker pickle/pool-wait attribution), and *did
+anything go wrong* (retries, degradations, quarantines).  The CLI prints
 :meth:`RunReport.render` when ``--metrics`` is set.
 
-Time sinks aggregate **self time is not attempted** — sinks report inclusive
-span time by (name, category), which double-counts nested spans by design:
-the question answered is "how much wall-clock had a ``solve`` span open",
-not an exclusive-cost flamegraph (that is what the Chrome trace is for).
+Time sinks report both inclusive time ("how much wall-clock had a ``solve``
+span open" — double-counts nested spans by design) and exclusive self time
+derived by :mod:`repro.obs.profile` ("how much wall-clock is attributable to
+this frame and nothing below it" — sums to traced wall-clock exactly).  The
+full per-stack breakdown is the ``--flamegraph`` export.
 """
 
 from __future__ import annotations
@@ -18,37 +21,73 @@ from dataclasses import dataclass
 
 from .context import Observability
 from .metrics import HistogramStats, MetricsSnapshot
+from .profile import aggregate_self
+from .sketch import SketchSnapshot
 from .span import Span
 
-__all__ = ["SpanSink", "RunReport"]
+__all__ = ["SpanSink", "WorkerCost", "RunReport"]
+
+_WORKER_PREFIX = "worker."
+"""Counter namespace for per-worker cost attribution (process tier only).
+
+Everything under it is keyed by worker pid and therefore run-dependent —
+the one metric namespace exempt from the cross-tier counter-parity
+guarantee (see DESIGN.md §15).
+"""
 
 
 @dataclass(frozen=True, slots=True)
 class SpanSink:
-    """Aggregated inclusive time for one span (name, category)."""
+    """Aggregated inclusive + exclusive time for one span (name, category)."""
 
     name: str
     category: str
     count: int
     total_seconds: float
+    self_seconds: float = 0.0
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
 
+@dataclass(frozen=True, slots=True)
+class WorkerCost:
+    """Per-worker cost attribution parsed from the ``worker.<pid>.*`` counters."""
+
+    pid: str
+    units: int
+    bytes_in: int
+    bytes_out: int
+    pickle_seconds: float
+    pool_wait_seconds: float
+    memo_hits: int
+    memo_misses: int
+
+
 def _aggregate_sinks(spans: tuple[Span, ...]) -> tuple[SpanSink, ...]:
-    totals: dict[tuple[str, str], tuple[int, float]] = {}
-    for span in spans:
-        key = (span.name, span.category)
-        count, total = totals.get(key, (0, 0.0))
-        totals[key] = (count + 1, total + span.duration)
-    sinks = [
-        SpanSink(name=name, category=category, count=count, total_seconds=total)
-        for (name, category), (count, total) in totals.items()
-    ]
-    sinks.sort(key=lambda sink: (-sink.total_seconds, sink.name))
-    return tuple(sinks)
+    return tuple(
+        SpanSink(
+            name=stat.name,
+            category=stat.category,
+            count=stat.count,
+            total_seconds=stat.inclusive_seconds,
+            self_seconds=stat.self_seconds,
+        )
+        for stat in sorted(
+            aggregate_self(spans),
+            key=lambda stat: (-stat.inclusive_seconds, stat.name),
+        )
+    )
+
+
+def _fmt_bytes(count: float) -> str:
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{value:.0f}B"
+        value /= 1024.0
+    return f"{value:.1f}GB"
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +98,7 @@ class RunReport:
     sinks: tuple[SpanSink, ...]
     counters: tuple[tuple[str, float], ...]
     histograms: tuple[tuple[str, HistogramStats], ...]
+    sketches: tuple[tuple[str, SketchSnapshot], ...] = ()
 
     @classmethod
     def from_observability(
@@ -79,6 +119,7 @@ class RunReport:
             sinks=_aggregate_sinks(spans),
             counters=metrics.counters,
             histograms=metrics.histograms,
+            sketches=metrics.sketches,
         )
 
     def counter(self, name: str) -> float:
@@ -86,6 +127,12 @@ class RunReport:
             if key == name:
                 return value
         return 0.0
+
+    def sketch(self, name: str) -> SketchSnapshot | None:
+        for key, value in self.sketches:
+            if key == name:
+                return value
+        return None
 
     @property
     def memo_hits(self) -> float:
@@ -112,17 +159,76 @@ class RunReport:
     def degradations(self) -> float:
         return self.counter("resilience.degradations")
 
+    def worker_costs(self) -> tuple[WorkerCost, ...]:
+        """Per-worker attribution rows (empty outside traced process tiers)."""
+        by_pid: dict[str, dict[str, float]] = {}
+        for name, value in self.counters:
+            if not name.startswith(_WORKER_PREFIX):
+                continue
+            parts = name.split(".", 2)
+            if len(parts) != 3 or not parts[1].isdigit():
+                continue
+            by_pid.setdefault(parts[1], {})[parts[2]] = value
+        return tuple(
+            WorkerCost(
+                pid=pid,
+                units=int(fields.get("units", 0)),
+                bytes_in=int(fields.get("pickle.bytes_in", 0)),
+                bytes_out=int(fields.get("pickle.bytes_out", 0)),
+                pickle_seconds=fields.get("pickle.seconds_in", 0.0)
+                + fields.get("pickle.seconds_out", 0.0),
+                pool_wait_seconds=fields.get("pool_wait.seconds", 0.0),
+                memo_hits=int(fields.get("memo.hits", 0)),
+                memo_misses=int(fields.get("memo.misses", 0)),
+            )
+            for pid, fields in sorted(by_pid.items())
+        )
+
+    def _render_efficiency(self, lines: list[str]) -> None:
+        costs = self.worker_costs()
+        if not costs:
+            return
+        lines.append(f"parallel efficiency ({len(costs)} workers):")
+        total_in = sum(cost.bytes_in for cost in costs)
+        total_out = sum(cost.bytes_out for cost in costs)
+        total_pickle = sum(cost.pickle_seconds for cost in costs)
+        lines.append(
+            f"  pickle: {_fmt_bytes(total_in)} in / {_fmt_bytes(total_out)} out, "
+            f"{total_pickle * 1e3:.2f}ms serializing"
+        )
+        wait_sketch = self.sketch("worker.pool_wait.seconds")
+        if wait_sketch is not None and not wait_sketch.empty:
+            lines.append(
+                f"  pool wait: p50 {wait_sketch.p50 * 1e3:.2f}ms "
+                f"p90 {wait_sketch.p90 * 1e3:.2f}ms "
+                f"p99 {wait_sketch.p99 * 1e3:.2f}ms"
+            )
+        for cost in costs:
+            memo = (
+                f", memo {cost.memo_hits}/{cost.memo_hits + cost.memo_misses}"
+                if cost.memo_hits or cost.memo_misses
+                else ""
+            )
+            lines.append(
+                f"  worker {cost.pid}: units {cost.units}, "
+                f"in {_fmt_bytes(cost.bytes_in)}, out {_fmt_bytes(cost.bytes_out)}, "
+                f"pickle {cost.pickle_seconds * 1e3:.2f}ms, "
+                f"wait {cost.pool_wait_seconds * 1e3:.2f}ms{memo}"
+            )
+
     def render(self, top: int = 10) -> str:
         """Format the report for terminal output."""
         lines = ["== Run report =="]
         lines.append(f"wall-clock: {self.wall_seconds:.3f}s")
 
         if self.sinks:
-            lines.append(f"top time sinks (inclusive, top {min(top, len(self.sinks))}):")
+            lines.append(
+                f"top time sinks (inclusive/self, top {min(top, len(self.sinks))}):"
+            )
             for sink in self.sinks[:top]:
                 lines.append(
-                    f"  {sink.total_seconds:9.3f}s  {sink.name:<24s} "
-                    f"[{sink.category}]  x{sink.count}  "
+                    f"  {sink.total_seconds:9.3f}s {sink.self_seconds:9.3f}s  "
+                    f"{sink.name:<24s} [{sink.category}]  x{sink.count}  "
                     f"(mean {sink.mean_seconds * 1e3:.2f}ms)"
                 )
         else:
@@ -143,9 +249,15 @@ class RunReport:
         else:
             lines.append("failures: none")
 
+        self._render_efficiency(lines)
+
         shown = {"memo.hits", "memo.misses", "resilience.retries",
                  "resilience.quarantined", "resilience.degradations"}
-        other = [(name, value) for name, value in self.counters if name not in shown]
+        other = [
+            (name, value)
+            for name, value in self.counters
+            if name not in shown and not name.startswith(_WORKER_PREFIX)
+        ]
         if other:
             lines.append("counters:")
             for name, value in other:
@@ -154,8 +266,17 @@ class RunReport:
         if self.histograms:
             lines.append("histograms:")
             for name, stats in self.histograms:
+                quantiles = ""
+                sketch = self.sketch(name)
+                if sketch is not None and not sketch.empty:
+                    quantiles = (
+                        f" p50={sketch.p50 * 1e3:.3f}ms"
+                        f" p90={sketch.p90 * 1e3:.3f}ms"
+                        f" p99={sketch.p99 * 1e3:.3f}ms"
+                    )
                 lines.append(
-                    f"  {name}: n={stats.count} mean={stats.mean * 1e3:.3f}ms "
+                    f"  {name}: n={stats.count} mean={stats.mean * 1e3:.3f}ms"
+                    f"{quantiles} "
                     f"min={stats.minimum * 1e3:.3f}ms max={stats.maximum * 1e3:.3f}ms"
                 )
         return "\n".join(lines)

@@ -19,8 +19,10 @@ ones when sorted by start time.
 
 Span ids are allocated from a single :class:`itertools.count`; ``next()`` on
 a count is atomic under the GIL, so ids are unique across threads without a
-lock.  Ids are *not* unique across processes — (pid, span_id) is the globally
-unique key, and ``parent_id`` only ever refers to a span with the same pid.
+lock.  Worker ids restart per work unit (pool workers rebuild their tracer
+for every unit), so :meth:`Tracer.absorb` remaps each incoming forest into
+the session counter — after absorption, (pid, span_id) is globally unique
+and ``parent_id`` only ever refers to a span with the same pid.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import itertools
 import os
 import threading
 from collections.abc import Iterable, Iterator
+from dataclasses import replace
 from types import TracebackType
 from typing import Protocol
 
@@ -157,9 +160,33 @@ class Tracer:
         return _SpanScope(self, name, category, items)
 
     def absorb(self, spans: Iterable[Span]) -> None:
-        """Adopt spans recorded by another tracer (typically a worker process)."""
+        """Adopt spans recorded by another tracer (typically a worker process).
+
+        Foreign ids are remapped into this tracer's counter: a reused pool
+        worker rebuilds its tracer per work unit, so its ids restart at 1
+        and ``(pid, span_id)`` would collide across payloads — which would
+        silently corrupt self-time attribution.  One absorb call is one
+        self-contained forest, so rewriting ids and the parent links that
+        point at them preserves nesting exactly; a ``parent_id`` whose span
+        was not collected becomes a root, matching how the profiler treats
+        truncated buffers.
+        """
+        batch = list(spans)
+        mapping = {span.span_id: next(self._ids) for span in batch}
+        remapped = [
+            replace(
+                span,
+                span_id=mapping[span.span_id],
+                parent_id=(
+                    mapping.get(span.parent_id)
+                    if span.parent_id is not None
+                    else None
+                ),
+            )
+            for span in batch
+        ]
         with self._lock:
-            self._foreign.extend(spans)
+            self._foreign.extend(remapped)
 
     def collect(self) -> tuple[Span, ...]:
         """Merge all buffers into one deterministically-ordered tuple.

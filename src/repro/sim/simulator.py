@@ -32,6 +32,7 @@ from ..core.errors import InvalidParameterError
 from ..obs.clock import monotonic
 from ..obs.export import write_chrome_trace
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.sketch import SketchSnapshot, sketch_of
 from ..obs.span import Span
 from .events import EventQueue, SimEvent
 from .journal import EventRecord, SimJournal
@@ -108,6 +109,17 @@ class SimResult:
             for _, period in self.final_periods
             if period is not None and period > 0
         )
+
+    def resched_sketch(self) -> SketchSnapshot:
+        """Quantile sketch of the per-event rescheduling latencies.
+
+        The latencies themselves are wall-clock (non-deterministic), so the
+        sketch lives outside :attr:`metrics` — but p50/p90/p99 come from the
+        same :mod:`repro.obs.sketch` bucketing the rest of the project uses,
+        so the CLI, the bench trajectory, and the obs layer cannot disagree
+        about what a percentile means.
+        """
+        return sketch_of(self.resched_seconds)
 
 
 def _apply_event(

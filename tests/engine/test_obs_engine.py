@@ -9,6 +9,8 @@ the same numbers as the serial run, even with faults firing.
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -88,6 +90,17 @@ class TestSpanCoverage:
         assert len([s for s in engine.obs.spans() if s.name == "solve"]) == 12
 
 
+def _deterministic(counters):
+    """Drop the ``worker.*`` attribution namespace, the one documented
+    exemption from cross-tier counter parity (pid-keyed, wall-clock valued —
+    DESIGN.md §15)."""
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith("worker.")
+    }
+
+
 class TestExactCounters:
     """Merged worker counters equal the serial run's, to the last increment."""
 
@@ -107,8 +120,18 @@ class TestExactCounters:
         assert serial["solve.count"] == len(chains) * len(PAPER_ORDER)
         assert serial["binary_search.calls"] > 0
         assert serial["herad.calls"] == len(chains)
-        assert run(4, "process") == serial
-        assert run(2, "thread") == serial
+        assert not any(name.startswith("worker.") for name in serial)
+        process = run(4, "process")
+        assert _deterministic(process) == serial
+        assert _deterministic(run(2, "thread")) == serial
+        # The process tier additionally attributed its IPC costs per worker.
+        worker_units = {
+            name: value
+            for name, value in process.items()
+            if name.startswith("worker.") and name.endswith(".units")
+        }
+        assert worker_units
+        assert sum(worker_units.values()) == len(chains)  # chunk_size=1
 
     def test_faulted_process_counters_match_serial(self, tmp_path):
         """Injected faults: retries/quarantines count identically on every tier."""
@@ -212,6 +235,116 @@ class TestExactCounters:
         assert engine.obs.metrics.counter("memo.hits") == 0.0
         engine.solve_instances(chains, resources, PAPER_ORDER)
         assert engine.obs.metrics.counter("memo.hits") == len(chains) * len(PAPER_ORDER)
+
+
+class TestSketchParity:
+    """Deterministic observation streams sketch bitwise-identically per tier.
+
+    The ``solve.period.*`` observations are a pure function of the campaign
+    (results are bitwise identical across tiers), and sketches carry only
+    integer bucket counts plus exact min/max — no order-dependent float
+    summation — so the merged ``--jobs 4`` sketch snapshot must pickle to
+    the *same bytes* as the serial one.
+    """
+
+    @staticmethod
+    def _sketches(jobs, backend, kernel="python"):
+        chains = _chains(6)
+        engine = CampaignEngine(
+            jobs=jobs, backend=backend, memo=False, chunk_size=1,
+            obs=ObsConfig(metrics=True), kernel=kernel,
+        )
+        engine.solve_instances(chains, Resources(3, 3), PAPER_ORDER)
+        snapshot = engine.obs.metrics.snapshot()
+        return tuple(
+            (name, sketch)
+            for name, sketch in snapshot.sketches
+            if name.startswith("solve.period.")
+        )
+
+    def test_process_tier_sketches_are_bitwise_identical_to_serial(self):
+        serial = self._sketches(1, "serial")
+        assert serial  # every strategy sketched its period stream
+        assert {name for name, _ in serial} == {
+            f"solve.period.{name}" for name in PAPER_ORDER
+        }
+        process = self._sketches(4, "process")
+        assert pickle.dumps(process) == pickle.dumps(serial)
+        assert pickle.dumps(self._sketches(2, "thread")) == pickle.dumps(serial)
+
+    def test_batch_kernel_sketches_match_the_scalar_path(self):
+        serial = self._sketches(1, "serial")
+        batched = self._sketches(4, "process", kernel="batch")
+        assert pickle.dumps(batched) == pickle.dumps(serial)
+
+    def test_quantiles_come_from_the_merged_sketch(self):
+        (first, *_rest) = self._sketches(4, "process")
+        _name, sketch = first
+        assert sketch.count == 6  # one observation per chain
+        assert sketch.minimum <= sketch.p50 <= sketch.p99 <= sketch.maximum
+
+
+class TestWorkerAttribution:
+    """The process tier attributes IPC costs per worker pid."""
+
+    @staticmethod
+    def _run(backend, jobs, **engine_kwargs):
+        chains = _chains(6)
+        engine = CampaignEngine(
+            jobs=jobs, backend=backend, memo=False, chunk_size=1,
+            obs=ObsConfig(metrics=True), **engine_kwargs,
+        )
+        engine.solve_instances(chains, Resources(3, 3), ("herad", "fertac"))
+        return engine.obs.metrics.counters(), engine.obs.metrics.snapshot()
+
+    def test_process_tier_reports_pickle_and_pool_wait(self):
+        counters, snapshot = self._run("process", 4)
+        pids = {
+            name.split(".")[1]
+            for name in counters
+            if name.startswith("worker.")
+        }
+        assert pids
+        for pid in pids:
+            assert counters[f"worker.{pid}.pickle.bytes_in"] > 0
+            assert counters[f"worker.{pid}.pickle.bytes_out"] > 0
+            assert counters[f"worker.{pid}.pickle.seconds_in"] >= 0.0
+            assert counters[f"worker.{pid}.pool_wait.seconds"] >= 0.0
+        wait = snapshot.sketch("worker.pool_wait.seconds")
+        assert wait is not None
+        assert wait.count == 6  # one wait observation per unit (chunk_size=1)
+
+    def test_serial_and_thread_tiers_record_no_attribution(self):
+        for backend, jobs in (("serial", 1), ("thread", 2)):
+            counters, _ = self._run(backend, jobs)
+            assert not any(name.startswith("worker.") for name in counters)
+
+    def test_worker_memo_shard_elides_duplicate_cells(self):
+        chain = _chains(1)[0]
+        chains = [chain] * 6  # six copies; memo=False so all six dispatch
+        engine = CampaignEngine(
+            jobs=2, backend="process", memo=False,
+            chunk_size=len(chains),  # one unit -> one worker sees every copy
+            obs=ObsConfig(metrics=True), worker_memo=True,
+        )
+        baseline = CampaignEngine(jobs=1, backend="serial", memo=False)
+        arrays = engine.solve_instances(chains, Resources(3, 3), ("herad",))
+        expected = baseline.solve_instances(chains, Resources(3, 3), ("herad",))
+        _assert_same_arrays(arrays, expected)
+        counters = engine.obs.metrics.counters()
+        hits = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("worker.") and name.endswith(".memo.hits")
+        )
+        misses = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("worker.") and name.endswith(".memo.misses")
+        )
+        assert misses == 1.0  # first copy solved
+        assert hits == 5.0  # remaining copies replayed from the shard
+        assert counters["solve.count"] == 1.0
 
 
 class TestNoOpPath:

@@ -711,6 +711,36 @@ class TestRawTiming:
         )
         assert findings == ()
 
+    def test_obs_profile_module_is_exempt(self, lint_source):
+        findings = lint_source(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """,
+            relpath="src/repro/obs/profile.py",
+            rules=["raw-timing"],
+        )
+        assert findings == ()
+
+    def test_new_obs_module_is_not_exempt_by_location(self, lint_source):
+        # The sanctioned-clock allowlist names modules exactly: dropping a
+        # new module into repro/obs/ must NOT grant it raw-clock access.
+        findings = lint_source(
+            """
+            import time
+
+            def sample():
+                return time.perf_counter()
+            """,
+            relpath="src/repro/obs/sampler.py",
+            rules=["raw-timing"],
+        )
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REP110"
+        assert "perf_counter" in findings[0].message
+
     def test_streampu_profiler_is_exempt(self, lint_source):
         findings = lint_source(
             """

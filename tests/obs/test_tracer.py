@@ -119,6 +119,41 @@ class TestAbsorb:
         names = [span.name for span in local.collect()]
         assert names == ["remote-early", "local-late"]
 
+    def test_absorb_remaps_colliding_ids_from_reused_workers(self):
+        # A reused pool worker rebuilds its tracer per work unit, so two
+        # payloads from the same pid arrive with identical span ids.  Absorb
+        # must remap them or self-time attribution silently corrupts.
+        parent = Tracer()
+        payloads = []
+        for _ in range(2):
+            worker = Tracer()  # same pid (this process), ids restart at 1
+            with worker.span("unit", "engine"):
+                with worker.span("solve", "solve"):
+                    pass
+            payloads.append(worker.collect())
+        for payload in payloads:
+            parent.absorb(payload)
+
+        spans = parent.collect()
+        keys = [(span.pid, span.span_id) for span in spans]
+        assert len(keys) == len(set(keys)) == 4
+        # Nesting survives the remap: each solve's parent is its own unit.
+        by_key = {(s.pid, s.span_id): s for s in spans}
+        for span in spans:
+            if span.name == "solve":
+                assert by_key[(span.pid, span.parent_id)].name == "unit"
+
+    def test_absorb_roots_spans_whose_parent_was_not_collected(self):
+        worker = Tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        orphan = [span for span in worker.collect() if span.name == "inner"]
+        parent = Tracer()
+        parent.absorb(orphan)
+        (absorbed,) = parent.collect()
+        assert absorbed.parent_id is None
+
     def test_spans_pickle_round_trip(self):
         tracer = Tracer()
         with tracer.span("unit", "engine", instances=3):
