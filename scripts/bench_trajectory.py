@@ -111,6 +111,9 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="chains averaged per strategy latency point")
     parser.add_argument("--sim-events", type=int, default=2000,
                         help="events in the online-simulation scenario")
+    parser.add_argument("--scaling-jobs", type=str, default="2,4,8",
+                        help="comma-separated job counts of the jobs_scaling "
+                        "scenario (empty string disables it)")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_engine.json")
     args = parser.parse_args(argv)
@@ -243,6 +246,55 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     mismatch |= kernel_mismatch
 
+    # Jobs-scaling scenario: the shared-memory process tier (zero-pickle
+    # result planes + cost-adaptive chunking) vs serial, at several worker
+    # counts and on both kernels.  Speedups are same-run ratios; the gate
+    # only judges them when the candidate machine actually has the cores
+    # (tolerances carry ``requires_cores``), so a pinned single-core CI
+    # runner skips them explicitly instead of passing vacuously.
+    scaling_levels = [
+        int(level)
+        for level in args.scaling_jobs.split(",")
+        if level.strip()
+    ]
+    jobs_scaling: "dict[str, object]" = {}
+    scaling_mismatch = False
+    if scaling_levels:
+        jobs_scaling["jobs"] = scaling_levels
+        batch_serial_s, batch_serial_arrays = _time(
+            lambda: CampaignEngine(
+                jobs=1, backend="serial", memo=False, kernel="batch"
+            ).solve_instances(chains, TABLE1_BUDGET, PAPER_ORDER)
+        )
+        scaling_mismatch |= not _arrays_match(serial_arrays, batch_serial_arrays)
+        serial_walls = {"python": serial_s, "batch": batch_serial_s}
+        for kernel in ("python", "batch"):
+            tier: "dict[str, object]" = {
+                "serial_wall_s": round(serial_walls[kernel], 3)
+            }
+            for level in scaling_levels:
+                engine = CampaignEngine(
+                    jobs=level, backend="process", memo=False, kernel=kernel
+                )
+                wall_s, arrays = _time(
+                    functools.partial(
+                        engine.solve_instances,
+                        chains, TABLE1_BUDGET, PAPER_ORDER,
+                    )
+                )
+                scaling_mismatch |= not _arrays_match(serial_arrays, arrays)
+                tier[f"jobs{level}"] = {
+                    "wall_s": round(wall_s, 3),
+                    "speedup": round(serial_walls[kernel] / wall_s, 2),
+                }
+                print(
+                    f"  scaling {kernel:6s} j={level:2d} {wall_s:8.2f}s  "
+                    f"x{serial_walls[kernel] / wall_s:.2f}"
+                )
+            jobs_scaling[kernel] = tier
+        jobs_scaling["mismatch"] = scaling_mismatch
+        mismatch |= scaling_mismatch
+
     # Online-simulation scenario: steady-state throughput and rescheduling
     # latency percentiles of the incremental scheduler on a bursty trace
     # (repro.sim).  Records and counters must be run-to-run identical; the
@@ -323,6 +375,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "solve_latency_us": kernel_latency_us,
             "mismatch": kernel_mismatch,
         },
+        "jobs_scaling": jobs_scaling,
         "sim_scenario": {
             "kind": "bursty",
             "events": sim_result.num_events,

@@ -35,6 +35,7 @@ EXPECTED_BAD = {
     ("REP201", "repro/core/solvers.py", 17),  # worker writes module global
     ("REP202", "repro/engine/cache.py", 16),  # lock-free read of guarded attr
     ("REP203", "repro/engine/dispatch.py", 22),  # live cache inside WorkUnit
+    ("REP203", "repro/engine/shmem.py", 22),  # live SharedMemory handle inside WorkUnit
     ("REP204", "repro/core/uses_engine.py", 3),  # core imports engine (upward)
     ("REP204", "repro/lint/helper.py", 3),  # lint must stay stdlib-only
     ("REP205", "repro/core/solvers.py", 15),  # wall clock in strategy path

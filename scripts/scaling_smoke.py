@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Scaling smoke: shared-memory process tier — parity, leaks, speedup.
+
+Three phases, any failure exits non-zero (CI ``scaling-smoke`` job):
+
+1. **Bitwise parity** — a Table I-style campaign solved serially, at
+   ``--jobs`` on the python kernel, and at ``--jobs`` on the batch kernel;
+   all three arrays must be identical to the bit.  This runs everywhere,
+   including pinned single-core runners: parity is hardware-independent.
+2. **Leak check** — every shared-memory plane the campaigns allocated must
+   be unlinked afterwards (attaching to its recorded name must fail), and a
+   fault-injected worker crash mid-campaign must not change that.
+3. **Speedup** — only when the runner reports at least 2 usable cores
+   (``os.sched_getaffinity``): the process tier must reach
+   ``--min-efficiency`` x jobs x serial throughput.  On fewer cores the
+   phase is skipped loudly — a single-core speedup number is scheduler
+   noise, not evidence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scaling_smoke.py [--chains 40] [--jobs 4]
+        [--min-efficiency 0.8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.registry import PAPER_ORDER
+from repro.core.types import Resources
+from repro.engine import (
+    CampaignEngine,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.engine.shm import ResultPlanes
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+BUDGET = Resources(10, 10)
+_FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _usable_cores() -> int:
+    getter = getattr(os, "sched_getaffinity", None)
+    return len(getter(0)) if getter is not None else (os.cpu_count() or 1)
+
+
+def _arrays_match(a, b) -> bool:
+    return set(a) == set(b) and all(
+        np.array_equal(a[n].periods, b[n].periods)
+        and np.array_equal(a[n].big_used, b[n].big_used)
+        and np.array_equal(a[n].little_used, b[n].little_used)
+        for n in a
+    )
+
+
+class _PlaneRecorder:
+    """Wrap ResultPlanes.allocate to record every descriptor handed out."""
+
+    def __init__(self):
+        self.descriptors = []
+        self._original = ResultPlanes.allocate.__func__
+
+    def __enter__(self):
+        recorder = self
+
+        def recording(cls, strategies, chains, ktype):
+            planes = recorder._original(cls, strategies, chains, ktype)
+            if planes is not None:
+                recorder.descriptors.append(planes.descriptor)
+            return planes
+
+        ResultPlanes.allocate = classmethod(recording)
+        return self
+
+    def __exit__(self, *exc):
+        ResultPlanes.allocate = classmethod(self._original)
+        return False
+
+    def leaked(self):
+        alive = []
+        for descriptor in self.descriptors:
+            try:
+                view = descriptor.open()
+            except FileNotFoundError:
+                continue
+            view.close()
+            alive.append(descriptor.periods_name)
+        return alive
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=40)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--min-efficiency", type=float, default=0.8,
+                        help="required speedup as a fraction of --jobs "
+                        "(only asserted with >= 2 usable cores)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    config = GeneratorConfig(num_tasks=20, stateless_ratio=0.5)
+    chains = list(chain_batch(args.chains, config, seed=args.seed))
+    cores = _usable_cores()
+    failures = 0
+    print(
+        f"scaling smoke: {len(chains)} chains x {len(PAPER_ORDER)} "
+        f"strategies, jobs={args.jobs}, usable cores={cores}"
+    )
+
+    with _PlaneRecorder() as recorder:
+        serial_engine = CampaignEngine(jobs=1, backend="serial", memo=False)
+        start = time.perf_counter()
+        serial = serial_engine.solve_instances(chains, BUDGET, PAPER_ORDER)
+        serial_s = time.perf_counter() - start
+
+        process_engine = CampaignEngine(
+            jobs=args.jobs, backend="process", memo=False
+        )
+        start = time.perf_counter()
+        parallel = process_engine.solve_instances(chains, BUDGET, PAPER_ORDER)
+        parallel_s = time.perf_counter() - start
+
+        batch = CampaignEngine(
+            jobs=args.jobs, backend="process", memo=False, kernel="batch"
+        ).solve_instances(chains, BUDGET, PAPER_ORDER)
+
+        if _arrays_match(serial, parallel) and _arrays_match(serial, batch):
+            print(
+                f"  parity: serial vs jobs={args.jobs} (python, batch) "
+                "bitwise identical"
+            )
+        else:
+            print("  parity: MISMATCH across tiers", file=sys.stderr)
+            failures += 1
+
+        # Fault-injected worker crash: recovery must not leak a segment.
+        with tempfile.TemporaryDirectory() as state_dir:
+            plan = FaultPlan(
+                specs=(
+                    FaultSpec(
+                        kind="crash",
+                        fingerprint=ChainProfile(chains[3]).fingerprint,
+                        tiers=("process",),
+                        times=1,
+                    ),
+                ),
+                state_dir=state_dir,
+            )
+            crashed = CampaignEngine(
+                jobs=args.jobs, backend="process", memo=False,
+                resilience=ResilienceConfig(retry=_FAST), faults=plan,
+            ).solve_instances(chains, BUDGET, ("fertac",))
+        reference = {"fertac": serial["fertac"]}
+        if _arrays_match(reference, crashed):
+            print("  crash recovery: bitwise identical")
+        else:
+            print("  crash recovery: MISMATCH", file=sys.stderr)
+            failures += 1
+
+    if not recorder.descriptors:
+        print("  leak check: no planes allocated", file=sys.stderr)
+        failures += 1
+    leaked = recorder.leaked()
+    if leaked:
+        print(f"  leak check: segments still linked: {leaked}", file=sys.stderr)
+        failures += 1
+    else:
+        print(
+            f"  leak check: all {len(recorder.descriptors)} plane "
+            "allocations unlinked"
+        )
+
+    if cores >= 2:
+        speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+        wanted = args.min_efficiency * min(args.jobs, cores)
+        verdict = "ok" if speedup >= wanted else "FAIL"
+        print(
+            f"  speedup: x{speedup:.2f} at jobs={args.jobs} on {cores} "
+            f"cores (need >= x{wanted:.2f}) {verdict}"
+        )
+        if speedup < wanted:
+            failures += 1
+    else:
+        print(
+            f"  speedup: skipped ({cores} usable core(s); scaling "
+            "assertions need >= 2)"
+        )
+
+    if failures:
+        print(f"scaling smoke: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("scaling smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

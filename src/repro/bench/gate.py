@@ -47,15 +47,30 @@ _KINDS = ("flag_false", "higher_better", "lower_better")
 
 @dataclass(frozen=True, slots=True)
 class Check:
-    """One tolerance entry: a metric path and how to judge it."""
+    """One tolerance entry: a metric path and how to judge it.
+
+    ``requires_cores`` guards scaling checks: a speedup assertion judged on
+    a single-core runner measures scheduler noise, not scaling, and would
+    *pass vacuously* whenever the pinned-down candidate happens to tie the
+    baseline.  The gate instead skips the check — explicitly, in the
+    rendered output — when the candidate's recorded ``machine.cpu_affinity``
+    is below the requirement (or absent: no evidence of cores is treated as
+    one core).
+    """
 
     metric: str
     kind: str
     min_factor: float | None = None
     max_factor: float | None = None
     abs_slack: float = 0.0
+    requires_cores: int | None = None
 
     def __post_init__(self) -> None:
+        if self.requires_cores is not None and self.requires_cores < 1:
+            raise InvalidParameterError(
+                f"check {self.metric!r}: requires_cores must be >= 1, got "
+                f"{self.requires_cores}"
+            )
         if self.kind not in _KINDS:
             raise InvalidParameterError(
                 f"unknown check kind {self.kind!r} for {self.metric!r}; "
@@ -120,6 +135,11 @@ def load_tolerances(path: "str | Path") -> tuple[Check, ...]:
                 min_factor=entry.get("min_factor"),
                 max_factor=entry.get("max_factor"),
                 abs_slack=float(entry.get("abs_slack", 0.0)),
+                requires_cores=(
+                    None
+                    if entry.get("requires_cores") is None
+                    else int(entry["requires_cores"])
+                ),
             )
         )
     return tuple(checks)
@@ -173,6 +193,26 @@ def evaluate(
     for check in checks:
         base_value = lookup(baseline, check.metric)
         cand_value = lookup(candidate, check.metric)
+        if check.requires_cores is not None:
+            affinity = lookup(candidate, "machine.cpu_affinity")
+            cores = (
+                int(affinity)
+                if isinstance(affinity, (int, float))
+                and not isinstance(affinity, bool)
+                else 1
+            )
+            if cores < check.requires_cores:
+                results.append(
+                    CheckResult(
+                        check=check,
+                        baseline=base_value,
+                        candidate=cand_value,
+                        passed=True,
+                        detail=f"skipped: candidate ran on {cores} usable "
+                        f"core(s), check requires {check.requires_cores}",
+                    )
+                )
+                continue
         if check.kind != "flag_false" and base_value is None:
             results.append(
                 CheckResult(
@@ -263,6 +303,19 @@ def seeded_slowdown(report: dict[str, Any], factor: float = 2.0) -> dict[str, An
             and batch_s > 0
         ):
             kernel.setdefault("speedup", {})[name] = python_s / batch_s
+
+    scaling = seeded.get("jobs_scaling", {})
+    for kernel in ("python", "batch"):
+        tier = scaling.get(kernel)
+        if not isinstance(tier, dict):
+            continue
+        serial_s = tier.get("serial_wall_s")
+        for name, point in tier.items():
+            if not isinstance(point, dict) or "wall_s" not in point:
+                continue
+            point["wall_s"] = point["wall_s"] * factor
+            if isinstance(serial_s, (int, float)) and point["wall_s"] > 0:
+                point["speedup"] = serial_s / point["wall_s"]
 
     sim = seeded.get("sim_scenario", {})
     if isinstance(sim.get("wall_s"), (int, float)):

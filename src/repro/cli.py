@@ -205,6 +205,18 @@ def _experiment_options() -> argparse.ArgumentParser:
         ),
     )
     parent.add_argument(
+        "--unit-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "target estimated solve seconds per work unit for the "
+            "cost-adaptive chunk planner (default 0.1); any value yields "
+            "bitwise-identical results — it trades dispatch overhead "
+            "against load balance on the process tier"
+        ),
+    )
+    parent.add_argument(
         "--resume",
         type=Path,
         default=None,
@@ -578,7 +590,12 @@ def _build_engine(
         or args.retries is not None
         or args.timeout is not None
     )
-    if not hardened and obs is None and args.kernel == "python":
+    if (
+        not hardened
+        and obs is None
+        and args.kernel == "python"
+        and args.unit_wall is None
+    ):
         return None
     resilience: "ResilienceConfig | None" = None
     journal: "CheckpointJournal | None" = None
@@ -594,6 +611,7 @@ def _build_engine(
         journal=journal,
         obs=obs,
         kernel=args.kernel,
+        unit_wall=args.unit_wall,
     )
 
 

@@ -9,6 +9,13 @@ Public API:
   with a shared memo cache (what ``run_campaign`` uses).
 * :class:`~repro.engine.memo.MemoCache` — the instance-result cache keyed by
   chain fingerprint + budget + strategy.
+* :class:`~repro.engine.shm.ResultPlanes` /
+  :class:`~repro.engine.shm.PlaneDescriptor` — the process tier's
+  zero-pickle result transport (workers write solved cells straight into
+  shared memory).
+* :func:`~repro.engine.plan.plan_units` /
+  :class:`~repro.engine.plan.AdaptiveCostModel` — deterministic
+  cost-adaptive work-unit planning (DESIGN.md §16).
 * :class:`~repro.engine.resilience.ResilienceConfig` /
   :class:`~repro.engine.resilience.RetryPolicy` — retries with deterministic
   backoff, soft deadlines, backend degradation, and per-instance quarantine
@@ -32,6 +39,7 @@ from .batch import (
     chunk_pending,
     solve_instance,
     solve_unit,
+    units_from_groups,
 )
 from .checkpoint import CheckpointJournal, load_journal
 from .executor import (
@@ -51,6 +59,7 @@ from .faults import (
     InjectedFault,
 )
 from .memo import DEFAULT_MAXSIZE, InstanceResult, MemoCache, MemoStats, make_key
+from .plan import DEFAULT_UNIT_WALL_S, AdaptiveCostModel, plan_units
 from .resilience import (
     TIERS,
     FailureRecord,
@@ -59,6 +68,7 @@ from .resilience import (
     RetryPolicy,
     is_transient,
 )
+from .shm import PlaneDescriptor, ResultPlanes
 
 __all__ = [
     "BACKENDS",
@@ -74,6 +84,12 @@ __all__ = [
     "chunk_pending",
     "solve_instance",
     "solve_unit",
+    "units_from_groups",
+    "DEFAULT_UNIT_WALL_S",
+    "AdaptiveCostModel",
+    "plan_units",
+    "PlaneDescriptor",
+    "ResultPlanes",
     "DEFAULT_MAXSIZE",
     "InstanceResult",
     "MemoCache",

@@ -33,6 +33,7 @@ from ..obs.context import ObsConfig, ObsPayload, activate, current
 from ..obs.metrics import MetricsLike
 from .faults import FaultPlan
 from .memo import InstanceResult, MemoKey, make_key
+from .shm import PlaneDescriptor
 
 __all__ = [
     "PendingInstance",
@@ -42,6 +43,7 @@ __all__ = [
     "solve_instance",
     "solve_unit",
     "chunk_pending",
+    "units_from_groups",
 ]
 
 
@@ -96,6 +98,14 @@ class WorkUnit:
             worker can subtract it from its own clock read on entry to
             measure pool-wait (queueing) time.  Never consulted by the
             result path.
+        planes: descriptor of the engine's shared-memory result planes
+            (:mod:`repro.engine.shm`).  When set, the worker writes its
+            solved cells into the planes and ships *empty* result rows home
+            — the zero-pickle result path.  Always a name descriptor, never
+            a live ``SharedMemory`` handle (lint rule REP203).
+        unit_id: the unit's position in the engine's campaign plan; the key
+            the engine harvests plane cells by when the rows come home
+            empty.  ``None`` on units built outside the planner.
     """
 
     pending: tuple[PendingInstance, ...]
@@ -107,6 +117,8 @@ class WorkUnit:
     kernel: str = "python"
     worker_memo: bool = False
     dispatched_at: "float | None" = None
+    planes: "PlaneDescriptor | None" = None
+    unit_id: "int | None" = None
 
 
 #: ``(chain index, {strategy: result})`` rows produced by one unit.
@@ -122,10 +134,20 @@ class UnitOutcome:
     Results and observations travel together but are consumed on strictly
     separate paths — the engine assembles arrays from ``rows`` only, which
     is what keeps tracing off the result path.
+
+    When the unit carried a plane descriptor and published its cells to
+    shared memory, ``rows`` comes home *empty* and ``unit_id`` tells the
+    engine which unit's cells to harvest from the planes instead.
+    ``seconds`` is the unit's measured solve wall (sanctioned
+    :mod:`repro.obs.clock` read) — the always-on feedback signal of the
+    cost-adaptive planner (:mod:`repro.engine.plan`); it steers future
+    chunking only, never results.
     """
 
     rows: UnitResult
     obs: "ObsPayload | None" = None
+    unit_id: "int | None" = None
+    seconds: "float | None" = None
 
 
 def solve_instance(
@@ -248,6 +270,24 @@ def _shard_usable(unit: WorkUnit) -> bool:
     )
 
 
+def _replay_shard_hit(name: str, cached: InstanceResult) -> None:
+    """Re-emit the deterministic ``solve.*`` observations for a shard hit.
+
+    A shard hit elides an actual solve, but the cross-tier counter-parity
+    guarantee (DESIGN.md §15) says ``solve.count`` and the
+    ``solve.period.<strategy>`` observation stream depend only on the
+    campaign, never on where or whether each cell was recomputed.  Cached
+    values are a pure function of the key, so replaying them here makes the
+    merged counters bitwise-independent of how units landed on workers —
+    which is what lets the shard default on.  ``solve.seconds`` is wall
+    clock (inherently run-dependent) and is deliberately not replayed.
+    """
+    metrics = current().metrics
+    if metrics.enabled:
+        metrics.add("solve.count")
+        metrics.observe(f"solve.period.{name}", cached.period)
+
+
 def _solve_with_shard(
     unit: WorkUnit, item: PendingInstance, profile: ChainProfile
 ) -> dict[str, InstanceResult]:
@@ -262,6 +302,7 @@ def _solve_with_shard(
             todo.append(name)
         else:
             results[name] = cached
+            _replay_shard_hit(name, cached)
             if metrics.enabled:
                 metrics.add(f"{prefix}.hits")
     if todo:
@@ -317,14 +358,32 @@ def _solve_rows_batch(unit: WorkUnit) -> UnitResult:
     batch-produced solution with the same independent checker as the scalar
     path; the memoized result rows are constructed identically, so engine
     assembly cannot tell the tiers apart.
+
+    The worker memo shard composes with batching: shard-hit cells are
+    answered (with their deterministic counter replay) before grouping, so
+    each ``solve_batch`` call sees only genuinely unsolved cells, and fresh
+    group results feed the shard for later units on the same worker.
     """
     profiles = [ChainProfile(item.chain) for item in unit.pending]
+    use_shard = _shard_usable(unit)
+    shard_metrics = current().metrics
+    prefix = f"worker.{os.getpid()}.memo"
     by_strategy: dict[str, list[int]] = {}
+    results: list[dict[str, InstanceResult]] = [{} for _ in unit.pending]
     for position, item in enumerate(unit.pending):
         for name in item.strategies:
+            if use_shard:
+                cached = _WORKER_MEMO.get(
+                    make_key(item.chain, unit.resources, name)
+                )
+                if cached is not None:
+                    results[position][name] = cached
+                    _replay_shard_hit(name, cached)
+                    if shard_metrics.enabled:
+                        shard_metrics.add(f"{prefix}.hits")
+                    continue
             by_strategy.setdefault(name, []).append(position)
 
-    results: list[dict[str, InstanceResult]] = [{} for _ in unit.pending]
     obs = current()
     for name, members in by_strategy.items():
         if obs.active:
@@ -336,13 +395,13 @@ def _solve_rows_batch(unit: WorkUnit) -> UnitResult:
                 instances=len(members),
             ):
                 start = monotonic()
-                _solve_group(unit, name, members, profiles, results)
+                _solve_group(unit, name, members, profiles, results, use_shard)
                 obs.metrics.observe(
                     f"solve_batch.seconds.{name}", monotonic() - start
                 )
                 obs.metrics.add("solve.count", len(members))
         else:
-            _solve_group(unit, name, members, profiles, results)
+            _solve_group(unit, name, members, profiles, results, use_shard)
 
     return [
         (item.index, results[position])
@@ -356,12 +415,14 @@ def _solve_group(
     members: "list[int]",
     profiles: "list[ChainProfile]",
     results: "list[dict[str, InstanceResult]]",
+    use_shard: bool = False,
 ) -> None:
     """Solve one strategy's group of a batched unit and record its rows."""
     info = get_info(name)
     group = [profiles[position] for position in members]
     outcomes = solve_batch(group, unit.resources, name)
     obs = current()
+    prefix = f"worker.{os.getpid()}.memo"
     for position, outcome in zip(members, outcomes):
         if unit.certify:
             certify_outcome(
@@ -376,6 +437,11 @@ def _solve_group(
             # Same deterministic period stream as the scalar path, so the
             # sketch is kernel-invariant as well as tier-invariant.
             obs.metrics.observe(f"solve.period.{name}", result.period)
+        if use_shard:
+            key = make_key(unit.pending[position].chain, unit.resources, name)
+            _WORKER_MEMO[key] = result
+            if obs.metrics.enabled:
+                obs.metrics.add(f"{prefix}.misses")
         results[position][name] = result
 
 
@@ -411,6 +477,32 @@ def _solve_rows_routed(unit: WorkUnit) -> UnitResult:
     return rows
 
 
+def _publish_to_planes(unit: WorkUnit, rows: UnitResult) -> UnitResult:
+    """Write a unit's solved cells into the shared result planes.
+
+    Returns the rows the outcome should *ship* — empty once the cells are
+    safely in shared memory, or the original rows when the unit carries no
+    descriptor or the planes are already gone (e.g. the engine tore them
+    down while this abandoned attempt was still running; the pickled-row
+    fallback keeps the attempt harmless either way).  Writes are pure
+    cell-data stores, so a retried unit republishing over a partial earlier
+    attempt rewrites identical bits.
+    """
+    if unit.planes is None:
+        return rows
+    try:
+        view = unit.planes.open()
+    except (OSError, ValueError):
+        return rows
+    try:
+        for index, results in rows:
+            for name, result in results.items():
+                view.write(index, name, result)
+    finally:
+        view.close()
+    return []
+
+
 def _attribute_worker_costs(
     unit: WorkUnit, rows: UnitResult, arrived: float, metrics: "MetricsLike"
 ) -> None:
@@ -420,8 +512,10 @@ def _attribute_worker_costs(
     clocks, so it is inherently tier- and run-dependent: ``worker.*`` is the
     one metric namespace exempt from the cross-tier counter-parity guarantee
     (DESIGN.md §15).  The pickle costs are measured by re-serializing the
-    unit and its rows with the same protocol the pool uses — the bytes
-    counted are the bytes the IPC channel actually carried, the seconds are
+    unit and its *shipped* rows with the same protocol the pool uses — the
+    bytes counted are the bytes the IPC channel actually carried (with the
+    shared-memory planes on, the result payload is an empty list and
+    ``pickle.bytes_out`` collapses to its ~5-byte envelope), the seconds are
     a faithful re-run of the same work.
     """
     pid = os.getpid()
@@ -461,6 +555,11 @@ def solve_unit(unit: WorkUnit) -> UnitOutcome:
     Process-tier units with metrics enabled additionally attribute their
     IPC costs (pool wait, pickle bytes/seconds in and out) to the worker's
     pid before the payload ships home — see :func:`_attribute_worker_costs`.
+
+    Units carrying a plane descriptor publish their cells to the engine's
+    shared-memory result planes and ship empty rows (plus their ``unit_id``
+    so the engine knows which cells to harvest); the unit's measured solve
+    wall rides along as planner feedback either way.
     """
     arrived = monotonic()
     if unit.kernel != "batch":
@@ -470,16 +569,72 @@ def solve_unit(unit: WorkUnit) -> UnitOutcome:
     else:
         solver = _solve_rows_routed
     if unit.obs is None or not unit.obs.enabled:
-        return UnitOutcome(rows=solver(unit))
+        rows = solver(unit)
+        solved_at = monotonic()
+        shipped = _publish_to_planes(unit, rows)
+        return UnitOutcome(
+            rows=shipped,
+            unit_id=unit.unit_id,
+            seconds=solved_at - arrived,
+        )
     context = unit.obs.create_context()
     with activate(context):
         with context.span(
             "unit", "engine", tier=unit.tier, instances=len(unit.pending)
         ):
             rows = solver(unit)
+        solved_at = monotonic()
+        shipped = _publish_to_planes(unit, rows)
         if unit.tier == "process" and context.metrics.enabled:
-            _attribute_worker_costs(unit, rows, arrived, context.metrics)
-    return UnitOutcome(rows=rows, obs=context.payload())
+            _attribute_worker_costs(unit, shipped, arrived, context.metrics)
+    return UnitOutcome(
+        rows=shipped,
+        obs=context.payload(),
+        unit_id=unit.unit_id,
+        seconds=solved_at - arrived,
+    )
+
+
+def units_from_groups(
+    groups: Sequence[tuple[PendingInstance, ...]],
+    resources: Resources,
+    certify: bool = False,
+    faults: "FaultPlan | None" = None,
+    tier: str = "serial",
+    obs: "ObsConfig | None" = None,
+    kernel: str = "python",
+    worker_memo: bool = False,
+    planes: "PlaneDescriptor | None" = None,
+) -> list[WorkUnit]:
+    """Materialize planner groups (:func:`repro.engine.plan.plan_units`)
+    into work units.
+
+    Each unit's ``unit_id`` is its plan position — the handle the engine
+    harvests shared-memory cells by.  Process-tier units built with metrics
+    enabled carry a ``dispatched_at`` monotonic stamp so workers can
+    attribute the dispatch-to-start (pool queueing) latency of each unit.
+    """
+    dispatched_at = (
+        monotonic()
+        if tier == "process" and obs is not None and obs.metrics
+        else None
+    )
+    return [
+        WorkUnit(
+            pending=group,
+            resources=resources,
+            certify=certify,
+            faults=faults,
+            tier=tier,
+            obs=obs,
+            kernel=kernel,
+            worker_memo=worker_memo,
+            dispatched_at=dispatched_at,
+            planes=planes,
+            unit_id=unit_id,
+        )
+        for unit_id, group in enumerate(groups)
+    ]
 
 
 def chunk_pending(
@@ -492,31 +647,29 @@ def chunk_pending(
     obs: "ObsConfig | None" = None,
     kernel: str = "python",
     worker_memo: bool = False,
+    planes: "PlaneDescriptor | None" = None,
 ) -> list[WorkUnit]:
     """Split pending instances into work units of at most ``chunk_size``.
 
-    Process-tier units chunked with metrics enabled carry a
-    ``dispatched_at`` monotonic stamp so workers can attribute the
-    dispatch-to-start (pool queueing) latency of each unit.
+    The fixed-row convenience chunker (tests and explicit ``chunk_size``
+    overrides); the engine's default path plans cost-adaptive groups via
+    :func:`repro.engine.plan.plan_units` and materializes them with
+    :func:`units_from_groups`.
     """
     if chunk_size < 1:
         raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
-    dispatched_at = (
-        monotonic()
-        if tier == "process" and obs is not None and obs.metrics
-        else None
-    )
-    return [
-        WorkUnit(
-            pending=tuple(pending[i : i + chunk_size]),
-            resources=resources,
-            certify=certify,
-            faults=faults,
-            tier=tier,
-            obs=obs,
-            kernel=kernel,
-            worker_memo=worker_memo,
-            dispatched_at=dispatched_at,
-        )
+    groups = [
+        tuple(pending[i : i + chunk_size])
         for i in range(0, len(pending), chunk_size)
     ]
+    return units_from_groups(
+        groups,
+        resources,
+        certify=certify,
+        faults=faults,
+        tier=tier,
+        obs=obs,
+        kernel=kernel,
+        worker_memo=worker_memo,
+        planes=planes,
+    )

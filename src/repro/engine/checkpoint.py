@@ -16,8 +16,12 @@ complete row is skipped, never fatal — and duplicate keys are fine (last
 wins; a resumed run may legitimately re-append rows the first run already
 journaled).
 
-Format: one JSON object per line.  Two-type rows keep the original layout
-(journals written before the k-type platform layer replay unchanged)::
+Format: one JSON object per line.  The row schema is a property of the
+*result*, not of the transport: rows harvested from shared-memory result
+planes (DESIGN.md §16) journal identically to rows pickled back from a
+worker, so journals replay across tiers and engine versions.  Two-type
+rows keep the original layout (journals written before the k-type
+platform layer replay unchanged)::
 
     {"fp": "3f9a...", "big": 10, "little": 10, "strategy": "fertac",
      "period": 12.375, "big_used": 3, "little_used": 2}

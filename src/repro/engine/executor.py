@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Iterator, NamedTuple, Sequence
 
@@ -54,16 +55,24 @@ from ..core.task import TaskChain
 from ..core.types import Resources
 from ..obs.clock import monotonic
 from ..obs.context import NULL_OBSERVABILITY, Observability, ObsConfig, activate
-from .batch import PendingInstance, UnitOutcome, WorkUnit, chunk_pending, solve_unit
+from .batch import (
+    PendingInstance,
+    UnitOutcome,
+    WorkUnit,
+    solve_unit,
+    units_from_groups,
+)
 from .checkpoint import CheckpointJournal
 from .faults import FaultPlan
 from .memo import InstanceResult, MemoCache, MemoKey, make_key
+from .plan import DEFAULT_UNIT_WALL_S, AdaptiveCostModel, plan_units
 from .resilience import (
     FailureRecord,
     ResilienceConfig,
     ResilienceReport,
     execute_with_resilience,
 )
+from .shm import ResultPlanes
 
 __all__ = [
     "BACKENDS",
@@ -157,11 +166,22 @@ class CampaignEngine:
             (:data:`repro.engine.batch._WORKER_MEMO`): process-tier workers
             skip cells whose ``(fingerprint, budget, strategy)`` key they
             already solved this campaign, reporting shard traffic under the
-            ``worker.<pid>.memo.*`` counters.  Results stay bitwise
-            identical (shard values are a pure function of the key); the
-            ``solve.*`` metrics count actual solves, so they legitimately
-            shrink when the shard elides work — which is why this is off by
-            default.
+            ``worker.<pid>.memo.*`` counters.  Results are bitwise identical
+            (shard values are a pure function of the key), and shard hits
+            replay their deterministic ``solve.count`` /
+            ``solve.period.<strategy>`` observations exactly, so the merged
+            ``solve.*`` counters keep the cross-tier parity guarantee —
+            which is why the shard now defaults **on**.
+        shared_results: allocate the campaign result arrays in
+            :mod:`multiprocessing.shared_memory` for process-tier runs
+            (:mod:`repro.engine.shm`): workers write solved cells in place
+            and ship zero result bytes home.  Falls back to pickled rows
+            automatically when shared memory is unavailable; results are
+            bitwise identical either way.
+        unit_wall: target estimated solve seconds per work unit for the
+            cost-adaptive planner (:mod:`repro.engine.plan`; default
+            :data:`~repro.engine.plan.DEFAULT_UNIT_WALL_S`).  An explicit
+            ``chunk_size`` overrides the planner entirely.
     """
 
     def __init__(
@@ -175,7 +195,9 @@ class CampaignEngine:
         faults: "FaultPlan | None" = None,
         obs: "Observability | ObsConfig | bool | None" = None,
         kernel: str = "python",
-        worker_memo: bool = False,
+        worker_memo: bool = True,
+        shared_results: bool = True,
+        unit_wall: "float | None" = None,
     ) -> None:
         if backend not in BACKENDS:
             raise InvalidParameterError(
@@ -189,11 +211,19 @@ class CampaignEngine:
             raise InvalidParameterError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if unit_wall is not None and unit_wall <= 0:
+            raise InvalidParameterError(
+                f"unit_wall must be > 0 seconds, got {unit_wall}"
+            )
         self.jobs = resolve_jobs(jobs)
         self.backend = backend
         self.chunk_size = chunk_size
         self.kernel = kernel
         self.worker_memo = worker_memo
+        self.shared_results = shared_results
+        self.unit_wall = unit_wall if unit_wall is not None else DEFAULT_UNIT_WALL_S
+        self._cost_model = AdaptiveCostModel()
+        self._active_planes: "ResultPlanes | None" = None
         if memo is True:
             self.memo: MemoCache | None = MemoCache()
         elif memo is False or memo is None:
@@ -305,9 +335,22 @@ class CampaignEngine:
                             with self.obs.span("journal.commit", "journal"):
                                 self.journal.commit()
                 finally:
-                    # An interrupt mid-campaign must not lose finished chunks.
+                    # An interrupt mid-campaign must not lose finished
+                    # chunks, and an abandoned campaign must never leak a
+                    # shared-memory segment (destroy is idempotent: the
+                    # normal path already tore the planes down).
+                    self._destroy_planes()
                     if self.journal is not None:
                         self.journal.commit()
+            if self.obs.metrics.enabled:
+                # Cross-campaign planner feedback: the p50 of each
+                # strategy's solve-latency sketch (tier-merged, DESIGN.md
+                # §15) refines the cost model for the *next* plan.  Purely
+                # advisory — results never depend on it.
+                for name in names:
+                    sketch = self.obs.metrics.sketch(f"solve.seconds.{name}")
+                    if sketch is not None and sketch.count:
+                        self._cost_model.feed_sketch(name, sketch.p50)
         return arrays
 
     @property
@@ -400,8 +443,12 @@ class CampaignEngine:
         """Run the pending instances on the configured backend.
 
         Yields one :class:`~repro.engine.batch.UnitOutcome` per completed
-        work unit (the journal fsync granularity).  With resilience enabled,
-        execution runs through the retry/degradation/quarantine ladder of
+        work unit (the journal fsync granularity), every outcome already
+        *hydrated*: units that published their cells to the shared-memory
+        result planes are harvested back into ordinary rows here, so the
+        assembly code upstream never knows which transport a result took.
+        With resilience enabled, execution runs through the
+        retry/degradation/quarantine ladder of
         :mod:`repro.engine.resilience`; otherwise failures propagate
         immediately (fail-fast), though the pool is still shut down with
         ``cancel_futures`` so a Ctrl-C never leaks workers.
@@ -412,63 +459,103 @@ class CampaignEngine:
             if pool_cls is None
             else ("thread" if pool_cls is ThreadPoolExecutor else "process")
         )
-        size = self.chunk_size or max(1, -(-len(pending) // (max(1, jobs) * 4)))
         obs_config = self.obs.worker_config()
+        if pool_cls is None and self.journal is None:
+            # Serial fast path: one unit, zero chunk overhead.
+            groups = [tuple(pending)]
+        else:
+            groups = plan_units(
+                pending,
+                jobs=jobs,
+                cost_snapshot=self._cost_model.snapshot(),
+                unit_wall=self.unit_wall,
+                chunk_size=self.chunk_size,
+                kernel=self.kernel,
+            )
 
-        if self.resilience is not None:
-            units = chunk_pending(
-                pending, resources, size, certify=certify,
+        planes: "ResultPlanes | None" = None
+        if tier == "process" and self.shared_results:
+            names = tuple(
+                dict.fromkeys(
+                    name for item in pending for name in item.strategies
+                )
+            )
+            planes = ResultPlanes.allocate(
+                names, 1 + max(item.index for item in pending), resources.ktype
+            )
+        self._active_planes = planes
+        try:
+            units = units_from_groups(
+                groups, resources, certify=certify,
                 faults=self.faults, tier=tier, obs=obs_config,
                 kernel=self.kernel, worker_memo=self.worker_memo,
+                planes=planes.descriptor if planes is not None else None,
             )
-            report = ResilienceReport()
-            self._last_report = report
+
+            if self.resilience is not None:
+                report = ResilienceReport()
+                self._last_report = report
+                try:
+                    for outcome in execute_with_resilience(
+                        units, jobs=jobs, config=self.resilience,
+                        report=report, planes=planes,
+                    ):
+                        yield self._hydrate(outcome, units, planes)
+                finally:
+                    self._all_failures.extend(report.failures)
+                    self._absorb_report(report)
+                return
+
+            if pool_cls is None:
+                for unit in units:
+                    yield self._hydrate(solve_unit(unit), units, planes)
+                return
+
+            workers = min(jobs, len(units))
+            pool = pool_cls(max_workers=workers)
+            clean = False
             try:
-                yield from execute_with_resilience(
-                    units, jobs=jobs, config=self.resilience, report=report
-                )
+                for outcome in pool.map(solve_unit, units):
+                    yield self._hydrate(outcome, units, planes)
+                clean = True
             finally:
-                self._all_failures.extend(report.failures)
-                self._absorb_report(report)
-            return
-
-        if pool_cls is None:
-            if self.journal is not None:
-                units = chunk_pending(
-                    pending, resources, size, certify=certify,
-                    faults=self.faults, tier="serial", obs=obs_config,
-                    kernel=self.kernel,
-                )
-            else:
-                units = [
-                    WorkUnit(
-                        pending=tuple(pending),
-                        resources=resources,
-                        certify=certify,
-                        faults=self.faults,
-                        tier="serial",
-                        obs=obs_config,
-                        kernel=self.kernel,
-                    )
-                ]
-            for unit in units:
-                yield solve_unit(unit)
-            return
-
-        units = chunk_pending(
-            pending, resources, size, certify=certify,
-            faults=self.faults, tier=tier, obs=obs_config,
-            kernel=self.kernel, worker_memo=self.worker_memo,
-        )
-        workers = min(jobs, len(units))
-        pool = pool_cls(max_workers=workers)
-        clean = False
-        try:
-            for outcome in pool.map(solve_unit, units):
-                yield outcome
-            clean = True
+                pool.shutdown(wait=clean, cancel_futures=not clean)
         finally:
-            pool.shutdown(wait=clean, cancel_futures=not clean)
+            self._destroy_planes()
+
+    def _hydrate(
+        self,
+        outcome: UnitOutcome,
+        units: "list[WorkUnit]",
+        planes: "ResultPlanes | None",
+    ) -> UnitOutcome:
+        """Harvest plane-published outcomes and feed the cost model.
+
+        An outcome that comes home with empty rows and a ``unit_id``
+        published its cells to shared memory: re-read exactly that unit's
+        cells (sentinel cells — quarantined instances — simply stay
+        absent).  The unit's measured solve wall updates the planner's cost
+        model either way; estimates steer future chunking only, so this
+        feedback cannot affect results.
+        """
+        if outcome.unit_id is None:
+            return outcome
+        unit = units[outcome.unit_id]
+        if outcome.seconds is not None and outcome.seconds > 0:
+            cells: dict[str, int] = {}
+            for item in unit.pending:
+                for name in item.strategies:
+                    cells[name] = cells.get(name, 0) + 1
+            self._cost_model.observe_unit(cells, outcome.seconds)
+        if planes is not None and not outcome.rows:
+            return replace(outcome, rows=planes.harvest(unit.pending))
+        return outcome
+
+    def _destroy_planes(self) -> None:
+        """Unlink the active campaign's shared-memory planes (idempotent)."""
+        if self._active_planes is not None:
+            self._active_planes.destroy()
+            self._active_planes = None
 
     def _absorb_report(self, report: ResilienceReport) -> None:
         """Record a resilient execution's recovery counters as metrics.

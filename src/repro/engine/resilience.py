@@ -61,6 +61,7 @@ from ..obs.context import activate
 from .batch import UnitOutcome, UnitResult, WorkUnit, solve_instance, solve_unit
 from .faults import InjectedFault
 from .memo import InstanceResult
+from .shm import ResultPlanes
 
 _log = logging.getLogger(__name__)
 
@@ -242,6 +243,7 @@ def execute_with_resilience(
     jobs: int,
     config: ResilienceConfig,
     report: ResilienceReport,
+    planes: "ResultPlanes | None" = None,
 ) -> Iterator[UnitOutcome]:
     """Run work units through the retry/degradation/quarantine ladder.
 
@@ -249,6 +251,15 @@ def execute_with_resilience(
     they finish (order is arbitrary; rows are index-keyed, so assembly stays
     bitwise deterministic).  Quarantined instances appear in ``report`` and
     are simply absent from the yielded rows.
+
+    ``planes`` is the campaign's shared-memory result transport, owned by
+    the caller but *retired here* the moment execution degrades below the
+    process tier: descriptors are stripped from the remaining units and the
+    segments unlinked, so thread/serial reruns ship rows inline and a
+    degraded campaign can never leak ``/dev/shm`` segments.  This is safe
+    mid-stream because outcomes are harvested by the caller as they are
+    yielded — by the time a pass ends, every plane-published outcome has
+    already been read back.
     """
     tracked = [_Tracked(unit=unit) for unit in units]
     start = units[0].tier if units else "serial"
@@ -259,6 +270,8 @@ def execute_with_resilience(
         pooled = pooled[:1]
 
     for tier in pooled:
+        if tier != "process" and planes is not None:
+            planes = _retire_planes(tracked, planes)
         runnable = [t for t in tracked if not t.deterministic]
         held = [t for t in tracked if t.deterministic]
         if not runnable:
@@ -271,7 +284,28 @@ def execute_with_resilience(
                 "degrading %d work unit(s) below the %s tier", len(tracked), tier
             )
     if tracked:
+        if planes is not None:
+            planes = _retire_planes(tracked, planes)
         yield from _serial_pass(tracked, config, report)
+
+
+def _retire_planes(
+    tracked: "list[_Tracked]", planes: ResultPlanes
+) -> None:
+    """Strip plane descriptors from units and unlink the segments.
+
+    Called when execution leaves the process tier: thread and serial
+    workers share the engine's address space, so inline rows cost nothing,
+    and keeping segments alive across a degradation would leave them
+    unreachable if the campaign later aborts.  Retried units republish
+    nothing — their descriptors are gone — so the pickled-rows fallback in
+    :func:`~repro.engine.batch.solve_unit` takes over transparently.
+    """
+    for t in tracked:
+        if t.unit.planes is not None:
+            t.unit = replace(t.unit, planes=None)
+    planes.destroy()
+    return None
 
 
 def _pooled_pass(

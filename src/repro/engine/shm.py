@@ -1,0 +1,301 @@
+"""Shared-memory result planes: zero-pickle result transport for workers.
+
+The process tier used to ship every solved ``InstanceResult`` home by
+pickling it through the pool's result pipe — measurably the dominant cost at
+campaign unit sizes (the ``worker.<pid>.pickle.bytes_out`` counters of
+DESIGN.md §15 are what motivated this module).  Instead, the engine now
+allocates the campaign's result arrays *once* in
+:mod:`multiprocessing.shared_memory` and hands workers a tiny, picklable
+:class:`PlaneDescriptor` — segment names plus shape metadata.  Workers
+attach, write their cells in place, detach, and ship home a
+:class:`~repro.engine.batch.UnitOutcome` that carries **no result rows at
+all**, only metadata and observability payloads.
+
+Layout
+------
+Two planes, allocated side by side:
+
+* ``periods`` — ``float64[S, N]`` (``S`` strategies x ``N`` chains),
+  prefilled with ``NaN``;
+* ``usage`` — ``int64[S, N, W]`` with ``W = max(2, ktype)`` per-type core
+  counts, prefilled with ``-1``.
+
+The sentinels are exactly the engine's campaign-array sentinels: a cell
+either holds a solved result or is *visibly* unsolved.  That makes harvest
+metadata-free — the engine re-reads only the cells of the unit that just
+completed and skips sentinel cells (quarantined or abandoned instances),
+so no per-cell bookkeeping ever crosses the process boundary.  ``float64``
+round-trips through shared memory bit-for-bit, which is what keeps the
+bitwise-determinism guarantee intact.
+
+Lifecycle discipline (the part resource trackers care about):
+
+* the **engine** is the sole owner: it creates the segments and is the only
+  party that ever calls :meth:`ResultPlanes.destroy` (close + unlink,
+  idempotent) — always from a ``finally``, so crashes, ``KeyboardInterrupt``
+  and the resilience ladder's process → thread degradation can never leak a
+  segment;
+* **workers** only ever attach by name and ``close()`` their mapping; they
+  never unlink.  On Python ≥ 3.13 workers attach with ``track=False`` so the
+  resource tracker is not involved at all; on older versions the duplicate
+  worker-side registrations collapse in the tracker's name set and the
+  engine's single unlink retires the name cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .memo import InstanceResult
+
+__all__ = [
+    "PlaneDescriptor",
+    "PlaneView",
+    "ResultPlanes",
+    "HarvestRows",
+]
+
+#: ``(chain index, {strategy: result})`` rows reconstructed from the planes —
+#: structurally identical to :data:`repro.engine.batch.UnitResult` (defined
+#: here too so this module stays below ``batch`` in the import graph).
+HarvestRows = list[tuple[int, dict[str, InstanceResult]]]
+
+
+class _PendingLike(Protocol):
+    """The slice of :class:`~repro.engine.batch.PendingInstance` harvest needs.
+
+    A structural type rather than an import keeps this module below
+    ``batch`` in the engine's import graph (``batch`` imports the
+    descriptor from here).
+    """
+
+    index: int
+    strategies: tuple[str, ...]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking ownership.
+
+    ``track=False`` (Python 3.13+) keeps the resource tracker entirely out
+    of non-owning attachments; older interpreters do not accept the keyword
+    and register the name a second time, which is harmless — the tracker
+    stores names in a set, so the owner's single unlink still retires it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneDescriptor:
+    """The picklable handle workers receive instead of result pipes.
+
+    Carries segment *names* (never handles — see lint rule REP203: a live
+    ``SharedMemory`` object must not cross a ``WorkUnit`` boundary) plus the
+    shape metadata needed to rebuild the numpy views on the other side.
+
+    Attributes:
+        periods_name: shared-memory segment name of the ``float64[S, N]``
+            periods plane.
+        usage_name: segment name of the ``int64[S, N, W]`` usage plane.
+        strategies: canonical strategy names, in plane row order.
+        chains: ``N`` — one column per campaign chain index.
+        ktype: number of core types of the campaign budget (``W`` is
+            ``max(2, ktype)`` so the two-type accessors always fit).
+    """
+
+    periods_name: str
+    usage_name: str
+    strategies: tuple[str, ...]
+    chains: int
+    ktype: int
+
+    @property
+    def usage_width(self) -> int:
+        """Per-cell usage vector width (two-type floor)."""
+        return max(2, self.ktype)
+
+    def open(self) -> "PlaneView":
+        """Attach to the planes (worker side).  Caller must ``close()``."""
+        return PlaneView(self)
+
+
+class PlaneView:
+    """A live, non-owning mapping of the result planes.
+
+    Workers (and the engine's harvest path) use this to read and write
+    cells.  ``close()`` drops the numpy views before closing the mappings —
+    numpy buffer exports must be released first or ``mmap.close()`` raises
+    ``BufferError``.
+    """
+
+    def __init__(self, descriptor: PlaneDescriptor) -> None:
+        self._descriptor = descriptor
+        self._rows = {
+            name: row for row, name in enumerate(descriptor.strategies)
+        }
+        self._periods_shm = _attach(descriptor.periods_name)
+        usage_shm: "shared_memory.SharedMemory | None" = None
+        try:
+            usage_shm = _attach(descriptor.usage_name)
+        finally:
+            # Attaching the second segment failed: release the first before
+            # the exception propagates, or the mapping would linger until GC.
+            if usage_shm is None:
+                self._periods_shm.close()
+        self._usage_shm = usage_shm
+        shape = (len(descriptor.strategies), descriptor.chains)
+        self._periods: "np.ndarray | None" = np.ndarray(
+            shape, dtype=np.float64, buffer=self._periods_shm.buf
+        )
+        self._usage: "np.ndarray | None" = np.ndarray(
+            (*shape, descriptor.usage_width),
+            dtype=np.int64,
+            buffer=self._usage_shm.buf,
+        )
+
+    def write(self, index: int, strategy: str, result: InstanceResult) -> None:
+        """Store one solved cell (pure data: identical bits on every rerun)."""
+        assert self._periods is not None and self._usage is not None
+        row = self._rows[strategy]
+        usage = result.usage
+        self._usage[row, index, : len(usage)] = usage
+        # Period written last: a cell is "solved" once its period is finite,
+        # so a torn write (worker killed mid-cell) can never expose a
+        # half-written cell as solved.
+        self._periods[row, index] = result.period
+
+    def read(self, index: int, strategy: str) -> "InstanceResult | None":
+        """Read one cell back, ``None`` while it still holds the sentinel."""
+        assert self._periods is not None and self._usage is not None
+        row = self._rows[strategy]
+        period = float(self._periods[row, index])
+        if np.isnan(period):
+            return None
+        usage = self._usage[row, index]
+        ktype = self._descriptor.ktype
+        return InstanceResult(
+            period=period,
+            big_used=int(usage[0]),
+            little_used=int(usage[1]) if ktype > 1 else 0,
+            extra_used=tuple(int(v) for v in usage[2:ktype]),
+        )
+
+    def close(self) -> None:
+        """Release the views and detach (never unlinks; idempotent)."""
+        self._periods = None
+        self._usage = None
+        self._periods_shm.close()
+        self._usage_shm.close()
+
+
+class ResultPlanes:
+    """Engine-side owner of the campaign's shared result planes.
+
+    Created via :meth:`allocate`, which returns ``None`` when shared memory
+    is unavailable (permissions, exhausted ``/dev/shm``, exotic platforms) —
+    the engine then simply falls back to pickled result rows, trading speed
+    for nothing else.  :meth:`destroy` is idempotent and safe to call from
+    multiple ``finally`` blocks.
+    """
+
+    def __init__(
+        self,
+        descriptor: PlaneDescriptor,
+        periods_shm: shared_memory.SharedMemory,
+        usage_shm: shared_memory.SharedMemory,
+    ) -> None:
+        self._descriptor = descriptor
+        self._periods_shm: "shared_memory.SharedMemory | None" = periods_shm
+        self._usage_shm: "shared_memory.SharedMemory | None" = usage_shm
+        self._view: "PlaneView | None" = None
+
+    @classmethod
+    def allocate(
+        cls, strategies: Sequence[str], chains: int, ktype: int
+    ) -> "ResultPlanes | None":
+        """Create sentinel-prefilled planes, or ``None`` if shm is unusable."""
+        names = tuple(strategies)
+        if not names or chains < 1:
+            return None
+        width = max(2, ktype)
+        periods_bytes = len(names) * chains * 8
+        usage_bytes = len(names) * chains * width * 8
+        try:
+            periods_shm = shared_memory.SharedMemory(
+                create=True, size=periods_bytes
+            )
+        except (OSError, ValueError):
+            return None
+        try:
+            usage_shm = shared_memory.SharedMemory(create=True, size=usage_bytes)
+        except (OSError, ValueError):
+            periods_shm.close()
+            periods_shm.unlink()
+            return None
+        shape = (len(names), chains)
+        periods = np.ndarray(shape, dtype=np.float64, buffer=periods_shm.buf)
+        periods.fill(np.nan)
+        usage = np.ndarray(
+            (*shape, width), dtype=np.int64, buffer=usage_shm.buf
+        )
+        usage.fill(-1)
+        del periods, usage  # release buffer exports before any close()
+        descriptor = PlaneDescriptor(
+            periods_name=periods_shm.name,
+            usage_name=usage_shm.name,
+            strategies=names,
+            chains=chains,
+            ktype=ktype,
+        )
+        return cls(descriptor, periods_shm, usage_shm)
+
+    @property
+    def descriptor(self) -> PlaneDescriptor:
+        """The picklable handle to stamp onto work units."""
+        return self._descriptor
+
+    def harvest(self, pending: "Sequence[_PendingLike]") -> HarvestRows:
+        """Re-read the cells of one completed unit from the planes.
+
+        ``pending`` is the unit's :class:`~repro.engine.batch.PendingInstance`
+        sequence.  Sentinel cells — quarantined or never-written instances —
+        are simply absent from the returned rows, mirroring how failed
+        instances are absent from pickled result rows.  All scalars are
+        native Python (``float``/``int``), so rows journal exactly like
+        worker-built ones.
+        """
+        if self._periods_shm is None:
+            raise RuntimeError("result planes already destroyed")
+        if self._view is None:
+            self._view = PlaneView(self._descriptor)
+        rows: HarvestRows = []
+        for item in pending:
+            results: dict[str, InstanceResult] = {}
+            for name in item.strategies:
+                cell = self._view.read(item.index, name)
+                if cell is not None:
+                    results[name] = cell
+            rows.append((item.index, results))
+        return rows
+
+    def destroy(self) -> None:
+        """Close and unlink both segments (idempotent; never raises on races)."""
+        if self._view is not None:
+            self._view.close()
+            self._view = None
+        for attr in ("_periods_shm", "_usage_shm"):
+            segment: "shared_memory.SharedMemory | None" = getattr(self, attr)
+            if segment is None:
+                continue
+            setattr(self, attr, None)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already gone (e.g. external cleanup)
+                pass

@@ -344,7 +344,10 @@ class TestWorkerAttribution:
         )
         assert misses == 1.0  # first copy solved
         assert hits == 5.0  # remaining copies replayed from the shard
-        assert counters["solve.count"] == 1.0
+        # Shard hits replay their deterministic solve observations, so the
+        # merged solve.* counters keep cross-tier parity: a serial run of the
+        # same campaign also records six solves.
+        assert counters["solve.count"] == 6.0
 
 
 class TestNoOpPath:

@@ -1,0 +1,190 @@
+"""Scaling acceptance: the shared-memory process tier changes nothing but speed.
+
+ISSUE 10's contract, pinned end to end on oracle-grade workloads:
+
+* serial vs ``--jobs 2`` vs ``--jobs 4`` vs ``--jobs 4 --kernel batch``
+  produce **bitwise identical** campaign arrays (zero-pickle planes,
+  cost-adaptive plans, and worker memo shards are pure transport);
+* killing a ``--jobs`` process campaign mid-run and resuming through the
+  same journal is bitwise identical to an uninterrupted serial run, with
+  results flowing through shared memory on both legs;
+* the worker memo shard's replayed observations keep the merged ``solve.*``
+  counters in cross-tier parity with a serial run of the same campaign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain_stats import ChainProfile
+from repro.core.registry import STRATEGIES
+from repro.core.types import Resources
+from repro.engine import (
+    CampaignEngine,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+    load_journal,
+)
+from repro.obs.context import ObsConfig
+from repro.workloads import generators as g
+from repro.workloads.synthetic import GeneratorConfig, chain_batch
+
+_FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _oracle_chains():
+    """The k2 oracle workload mix (diverse shapes, deterministic seeds)."""
+    chains = []
+    for sr in (0.2, 0.5, 0.8):
+        cfg = GeneratorConfig(num_tasks=10, stateless_ratio=sr)
+        chains.extend(chain_batch(4, cfg, seed=int(sr * 10)))
+    chains += [
+        g.fully_replicable_chain(8),
+        g.fully_sequential_chain(8),
+        g.alternating_chain(9),
+        g.heavy_tail_chain(6),
+    ]
+    return chains
+
+
+def _assert_same_arrays(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name].periods, b[name].periods)
+        np.testing.assert_array_equal(a[name].big_used, b[name].big_used)
+        np.testing.assert_array_equal(a[name].little_used, b[name].little_used)
+
+
+@pytest.fixture(scope="module")
+def oracle_setup():
+    chains = _oracle_chains()
+    resources = Resources(3, 3)
+    names = tuple(sorted(STRATEGIES))
+    reference = CampaignEngine(
+        jobs=1, backend="serial", memo=False
+    ).solve_instances(chains, resources, names)
+    return chains, resources, names, reference
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_process_jobs_match_serial(self, oracle_setup, jobs):
+        chains, resources, names, reference = oracle_setup
+        arrays = CampaignEngine(
+            jobs=jobs, backend="process", memo=False
+        ).solve_instances(chains, resources, names)
+        _assert_same_arrays(arrays, reference)
+
+    def test_process_jobs4_batch_kernel_matches_serial(self, oracle_setup):
+        chains, resources, names, reference = oracle_setup
+        arrays = CampaignEngine(
+            jobs=4, backend="process", memo=False, kernel="batch"
+        ).solve_instances(chains, resources, names)
+        _assert_same_arrays(arrays, reference)
+
+    def test_shared_results_off_matches_on(self, oracle_setup):
+        """The pickled-rows fallback is the same bits, only slower."""
+        chains, resources, names, reference = oracle_setup
+        arrays = CampaignEngine(
+            jobs=2, backend="process", memo=False, shared_results=False
+        ).solve_instances(chains, resources, names)
+        _assert_same_arrays(arrays, reference)
+
+    def test_unit_wall_is_advisory(self, oracle_setup):
+        """Any unit wall -> a different plan -> the identical arrays."""
+        chains, resources, names, reference = oracle_setup
+        for wall in (1e-6, 10.0):
+            arrays = CampaignEngine(
+                jobs=2, backend="process", memo=False, unit_wall=wall
+            ).solve_instances(chains, resources, names)
+            _assert_same_arrays(arrays, reference)
+
+
+class TestResumeThroughSharedMemory:
+    def test_kill_then_resume_bitwise(self, tmp_path, oracle_setup):
+        chains, resources, _, _ = oracle_setup
+        names = ("fertac",)
+        reference = CampaignEngine(
+            jobs=1, backend="serial", memo=False
+        ).solve_instances(chains, resources, names)
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="interrupt",
+                    fingerprint=ChainProfile(chains[9]).fingerprint,
+                    tiers=("process",),
+                    times=1,
+                ),
+            ),
+            state_dir=str(tmp_path / "faults"),
+        )
+        path = tmp_path / "run.jsonl"
+        interrupted = CampaignEngine(
+            jobs=4, backend="process", memo=False, chunk_size=2,
+            resilience=ResilienceConfig(retry=_FAST),
+            journal=path, faults=plan,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.solve_instances(chains, resources, names)
+        interrupted.journal.close()
+
+        # Finished units were journaled from *harvested* shared-memory rows.
+        partial = load_journal(path)
+        assert 0 < len(partial) < len(chains)
+
+        resumed = CampaignEngine(
+            jobs=4, backend="process", memo=False,
+            resilience=ResilienceConfig(retry=_FAST), journal=path,
+        )
+        arrays = resumed.solve_instances(chains, resources, names)
+        resumed.journal.close()
+        _assert_same_arrays(arrays, reference)
+        assert len(load_journal(path)) == len(chains)
+
+
+class TestShardCounterParity:
+    def test_solve_counters_match_serial(self):
+        """Shard hits replay their solve observations: merged counters agree."""
+        chain = _oracle_chains()[0]
+        chains = [chain] * 6  # duplicates guarantee shard hits
+        resources = Resources(3, 3)
+        names = ("herad",)
+
+        serial = CampaignEngine(
+            jobs=1, backend="serial", memo=False, obs=ObsConfig(metrics=True)
+        )
+        serial.solve_instances(chains, resources, names)
+        parallel = CampaignEngine(
+            jobs=2, backend="process", memo=False, chunk_size=len(chains),
+            obs=ObsConfig(metrics=True), worker_memo=True,
+        )
+        parallel.solve_instances(chains, resources, names)
+
+        serial_counters = serial.obs.metrics.counters()
+        parallel_counters = parallel.obs.metrics.counters()
+        # The shard actually fired (one real solve, five replays)...
+        hits = sum(
+            value
+            for name, value in parallel_counters.items()
+            if name.startswith("worker.") and name.endswith(".memo.hits")
+        )
+        assert hits == 5.0
+        # ...yet every deterministic solve.* counter matches serial exactly
+        # (worker.* attribution is per-pid bookkeeping, exempt by design;
+        # solve.seconds is wall-clock and inherently run-dependent).
+        for name, value in serial_counters.items():
+            if name.startswith("solve.") and not name.startswith(
+                "solve.seconds"
+            ):
+                assert parallel_counters.get(name) == value, name
+
+        serial_periods = serial.obs.metrics.sketch("solve.period.herad")
+        parallel_periods = parallel.obs.metrics.sketch("solve.period.herad")
+        assert serial_periods is not None and parallel_periods is not None
+        assert parallel_periods.count == serial_periods.count
+        assert parallel_periods.minimum == serial_periods.minimum
+        assert parallel_periods.maximum == serial_periods.maximum

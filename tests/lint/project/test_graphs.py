@@ -67,8 +67,12 @@ class TestEntryDiscovery:
         }
 
     def test_dispatch_site_found(self, pctx):
-        (site,) = pctx.dispatch_sites
-        assert site.module == "repro.engine.dispatch"
+        sites = {s.module: s for s in pctx.dispatch_sites}
+        assert set(sites) == {
+            "repro.engine.dispatch",
+            "repro.engine.shmem",
+        }
+        site = sites["repro.engine.dispatch"]
         assert site.method == "map"
         assert site.target_fids == ("repro.engine.dispatch:run_unit",)
 

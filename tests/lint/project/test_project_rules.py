@@ -44,7 +44,10 @@ class TestSeededCorpusFires:
         assert _hits(bad_report, "REP202") == [("repro/engine/cache.py", 16)]
 
     def test_rep203_fork_unsafe_capture(self, bad_report):
-        assert _hits(bad_report, "REP203") == [("repro/engine/dispatch.py", 22)]
+        assert _hits(bad_report, "REP203") == [
+            ("repro/engine/dispatch.py", 22),
+            ("repro/engine/shmem.py", 22),
+        ]
 
     def test_rep204_layer_boundary(self, bad_report):
         assert _hits(bad_report, "REP204") == [
@@ -68,7 +71,7 @@ class TestSeededCorpusFires:
         assert "LIVE_LIMIT" not in finding.message
 
     def test_nothing_else_fires(self, bad_report):
-        assert len(bad_report.findings) == 9
+        assert len(bad_report.findings) == 10
         assert all(f.severity is Severity.ERROR for f in bad_report.findings)
         assert not bad_report.ok
 
@@ -87,7 +90,7 @@ class TestCleanCorpusSilent:
         assert clean_report.ok
 
     def test_same_rules_ran(self, clean_report):
-        assert clean_report.files_checked == 10
+        assert clean_report.files_checked == 11
 
 
 _BOX = """\

@@ -1,0 +1,27 @@
+"""Seeded REP203 violation: a live SharedMemory handle crosses a WorkUnit."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    payload: Any
+    segment: Any
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    return unit.payload
+
+
+def launch(items: list[Any]) -> list[Any]:
+    segment = SharedMemory(create=True, size=64)
+    try:
+        units = [WorkUnit(payload=item, segment=segment) for item in items]  # SEED REP203
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(run_unit, units))
+    finally:
+        segment.close()
+        segment.unlink()

@@ -1,0 +1,32 @@
+"""Workers attach to shared memory by name: only the descriptor crosses."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    payload: Any
+    segment_name: str
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    view = SharedMemory(name=unit.segment_name)
+    try:
+        return unit.payload
+    finally:
+        view.close()
+
+
+def launch(items: list[Any]) -> list[Any]:
+    segment = SharedMemory(create=True, size=64)
+    try:
+        name = segment.name
+        units = [WorkUnit(payload=item, segment_name=name) for item in items]
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(run_unit, units))
+    finally:
+        segment.close()
+        segment.unlink()
